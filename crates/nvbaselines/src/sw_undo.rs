@@ -1,0 +1,253 @@
+//! Software Undo Logging (paper §VI-B "SW Logging").
+//!
+//! "Software generates and flushes an undo log entry before the first
+//! write. We assume that the software library tracks the write set, and
+//! flushes them at the end of an epoch. All NVM writes use barriers."
+//!
+//! Every first store to a line per epoch pays a *synchronous* 72-byte log
+//! write (clwb + sfence ≈ stall until the NVM accepts and completes it);
+//! at every epoch boundary the whole write set is flushed line by line
+//! behind barriers while all cores stall. This is the 2×–23× slowdown bar
+//! of Fig 11 and the ≈2× write amplification of Fig 12.
+
+use crate::common::{BaselineCore, DATA_BYTES, LOG_ENTRY_BYTES};
+use nvsim::addr::{Addr, CoreId, LineAddr, Token};
+use nvsim::clock::Cycle;
+use nvsim::config::SimConfig;
+use nvsim::hierarchy::HierarchyEvent;
+use nvsim::memsys::{AccessOutcome, MemOp, MemorySystem};
+use nvsim::stats::{EvictReason, NvmWriteKind, SystemStats};
+use std::collections::HashMap;
+
+/// The software undo-logging scheme.
+pub struct SwUndoLogging {
+    core: BaselineCore,
+    /// Lines dirtied this epoch (the library's write set).
+    write_set: Vec<LineAddr>,
+    in_set: HashMap<LineAddr, ()>,
+    /// Undo log of the current epoch: (line, pre-image) — used for
+    /// functional recovery verification.
+    undo_log: Vec<(LineAddr, Token)>,
+    /// Image as of the last committed epoch (what recovery reproduces).
+    committed_image: HashMap<LineAddr, Token>,
+    epochs_committed: u64,
+}
+
+impl SwUndoLogging {
+    /// Creates the scheme.
+    pub fn new(cfg: &SimConfig) -> Self {
+        Self {
+            core: BaselineCore::new(cfg),
+            write_set: Vec::new(),
+            in_set: HashMap::new(),
+            undo_log: Vec::new(),
+            committed_image: HashMap::new(),
+            epochs_committed: 0,
+        }
+    }
+
+    /// The image recovery would restore (last committed epoch): data in
+    /// NVM home locations with the current epoch's writes rolled back via
+    /// the undo log.
+    pub fn recovered_image(&self) -> &HashMap<LineAddr, Token> {
+        &self.committed_image
+    }
+
+    /// Epochs committed so far.
+    pub fn epochs_committed(&self) -> u64 {
+        self.epochs_committed
+    }
+
+    /// Synchronous epoch-boundary flush: every write-set line is cleaned
+    /// (clwb) and written to its NVM home behind a barrier; all cores
+    /// stall until the last write is durable.
+    fn commit_epoch(&mut self, now: Cycle) -> Cycle {
+        let mut done = now;
+        let lines = std::mem::take(&mut self.write_set);
+        self.in_set.clear();
+        for line in lines {
+            let (token, _dirty) = self.core.hier.clwb(line);
+            let t = self
+                .core
+                .nvm
+                .write(done, line.raw(), NvmWriteKind::Data, DATA_BYTES);
+            self.core.stats.evictions.record(EvictReason::EpochFlush);
+            // Barriered: the next flush starts after this one is durable.
+            done = t.completion;
+            self.committed_image.insert(line, token);
+        }
+        self.undo_log.clear();
+        self.core.hier.advance_all_epochs();
+        self.epochs_committed += 1;
+        self.core.stats.epochs_completed += 1;
+        self.core.stall_all_until(done);
+        done.saturating_sub(now)
+    }
+
+    fn handle_events(&mut self, now: Cycle) -> Cycle {
+        let mut stall = 0;
+        let events: Vec<HierarchyEvent> = self.core.hier.events().to_vec();
+        for e in events {
+            match e {
+                HierarchyEvent::StoreCommitted {
+                    line,
+                    old_token,
+                    first_in_epoch,
+                    ..
+                } => {
+                    if first_in_epoch {
+                        // Synchronous undo-log entry before the write.
+                        let t = self.core.nvm.write(
+                            now,
+                            line.raw() ^ 0x5555,
+                            NvmWriteKind::Log,
+                            LOG_ENTRY_BYTES,
+                        );
+                        self.core.stats.evictions.record(EvictReason::LogWrite);
+                        stall += t.sync_stall(now);
+                        self.undo_log.push((line, old_token));
+                    }
+                    if self.in_set.insert(line, ()).is_none() {
+                        self.write_set.push(line);
+                    }
+                }
+                HierarchyEvent::EpochTrigger { .. } => {
+                    stall += self.commit_epoch(now + stall);
+                }
+                // Natural write-backs go to the DRAM working copy only;
+                // persistence is the software's explicit job.
+                HierarchyEvent::L2Writeback { .. } | HierarchyEvent::LlcWriteback { .. } => {}
+            }
+        }
+        stall
+    }
+}
+
+impl MemorySystem for SwUndoLogging {
+    fn name(&self) -> &'static str {
+        "SW Logging"
+    }
+
+    fn access(
+        &mut self,
+        core: CoreId,
+        op: MemOp,
+        addr: Addr,
+        token: Token,
+        now: Cycle,
+    ) -> AccessOutcome {
+        let quiesce = self.core.pending_stall(core, now);
+        let (lat, value) = self.core.hier.access(core, op, addr, token);
+        let stall = self.handle_events(now + quiesce + lat);
+        let persist_stall = quiesce + stall;
+        self.core.stats.persist_stall_cycles += persist_stall;
+        AccessOutcome {
+            latency: lat + persist_stall,
+            persist_stall,
+            value,
+        }
+    }
+
+    fn epoch_mark(&mut self, core: CoreId, now: Cycle) -> Cycle {
+        let _ = core;
+        let stall = self.commit_epoch(now);
+        self.core.stats.persist_stall_cycles += stall;
+        stall
+    }
+
+    fn finish(&mut self, now: Cycle) -> Cycle {
+        let end = self.commit_epoch(now);
+        let _ = self.core.hier.drain_dirty();
+        self.core.sync_stats();
+        now + end
+    }
+
+    fn stats(&self) -> &SystemStats {
+        &self.core.stats
+    }
+}
+
+impl std::fmt::Debug for SwUndoLogging {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SwUndoLogging")
+            .field("write_set", &self.write_set.len())
+            .field("epochs_committed", &self.epochs_committed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvsim::addr::ThreadId;
+    use nvsim::memsys::Runner;
+    use nvsim::trace::TraceBuilder;
+
+    fn cfg(epoch: u64) -> SimConfig {
+        SimConfig::builder()
+            .cores(4, 2)
+            .l1(1024, 2, 4)
+            .l2(4096, 4, 8)
+            .llc(16 * 1024, 4, 30, 2)
+            .epoch_size_stores(epoch)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn logs_once_per_line_per_epoch_and_flushes_data() {
+        let mut sys = SwUndoLogging::new(&cfg(1_000_000));
+        let mut tb = TraceBuilder::new(4);
+        // 10 lines, 3 stores each.
+        for r in 0..3u64 {
+            for i in 0..10u64 {
+                let _ = r;
+                tb.store(ThreadId(0), Addr::new(i * 64));
+            }
+        }
+        let trace = tb.build();
+        let report = Runner::new().run(&mut sys, &trace);
+        let s = sys.stats();
+        assert_eq!(s.nvm.writes(NvmWriteKind::Log), 10, "one log per line");
+        assert_eq!(s.nvm.writes(NvmWriteKind::Data), 10, "final flush");
+        assert!(report.stall_cycles > 0, "barriers stall the core");
+        // Recovery equals the golden image after the final commit.
+        for (l, t) in &report.golden_image {
+            assert_eq!(sys.recovered_image().get(l), Some(t));
+        }
+    }
+
+    #[test]
+    fn epoch_boundaries_restart_logging() {
+        let mut sys = SwUndoLogging::new(&cfg(5));
+        let mut tb = TraceBuilder::new(4);
+        for i in 0..20u64 {
+            tb.store(ThreadId(0), Addr::new((i % 2) * 64));
+        }
+        let trace = tb.build();
+        let _ = Runner::new().run(&mut sys, &trace);
+        // 20 stores over 2 lines, epoch every 5 stores → 4 epochs, each
+        // re-logging both lines (2 logs/epoch).
+        assert!(sys.epochs_committed() >= 4);
+        assert!(sys.stats().nvm.writes(NvmWriteKind::Log) >= 8);
+    }
+
+    #[test]
+    fn write_amplification_is_roughly_double() {
+        let mut sys = SwUndoLogging::new(&cfg(50));
+        let mut tb = TraceBuilder::new(4);
+        for i in 0..1000u64 {
+            tb.store(ThreadId((i % 4) as u16), Addr::new((i % 100) * 64));
+        }
+        let trace = tb.build();
+        let _ = Runner::new().run(&mut sys, &trace);
+        let s = sys.stats();
+        let log = s.nvm.bytes(NvmWriteKind::Log) as f64;
+        let data = s.nvm.bytes(NvmWriteKind::Data) as f64;
+        let amp = (log + data) / data;
+        assert!(
+            amp > 1.5 && amp < 2.5,
+            "undo logging doubles the write volume, got {amp:.2}"
+        );
+    }
+}

@@ -1,0 +1,51 @@
+//! Ablation — scaling the core count (the paper's headline claim:
+//! NVOverlay "scales to multi-socket systems" while prior proposals
+//! assume centralized structures, §II-D).
+//!
+//! Runs the same per-thread workload intensity at 8/16/32/64 cores and
+//! compares PiCL (global epochs + centralized walks) with NVOverlay
+//! (distributed epochs + per-VD walkers + partitioned OMCs), normalized
+//! to the ideal system at the same core count.
+
+use nvbench::{run_scheme, EnvScale, Scheme};
+use nvsim::SimConfig;
+use nvworkloads::{generate, SuiteParams, Workload};
+
+fn main() {
+    let scale = EnvScale::from_env();
+    let base = scale.suite_params();
+
+    println!("Ablation: core-count scaling (ssca2, constant per-thread load)");
+    println!(
+        "{:<8} {:>12} {:>10} {:>12} {:>12}",
+        "cores", "ideal cyc", "PiCL", "PiCL-L2", "NVOverlay"
+    );
+    for cores in [8u16, 16, 32, 64] {
+        let cfg = SimConfig::builder()
+            .cores(cores, 2)
+            // LLC grows with the socket count, as real systems do.
+            .llc(2 * 1024 * 1024 * cores as u64, 16, 30, (cores / 4).max(1))
+            .epoch_size_stores(scale.sim_config().epoch_size_stores)
+            .build()
+            .expect("valid scaled config");
+        let params = SuiteParams {
+            threads: cores as usize,
+            // Constant per-thread operation count.
+            ops: base.ops * cores as u64 / 16,
+            ..base.clone()
+        };
+        let trace = generate(Workload::Ssca2, &params);
+        let ideal = run_scheme(Scheme::Ideal, &cfg, &trace);
+        let picl = run_scheme(Scheme::Picl, &cfg, &trace);
+        let picl2 = run_scheme(Scheme::PiclL2, &cfg, &trace);
+        let nvo = run_scheme(Scheme::NvOverlay, &cfg, &trace);
+        println!(
+            "{:<8} {:>12} {:>10.2} {:>12.2} {:>12.2}",
+            cores,
+            ideal.cycles,
+            picl.cycles as f64 / ideal.cycles as f64,
+            picl2.cycles as f64 / ideal.cycles as f64,
+            nvo.cycles as f64 / ideal.cycles as f64,
+        );
+    }
+}

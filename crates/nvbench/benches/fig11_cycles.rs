@@ -1,0 +1,36 @@
+//! Figure 11 — normalized cycles, 12 workloads × 6 schemes.
+//!
+//! "Fig. 11: Normalized Cycles — 16 worker threads. All numbers are
+//! normalized to baseline execution without snapshotting."
+//!
+//! Expected shape (paper): SW Logging / SW Shadow are multiples of
+//! baseline (up to ~23×/~19× on the index workloads), HW Shadow is
+//! moderately slower, PiCL and NVOverlay mostly overlap persistence
+//! completely (≈1.0), and PiCL-L2 trails PiCL.
+
+use nvbench::{run_scheme, EnvScale, Scheme};
+use nvworkloads::{generate, Workload};
+
+fn main() {
+    let scale = EnvScale::from_env();
+    let cfg = scale.sim_config();
+    let params = scale.suite_params();
+
+    println!("Figure 11: Normalized Cycles (scale {scale:?}, lower is better)");
+    print!("{:<11}", "workload");
+    for s in Scheme::FIGURE {
+        print!(" {:>10}", s.name());
+    }
+    println!();
+
+    for w in Workload::ALL {
+        let trace = generate(w, &params);
+        let ideal = run_scheme(Scheme::Ideal, &cfg, &trace);
+        print!("{:<11}", w.name());
+        for s in Scheme::FIGURE {
+            let r = run_scheme(s, &cfg, &trace);
+            print!(" {:>10.2}", r.cycles as f64 / ideal.cycles as f64);
+        }
+        println!();
+    }
+}

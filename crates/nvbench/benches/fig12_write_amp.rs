@@ -1,0 +1,41 @@
+//! Figure 12 — NVM write amplification in bytes, normalized to NVOverlay.
+//!
+//! "Fig. 12: Write Amplification (Bytes of Data) — 16 worker threads. All
+//! numbers are normalized to NVOverlay." Log entries are 72 B (64 B
+//! data + 8 B tag); shadow/NVOverlay mapping-table updates are counted
+//! as 8 B entry writes, exactly as the paper does (§VII-B).
+//!
+//! Expected shape (paper): PiCL 1.4×–1.9×, PiCL-L2 1.8×–2.3×, HW Shadow
+//! mostly 0.77×–1.0× (0.30× on kmeans).
+
+use nvbench::{run_scheme, EnvScale, Scheme};
+use nvworkloads::{generate, Workload};
+
+fn main() {
+    let scale = EnvScale::from_env();
+    let cfg = scale.sim_config();
+    let params = scale.suite_params();
+
+    println!("Figure 12: Write Amplification in Bytes, normalized to NVOverlay");
+    print!("{:<11}", "workload");
+    for s in Scheme::FIGURE {
+        print!(" {:>10}", s.name());
+    }
+    println!("  {:>12}", "NVO bytes");
+
+    for w in Workload::ALL {
+        let trace = generate(w, &params);
+        let nvo = run_scheme(Scheme::NvOverlay, &cfg, &trace);
+        let base = nvo.total_bytes().max(1);
+        print!("{:<11}", w.name());
+        for s in Scheme::FIGURE {
+            if s == Scheme::NvOverlay {
+                print!(" {:>10.2}", 1.00);
+                continue;
+            }
+            let r = run_scheme(s, &cfg, &trace);
+            print!(" {:>10.2}", r.total_bytes() as f64 / base as f64);
+        }
+        println!("  {:>12}", base);
+    }
+}

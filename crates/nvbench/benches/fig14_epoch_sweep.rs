@@ -1,0 +1,70 @@
+//! Figure 14 — sensitivity to epoch size (ART benchmark).
+//!
+//! "(a) Normalized Cycles; (b) Normalized Writes" for PiCL, PiCL-L2 and
+//! NVOverlay with epoch sizes swept over 0.5×/1×/2×/4× the base (the
+//! paper sweeps 500 K–4 M store uops; we sweep the same ratios around the
+//! scaled base epoch).
+//!
+//! Expected shape (paper): NVOverlay and PiCL-L2 cycles are insensitive
+//! to epoch size; PiCL improves with longer epochs; PiCL/PiCL-L2 write
+//! amplification falls ~11 %–16 % from the shortest to the longest epoch
+//! while NVOverlay's writes stay flat.
+
+use nvbench::{run_scheme, EnvScale, Scheme};
+use nvsim::SimConfig;
+use nvworkloads::{generate, Workload};
+
+fn main() {
+    let scale = EnvScale::from_env();
+    let base_cfg = scale.sim_config();
+    let params = scale.suite_params();
+    let trace = generate(Workload::Art, &params);
+
+    let base_epoch = base_cfg.epoch_size_stores;
+    let sweep: Vec<u64> = [base_epoch / 2, base_epoch, base_epoch * 2, base_epoch * 4].into();
+    let schemes = [Scheme::Picl, Scheme::PiclL2, Scheme::NvOverlay];
+
+    // Normalize cycles to the ideal run and writes to NVOverlay at the
+    // base epoch (as in the paper).
+    let ideal = run_scheme(Scheme::Ideal, &base_cfg, &trace);
+    let nvo_base = run_scheme(Scheme::NvOverlay, &base_cfg, &trace);
+
+    println!("Figure 14a: Normalized cycles vs epoch size (ART)");
+    print!("{:<12}", "epoch");
+    for s in schemes {
+        print!(" {:>10}", s.name());
+    }
+    println!();
+    let mut write_rows = Vec::new();
+    for &e in &sweep {
+        let cfg = SimConfig {
+            epoch_size_stores: e,
+            ..base_cfg.clone()
+        };
+        print!("{:<12}", format!("{e}"));
+        let mut row = Vec::new();
+        for s in schemes {
+            let r = run_scheme(s, &cfg, &trace);
+            print!(" {:>10.2}", r.cycles as f64 / ideal.cycles as f64);
+            row.push(r.total_bytes());
+        }
+        println!();
+        write_rows.push((e, row));
+    }
+
+    println!();
+    println!("Figure 14b: NVM bytes normalized to NVOverlay@base (ART)");
+    print!("{:<12}", "epoch");
+    for s in schemes {
+        print!(" {:>10}", s.name());
+    }
+    println!();
+    let base = nvo_base.total_bytes().max(1) as f64;
+    for (e, row) in write_rows {
+        print!("{:<12}", format!("{e}"));
+        for b in row {
+            print!(" {:>10.2}", b as f64 / base);
+        }
+        println!();
+    }
+}

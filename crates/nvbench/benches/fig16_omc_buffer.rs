@@ -1,0 +1,70 @@
+//! Figure 16 — reducing NVM writes with the battery-backed OMC buffer.
+//!
+//! "We evaluate the persistent OMC buffer ... by simulating NVOverlay on
+//! ART, with and without the buffer. The evaluation has only one epoch
+//! throughout the execution to stress-test the buffer's ability to
+//! absorb redundant write backs. We use a buffer that has the same
+//! configuration as the simulated LLC."
+//!
+//! Expected shape (paper): the buffer improves performance ~41 % and cuts
+//! NVM writes ~4.8× (6.2 M → 1.3 M) at a 74.8 % hit rate.
+
+use nvbench::{run_nvoverlay, EnvScale};
+use nvoverlay::mnm::OmcConfig;
+use nvoverlay::system::NvOverlayOptions;
+use nvsim::SimConfig;
+use nvworkloads::{generate, Workload};
+
+fn main() {
+    let scale = EnvScale::from_env();
+    let base_cfg = scale.sim_config();
+    // The stress test needs lines to leave the VDs and return repeatedly
+    // within the one epoch (redundant write-backs): run a long insert
+    // phase on a pre-warmed tree.
+    let params = nvworkloads::SuiteParams {
+        ops: scale.suite_params().ops * 4,
+        ..scale.suite_params()
+    };
+    // One epoch throughout: epoch budget far above the trace volume.
+    let cfg = SimConfig {
+        epoch_size_stores: u64::MAX / 2,
+        ..base_cfg
+    };
+
+    // ART as in the paper, plus kmeans whose iteration structure rewrites
+    // the same lines many times within the single epoch (the
+    // redundant-write-back regime the paper's full-length ART run is in).
+    for w in [Workload::Art, Workload::Kmeans] {
+        let trace = generate(w, &params);
+        println!("Figure 16: OMC buffer on {w} (single epoch)");
+        println!(
+            "{:<12} {:>12} {:>12} {:>12} {:>9}",
+            "variant", "cycles", "NVM writes", "buf hits", "hit rate"
+        );
+        let (no_buf, _) = run_nvoverlay(&cfg, NvOverlayOptions::default(), &trace);
+        let buf_opts = NvOverlayOptions {
+            omc: OmcConfig {
+                buffer: Some((cfg.llc.sets(), cfg.llc.ways)),
+                ..OmcConfig::default()
+            },
+            ..NvOverlayOptions::default()
+        };
+        let (with_buf, d) = run_nvoverlay(&cfg, buf_opts, &trace);
+        println!(
+            "{:<12} {:>12} {:>12} {:>12} {:>9}",
+            "No Buffer", no_buf.cycles, no_buf.data_writes, "-", "-"
+        );
+        let hit_rate =
+            100.0 * d.buffer_hits as f64 / (d.buffer_hits + d.buffer_misses).max(1) as f64;
+        println!(
+            "{:<12} {:>12} {:>12} {:>12} {:>8.1}%",
+            "With Buffer", with_buf.cycles, with_buf.data_writes, d.buffer_hits, hit_rate
+        );
+        println!(
+            "cycles: {:.2}x, NVM writes: {:.2}x fewer",
+            no_buf.cycles as f64 / with_buf.cycles.max(1) as f64,
+            no_buf.data_writes as f64 / with_buf.data_writes.max(1) as f64
+        );
+        println!();
+    }
+}

@@ -1,0 +1,76 @@
+//! Figure 17 — NVM write bandwidth time series (B+Tree), PiCL vs
+//! NVOverlay.
+//!
+//! (a) default epochs: NVOverlay's version coherence amortizes write-back
+//! bandwidth over execution while PiCL's tag walks create surges at
+//! epoch boundaries — lower average, lower peak, less fluctuation.
+//!
+//! (b) bursty epochs (time-travel debugging): three bursty intervals of
+//! tiny epochs (1 K / 10 K / 100 K stores in the paper, the same ratios
+//! of the scaled base here). With very small epochs PiCL's log traffic
+//! surges ~50 % above NVOverlay's.
+
+use nvbench::{run_scheme, EnvScale, Scheme};
+use nvworkloads::{generate, generate_btree_bursty, Burst, Workload};
+
+fn series_row(label: &str, series: &[u64], bucket_cycles: u64, total_cycles: u64, freq_ghz: f64) {
+    // Convert resampled buckets (bytes per 1% of progress) to GB/s.
+    let span_cycles = (total_cycles as f64 / series.len() as f64).max(1.0);
+    let _ = bucket_cycles;
+    let ns_per_bucket = span_cycles / freq_ghz;
+    let gbps: Vec<f64> = series.iter().map(|&b| b as f64 / ns_per_bucket).collect();
+    let avg = gbps.iter().sum::<f64>() / gbps.len() as f64;
+    let peak = gbps.iter().cloned().fold(0.0, f64::max);
+    let var = gbps.iter().map(|g| (g - avg) * (g - avg)).sum::<f64>() / gbps.len() as f64;
+    println!(
+        "{label}: avg {avg:.2} GB/s, peak {peak:.2} GB/s, stddev {:.2}",
+        var.sqrt()
+    );
+    // A 10-bucket sparkline of the series.
+    print!("  ");
+    for chunk in gbps.chunks(10) {
+        let v = chunk.iter().sum::<f64>() / chunk.len() as f64;
+        print!("{v:6.2} ");
+    }
+    println!("(GB/s per decile of progress)");
+}
+
+fn main() {
+    let scale = EnvScale::from_env();
+    let cfg = scale.sim_config();
+    let params = scale.suite_params();
+    let freq = cfg.freq_ghz;
+
+    println!("Figure 17a: NVM write bandwidth over time, B+Tree, default epochs");
+    let trace = generate(Workload::BTree, &params);
+    for s in [Scheme::Picl, Scheme::NvOverlay] {
+        let r = run_scheme(s, &cfg, &trace);
+        series_row(s.name(), &r.bandwidth_100, r.bucket_cycles, r.cycles, freq);
+    }
+
+    println!();
+    println!("Figure 17b: bursty epochs (three debug windows with tiny epochs)");
+    let base = cfg.epoch_size_stores;
+    let bursts = [
+        Burst {
+            start_frac: 0.15,
+            end_frac: 0.25,
+            stores_per_epoch: (base / 1000).max(64),
+        },
+        Burst {
+            start_frac: 0.45,
+            end_frac: 0.55,
+            stores_per_epoch: (base / 100).max(256),
+        },
+        Burst {
+            start_frac: 0.75,
+            end_frac: 0.85,
+            stores_per_epoch: (base / 10).max(1024),
+        },
+    ];
+    let btrace = generate_btree_bursty(&params, &bursts);
+    for s in [Scheme::Picl, Scheme::NvOverlay] {
+        let r = run_scheme(s, &cfg, &btrace);
+        series_row(s.name(), &r.bandwidth_100, r.bucket_cycles, r.cycles, freq);
+    }
+}

@@ -1,0 +1,53 @@
+//! Table II — the simulated configuration in force for every experiment.
+
+use nvbench::EnvScale;
+
+fn main() {
+    let scale = EnvScale::from_env();
+    let cfg = scale.sim_config();
+    let p = scale.suite_params();
+    println!("Table II: Simulated Configuration (scale: {scale:?})");
+    println!();
+    println!(
+        "Processor    {} cores, {} per Versioned Domain, {} GHz",
+        cfg.cores, cfg.cores_per_vd, cfg.freq_ghz
+    );
+    println!(
+        "L1-D cache   {} KB, 64B lines, {}-way, {} cycles",
+        cfg.l1.size_bytes / 1024,
+        cfg.l1.ways,
+        cfg.l1.latency
+    );
+    println!(
+        "L2 cache     {} KB, 64B lines, {}-way, {} cycles (inclusive, per VD)",
+        cfg.l2.size_bytes / 1024,
+        cfg.l2.ways,
+        cfg.l2.latency
+    );
+    println!(
+        "Shared LLC   {} MB, 64B lines, {}-way, {} cycles, {} slices (non-inclusive)",
+        cfg.llc.size_bytes / (1024 * 1024),
+        cfg.llc.ways,
+        cfg.llc.latency,
+        cfg.llc_slices
+    );
+    println!(
+        "DRAM         {} controllers, {} cycles",
+        cfg.dram_controllers, cfg.dram_latency
+    );
+    println!(
+        "NVDIMM       {} banks, {} cycles ({} ns) write latency, queue depth {}",
+        cfg.nvm_banks,
+        cfg.nvm_write_latency,
+        cfg.nvm_write_latency as f64 / cfg.freq_ghz,
+        cfg.nvm_queue_depth
+    );
+    println!(
+        "Epochs       {} stores per VD per epoch (scaled from the paper's 1M)",
+        cfg.epoch_size_stores
+    );
+    println!(
+        "Workloads    {} threads, {} ops measured after {} warm-up ops",
+        p.threads, p.ops, p.warmup_ops
+    );
+}

@@ -1,0 +1,259 @@
+//! `nvo` — command-line driver for the NVOverlay reproduction.
+//!
+//! ```text
+//! nvo list
+//! nvo run --workload B+Tree --scheme NVOverlay [--scale quick|standard|full] [--json]
+//! nvo run --trace t.nvtr --scheme PiCL
+//! nvo trace-gen --workload kmeans --out t.nvtr [--scale quick]
+//! nvo snapshots --workload RBTree [--scale quick]
+//! ```
+
+use nvbench::{run_scheme, EnvScale, Scheme};
+use nvoverlay::system::NvOverlaySystem;
+use nvsim::memsys::Runner;
+use nvsim::trace::Trace;
+use nvworkloads::{generate, Workload};
+use std::collections::HashMap;
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  nvo list\n  nvo run --workload <name> --scheme <name> [--scale quick|standard|full] [--json]\n  nvo run --trace <file.nvtr> --scheme <name>\n  nvo trace-gen --workload <name> --out <file.nvtr> [--scale ...]\n  nvo snapshots --workload <name> [--scale ...]\n  nvo diff --workload <name> --from <epoch> --to <epoch> [--scale ...]"
+    );
+    exit(2)
+}
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut out = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if let Some(key) = a.strip_prefix("--") {
+            if key == "json" {
+                out.insert("json".into(), "1".into());
+                i += 1;
+            } else if i + 1 < args.len() {
+                out.insert(key.to_string(), args[i + 1].clone());
+                i += 2;
+            } else {
+                eprintln!("flag --{key} needs a value");
+                usage();
+            }
+        } else {
+            eprintln!("unexpected argument {a:?}");
+            usage();
+        }
+    }
+    out
+}
+
+fn scale_of(flags: &HashMap<String, String>) -> EnvScale {
+    match flags.get("scale").map(String::as_str) {
+        Some("quick") => EnvScale::Quick,
+        Some("full") => EnvScale::Full,
+        Some("standard") | None => EnvScale::Standard,
+        Some(other) => {
+            eprintln!("unknown scale {other:?}");
+            usage();
+        }
+    }
+}
+
+fn load_workload(flags: &HashMap<String, String>, scale: EnvScale) -> Trace {
+    if let Some(path) = flags.get("trace") {
+        let f = std::fs::File::open(path).unwrap_or_else(|e| {
+            eprintln!("cannot open {path}: {e}");
+            exit(1);
+        });
+        return nvsim::trace_io::read_trace(std::io::BufReader::new(f)).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            exit(1);
+        });
+    }
+    let Some(wname) = flags.get("workload") else {
+        eprintln!("--workload or --trace is required");
+        usage();
+    };
+    let Some(w) = Workload::from_name(wname) else {
+        eprintln!("unknown workload {wname:?} (see `nvo list`)");
+        exit(2);
+    };
+    generate(w, &scale.suite_params())
+}
+
+fn cmd_list() {
+    println!("workloads:");
+    for w in Workload::ALL {
+        println!("  {w}");
+    }
+    println!("schemes:");
+    for s in Scheme::ALL {
+        println!("  {}", s.name());
+    }
+}
+
+fn cmd_run(flags: HashMap<String, String>) {
+    let scale = scale_of(&flags);
+    let trace = load_workload(&flags, scale);
+    let Some(sname) = flags.get("scheme") else {
+        eprintln!("--scheme is required");
+        usage();
+    };
+    let Some(scheme) = Scheme::from_name(sname) else {
+        eprintln!("unknown scheme {sname:?} (see `nvo list`)");
+        exit(2);
+    };
+    let cfg = scale.sim_config();
+    let r = run_scheme(scheme, &cfg, &trace);
+    if flags.contains_key("json") {
+        println!(
+            "{{\"scheme\":\"{}\",\"cycles\":{},\"stall_cycles\":{},\"data_bytes\":{},\"log_bytes\":{},\"meta_bytes\":{},\"context_bytes\":{},\"data_writes\":{},\"epochs\":{},\"evict\":{{\"capacity\":{},\"coherence_log\":{},\"tag_walk\":{},\"store_evict\":{}}}}}",
+            scheme.name(),
+            r.cycles,
+            r.stall_cycles,
+            r.data_bytes,
+            r.log_bytes,
+            r.meta_bytes,
+            r.context_bytes,
+            r.data_writes,
+            r.epochs,
+            r.evict_capacity,
+            r.evict_coherence_log,
+            r.evict_tag_walk,
+            r.evict_store,
+        );
+    } else {
+        println!("scheme        {}", scheme.name());
+        println!("cycles        {}", r.cycles);
+        println!("stall cycles  {}", r.stall_cycles);
+        println!(
+            "NVM bytes     {} (data {}, log {}, metadata {}, context {})",
+            r.total_bytes(),
+            r.data_bytes,
+            r.log_bytes,
+            r.meta_bytes,
+            r.context_bytes
+        );
+        println!("data writes   {}", r.data_writes);
+        println!("epochs        {}", r.epochs);
+        println!(
+            "evictions     capacity {} / coherence+log {} / tag-walk {} / store-evict {}",
+            r.evict_capacity, r.evict_coherence_log, r.evict_tag_walk, r.evict_store
+        );
+    }
+}
+
+fn cmd_trace_gen(flags: HashMap<String, String>) {
+    let scale = scale_of(&flags);
+    let trace = load_workload(&flags, scale);
+    let Some(out) = flags.get("out") else {
+        eprintln!("--out is required");
+        usage();
+    };
+    let f = std::fs::File::create(out).unwrap_or_else(|e| {
+        eprintln!("cannot create {out}: {e}");
+        exit(1);
+    });
+    nvsim::trace_io::write_trace(&trace, std::io::BufWriter::new(f)).unwrap_or_else(|e| {
+        eprintln!("cannot write {out}: {e}");
+        exit(1);
+    });
+    println!(
+        "wrote {} ({} threads, {} accesses, {} stores)",
+        out,
+        trace.thread_count(),
+        trace.access_count(),
+        trace.store_count()
+    );
+}
+
+fn cmd_snapshots(flags: HashMap<String, String>) {
+    let scale = scale_of(&flags);
+    let trace = load_workload(&flags, scale);
+    let cfg = scale.sim_config();
+    let mut sys = NvOverlaySystem::new(&cfg);
+    let _ = Runner::new().run(&mut sys, &trace);
+    let store = sys.snapshots();
+    println!("recoverable epoch: {}", store.recoverable_epoch());
+    let epochs = store.epochs();
+    println!("captured epochs: {}", epochs.len());
+    for (e, readable) in epochs.iter().take(20) {
+        let delta = if *readable {
+            store
+                .delta(*e)
+                .map(|d| format!("{} lines", d.len()))
+                .unwrap_or_else(|| "-".into())
+        } else {
+            "reclaimed".into()
+        };
+        println!("  epoch {e:>6}: {delta}");
+    }
+    if epochs.len() > 20 {
+        println!("  ... ({} more)", epochs.len() - 20);
+    }
+    let wear = sys.nvm().wear_report();
+    println!(
+        "NVM wear: {} unique lines, {} writes, hottest line written {} times (mean {:.2})",
+        wear.unique_keys, wear.total_writes, wear.max_key_writes, wear.mean_key_writes
+    );
+}
+
+fn cmd_diff(flags: HashMap<String, String>) {
+    let scale = scale_of(&flags);
+    let trace = load_workload(&flags, scale);
+    let (Some(from), Some(to)) = (
+        flags.get("from").and_then(|v| v.parse::<u64>().ok()),
+        flags.get("to").and_then(|v| v.parse::<u64>().ok()),
+    ) else {
+        eprintln!("--from <epoch> and --to <epoch> are required");
+        usage();
+    };
+    if from >= to {
+        eprintln!("--from must be less than --to");
+        exit(2);
+    }
+    let cfg = scale.sim_config();
+    let mut sys = NvOverlaySystem::new(&cfg);
+    let _ = Runner::new().run(&mut sys, &trace);
+    let store = sys.snapshots();
+    let last = store.recoverable_epoch();
+    if to > last {
+        eprintln!("epoch {to} exceeds the recoverable epoch {last}");
+        exit(1);
+    }
+    match store.diff(from, to) {
+        None => {
+            eprintln!("an epoch in ({from}, {to}] is no longer individually readable");
+            exit(1);
+        }
+        Some(changes) => {
+            println!(
+                "{} lines changed between epoch {from} and epoch {to}:",
+                changes.len()
+            );
+            for c in changes.iter().take(30) {
+                println!(
+                    "  {:#012x}: {} -> {}",
+                    c.line.raw() * 64,
+                    c.before.map_or("-".into(), |t| t.to_string()),
+                    c.after.map_or("-".into(), |t| t.to_string()),
+                );
+            }
+            if changes.len() > 30 {
+                println!("  ... ({} more)", changes.len() - 30);
+            }
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => cmd_list(),
+        Some("run") => cmd_run(parse_flags(&args[1..])),
+        Some("trace-gen") => cmd_trace_gen(parse_flags(&args[1..])),
+        Some("snapshots") => cmd_snapshots(parse_flags(&args[1..])),
+        Some("diff") => cmd_diff(parse_flags(&args[1..])),
+        _ => usage(),
+    }
+}

@@ -1,0 +1,26 @@
+//! Diagnostic smoke run across schemes (not a paper figure).
+use nvbench::{run_scheme, Scheme};
+use nvsim::SimConfig;
+use nvworkloads::{generate, SuiteParams, Workload};
+
+fn main() {
+    let cfg = SimConfig::builder()
+        .cores(16, 2)
+        .l1(8 * 1024, 4, 4)
+        .l2(64 * 1024, 8, 8)
+        .llc(2 * 1024 * 1024, 8, 30, 4)
+        .epoch_size_stores(2_000)
+        .build()
+        .unwrap();
+    let p = SuiteParams { threads: 16, ops: 3_000, warmup_ops: 30_000, seed: 2 };
+    for w in [Workload::BTree, Workload::Kmeans] {
+        let trace = generate(w, &p);
+        println!("== {w}: {} accesses, {} stores, {} wlines", trace.access_count(), trace.store_count(), trace.write_footprint());
+        for s in [Scheme::Ideal, Scheme::SwLogging, Scheme::SwShadow, Scheme::HwShadow, Scheme::Picl, Scheme::PiclL2, Scheme::NvOverlay] {
+            let r = run_scheme(s, &cfg, &trace);
+            println!("{:12} cycles={:9} stall={:9} data={:8} log={:8} meta={:7} wr={:6} cap={:5} coh={:5} walk={:5} sev={:5} ep={}",
+                s.name(), r.cycles, r.stall_cycles, r.data_bytes, r.log_bytes, r.meta_bytes, r.data_writes,
+                r.evict_capacity, r.evict_coherence_log, r.evict_tag_walk, r.evict_store, r.epochs);
+        }
+    }
+}

@@ -1,0 +1,12 @@
+//! # nvbench — experiment harness for the NVOverlay reproduction
+//!
+//! One bench target per table/figure of the paper (see DESIGN.md §5 and
+//! `benches/`). This library holds the shared experiment driver:
+//! building each scheme, running a workload trace through it, and
+//! collecting the quantities the figures report.
+
+#![warn(missing_docs)]
+
+pub mod exp;
+
+pub use exp::{run_nvoverlay, run_picl_walker, run_scheme, EnvScale, ExpResult, NvoDetail, Scheme};

@@ -1,0 +1,208 @@
+//! Executable invariants of the versioned hierarchy.
+//!
+//! DESIGN.md §6 lists the invariants CST maintains; this module makes
+//! them checkable at any quiescent point (between accesses). The checker
+//! is exhaustive and O(cache contents) — meant for tests and debugging,
+//! not the simulation fast path.
+//!
+//! Checked here:
+//!
+//! 1. **Inclusion** — every L1-resident line is resident in its VD's L2.
+//! 2. **Version ordering (§IV-A2)** — an L1 copy's OID is never older
+//!    than the L2 copy's OID for the same line.
+//! 3. **Single writer** — at most one L1 within a VD holds a line in M;
+//!    writable (M/E) copies never coexist with copies in other VDs.
+//! 4. **Tag-window discipline** — every cached OID reconstructs within
+//!    half the epoch space of its VD's current epoch (the wrap-around
+//!    flush guarantee, §IV-D).
+//! 5. **Version causality** — no cached version is tagged newer than its
+//!    VD's current epoch.
+
+use super::hierarchy::VersionedHierarchy;
+use nvsim::addr::LineAddr;
+use std::fmt;
+
+/// A violated invariant, with enough context to debug it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum InvariantViolation {
+    /// An L1 line has no backing L2 line.
+    InclusionBroken {
+        /// Core whose L1 holds the orphan.
+        core: u16,
+        /// The orphaned line.
+        line: LineAddr,
+    },
+    /// An L1 version is older than the L2 version of the same line.
+    VersionOrderBroken {
+        /// Core whose L1 violates the order.
+        core: u16,
+        /// The line.
+        line: LineAddr,
+        /// L1 OID tag.
+        l1_oid: u16,
+        /// L2 OID tag.
+        l2_oid: u16,
+    },
+    /// Two L1s of one VD hold the same line with at least one M copy.
+    MultipleWriters {
+        /// The VD.
+        vd: u16,
+        /// The line.
+        line: LineAddr,
+    },
+    /// A writable (M/E) copy coexists with a copy in another VD.
+    WritableShared {
+        /// The line.
+        line: LineAddr,
+        /// VD holding it writable.
+        writer_vd: u16,
+        /// Another VD holding a copy.
+        other_vd: u16,
+    },
+    /// A cached version is tagged in the future of its VD's epoch.
+    FutureVersion {
+        /// The VD.
+        vd: u16,
+        /// The line.
+        line: LineAddr,
+        /// The offending tag.
+        oid: u16,
+        /// The VD's current tag.
+        cur: u16,
+    },
+}
+
+impl fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InvariantViolation::InclusionBroken { core, line } => {
+                write!(f, "inclusion broken: core{core} L1 holds {line} without an L2 copy")
+            }
+            InvariantViolation::VersionOrderBroken {
+                core,
+                line,
+                l1_oid,
+                l2_oid,
+            } => write!(
+                f,
+                "version order broken on {line}: core{core} L1 @{l1_oid} older than L2 @{l2_oid}"
+            ),
+            InvariantViolation::MultipleWriters { vd, line } => {
+                write!(f, "multiple writers in vd{vd} for {line}")
+            }
+            InvariantViolation::WritableShared {
+                line,
+                writer_vd,
+                other_vd,
+            } => write!(
+                f,
+                "{line} writable in vd{writer_vd} while vd{other_vd} holds a copy"
+            ),
+            InvariantViolation::FutureVersion { vd, line, oid, cur } => {
+                write!(f, "vd{vd} caches {line} @{oid}, newer than its epoch {cur}")
+            }
+        }
+    }
+}
+
+impl VersionedHierarchy {
+    /// Checks every invariant; returns all violations found (empty =
+    /// healthy). Quiescent-point use only.
+    pub fn check_invariants(&self) -> Vec<InvariantViolation> {
+        let mut v = Vec::new();
+        self.check_inclusion_and_order(&mut v);
+        self.check_writers(&mut v);
+        self.check_tag_windows(&mut v);
+        v
+    }
+
+    /// Panics with a readable report if any invariant is violated
+    /// (test helper).
+    ///
+    /// # Panics
+    /// Panics when [`VersionedHierarchy::check_invariants`] is non-empty.
+    pub fn assert_invariants(&self) {
+        let v = self.check_invariants();
+        assert!(
+            v.is_empty(),
+            "versioned hierarchy invariants violated:\n{}",
+            v.iter().map(|x| format!("  - {x}")).collect::<Vec<_>>().join("\n")
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cst::{AdvanceCause, CstConfig};
+    use nvsim::addr::{Addr, CoreId, VdId};
+    use nvsim::config::SimConfig;
+    use nvsim::memsys::MemOp;
+
+    fn hier() -> VersionedHierarchy {
+        let cfg = SimConfig::builder()
+            .cores(4, 2)
+            .l1(1024, 2, 4)
+            .l2(4096, 4, 8)
+            .llc(16 * 1024, 4, 30, 2)
+            .epoch_size_stores(100)
+            .build()
+            .unwrap();
+        VersionedHierarchy::new(&cfg, CstConfig::default())
+    }
+
+    #[test]
+    fn fresh_hierarchy_is_healthy() {
+        hier().assert_invariants();
+    }
+
+    #[test]
+    fn invariants_hold_through_mixed_traffic() {
+        let mut h = hier();
+        for i in 0..3000u64 {
+            let core = CoreId((i % 4) as u16);
+            let line = (i * 13 + i / 17) % 150;
+            if i % 3 == 0 {
+                h.access(core, MemOp::Load, Addr::new(line * 64), 0);
+            } else {
+                h.access(core, MemOp::Store, Addr::new(line * 64), i);
+            }
+            if i % 257 == 0 {
+                h.assert_invariants();
+            }
+            if i % 500 == 499 {
+                let vd = VdId(((i / 500) % 2) as u16);
+                h.advance_epoch_explicit(vd, AdvanceCause::ExplicitMark);
+                h.tag_walk(vd);
+                h.assert_invariants();
+            }
+        }
+        h.drain();
+        h.assert_invariants();
+    }
+
+    #[test]
+    fn invariants_hold_across_wrap() {
+        let cfg = SimConfig::builder()
+            .cores(4, 2)
+            .l1(1024, 2, 4)
+            .l2(4096, 4, 8)
+            .llc(16 * 1024, 4, 30, 2)
+            .epoch_size_stores(10)
+            .build()
+            .unwrap();
+        let cst = CstConfig {
+            initial_epoch: crate::epoch::HALF_SPACE - 30,
+            ..CstConfig::default()
+        };
+        let mut h = VersionedHierarchy::new(&cfg, cst);
+        for i in 0..800u64 {
+            h.access(CoreId((i % 4) as u16), MemOp::Store, Addr::new((i % 40) * 64), i + 1);
+            if i % 100 == 99 {
+                h.assert_invariants();
+            }
+        }
+        assert!(h.wrap_flushes() >= 1, "the run crossed a group boundary");
+        h.assert_invariants();
+    }
+}

@@ -1,0 +1,207 @@
+//! Epochs and 16-bit OID tags with wrap-around.
+//!
+//! NVOverlay identifies epochs with 16-bit integers stored in every cache
+//! line's OID tag (paper §III-C). Because the tag is finite, the paper
+//! partitions the epoch space into two groups (L and U) with a persistent
+//! *epoch-sense* bit, and bounds inter-VD skew to half the space (§IV-D).
+//!
+//! This module provides:
+//!
+//! * [`Epoch`] — the 16-bit tag with *serial-number arithmetic* comparison
+//!   (`newer_than`), valid as long as live tags stay within half the space
+//!   of each other — exactly the invariant the epoch-sense machinery
+//!   enforces.
+//! * [`reconstruct_abs`] — maps a 16-bit tag back to the unique absolute
+//!   (64-bit) epoch within the half-space window around a reference; this
+//!   is how the OMC keys its per-epoch tables by absolute epoch while the
+//!   hardware only carries 16-bit tags.
+//! * [`EpochGroup`] / [`Epoch::group`] — the L/U group split used by the
+//!   wrap-around flush protocol in the versioned hierarchy.
+
+use std::fmt;
+
+/// Half the 16-bit epoch space: the maximum tolerated skew between any two
+/// live epoch tags.
+pub const HALF_SPACE: u64 = 1 << 15;
+
+/// A 16-bit epoch tag (the paper's OID value).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Epoch(pub u16);
+
+impl Epoch {
+    /// The tag for an absolute epoch number.
+    #[inline]
+    pub fn from_abs(abs: u64) -> Self {
+        Epoch(abs as u16)
+    }
+
+    /// Raw tag value.
+    #[inline]
+    pub fn raw(self) -> u16 {
+        self.0
+    }
+
+    /// Serial-number comparison: is `self` newer than `other`?
+    ///
+    /// Correct whenever the two tags are within [`HALF_SPACE`] absolute
+    /// epochs of each other (the invariant the epoch-sense protocol
+    /// maintains). Equal tags are not newer.
+    ///
+    /// ```
+    /// use nvoverlay::epoch::Epoch;
+    /// assert!(Epoch(5).newer_than(Epoch(3)));
+    /// assert!(!Epoch(3).newer_than(Epoch(5)));
+    /// // Wrap-around: 2 is newer than 65_530.
+    /// assert!(Epoch(2).newer_than(Epoch(65_530)));
+    /// ```
+    #[inline]
+    pub fn newer_than(self, other: Epoch) -> bool {
+        self != other && self.0.wrapping_sub(other.0) < HALF_SPACE as u16
+    }
+
+    /// `self` is `other` or newer.
+    #[inline]
+    pub fn at_least(self, other: Epoch) -> bool {
+        self == other || self.newer_than(other)
+    }
+
+    /// The group (L or U) this tag belongs to (paper §IV-D).
+    #[inline]
+    pub fn group(self) -> EpochGroup {
+        if self.0 < HALF_SPACE as u16 {
+            EpochGroup::Lower
+        } else {
+            EpochGroup::Upper
+        }
+    }
+}
+
+impl fmt::Debug for Epoch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Epoch({})", self.0)
+    }
+}
+
+impl fmt::Display for Epoch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// One of the two wrap-around groups of the 16-bit epoch space.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum EpochGroup {
+    /// Tags `0..32768`.
+    Lower,
+    /// Tags `32768..65536`.
+    Upper,
+}
+
+impl EpochGroup {
+    /// The other group.
+    pub fn other(self) -> EpochGroup {
+        match self {
+            EpochGroup::Lower => EpochGroup::Upper,
+            EpochGroup::Upper => EpochGroup::Lower,
+        }
+    }
+}
+
+/// Reconstructs the absolute epoch a 16-bit tag denotes, given any
+/// reference absolute epoch within [`HALF_SPACE`] of the truth.
+///
+/// Returns the unique absolute epoch congruent to `tag` (mod 2^16) in the
+/// window `(reference - HALF_SPACE, reference + HALF_SPACE]`, saturating at
+/// zero for references near the origin.
+///
+/// ```
+/// use nvoverlay::epoch::{reconstruct_abs, Epoch};
+/// assert_eq!(reconstruct_abs(Epoch(5), 3), 5);
+/// assert_eq!(reconstruct_abs(Epoch(65_535), 65_536 + 10), 65_535);
+/// assert_eq!(reconstruct_abs(Epoch(2), 65_530), 65_538);
+/// ```
+pub fn reconstruct_abs(tag: Epoch, reference: u64) -> u64 {
+    let base = reference & !0xFFFF;
+    let cand = base | tag.0 as u64;
+    // Pick the candidate (cand - 2^16, cand, cand + 2^16) closest to the
+    // reference within the half-space window.
+    let diff = cand as i128 - reference as i128;
+    if diff > HALF_SPACE as i128 {
+        cand - (1 << 16)
+    } else if diff <= -(HALF_SPACE as i128) {
+        cand + (1 << 16)
+    } else {
+        cand
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn newer_than_basic_ordering() {
+        assert!(Epoch(10).newer_than(Epoch(9)));
+        assert!(!Epoch(9).newer_than(Epoch(10)));
+        assert!(!Epoch(9).newer_than(Epoch(9)));
+        assert!(Epoch(9).at_least(Epoch(9)));
+        assert!(Epoch(10).at_least(Epoch(9)));
+    }
+
+    #[test]
+    fn newer_than_across_wrap() {
+        assert!(Epoch(0).newer_than(Epoch(u16::MAX)));
+        assert!(Epoch(100).newer_than(Epoch(u16::MAX - 100)));
+        assert!(!Epoch(u16::MAX).newer_than(Epoch(100)));
+    }
+
+    #[test]
+    fn newer_than_at_half_space_boundary() {
+        // Exactly half-space apart: a is NOT newer (distance == HALF_SPACE).
+        assert!(!Epoch(32_768).newer_than(Epoch(0)));
+        // One less than half-space: newer.
+        assert!(Epoch(32_767).newer_than(Epoch(0)));
+    }
+
+    #[test]
+    fn groups_split_the_space() {
+        assert_eq!(Epoch(0).group(), EpochGroup::Lower);
+        assert_eq!(Epoch(32_767).group(), EpochGroup::Lower);
+        assert_eq!(Epoch(32_768).group(), EpochGroup::Upper);
+        assert_eq!(Epoch(u16::MAX).group(), EpochGroup::Upper);
+        assert_eq!(EpochGroup::Lower.other(), EpochGroup::Upper);
+    }
+
+    #[test]
+    fn reconstruct_identity_within_window() {
+        for abs in [0u64, 5, 1000, 65_535, 65_536, 200_000, 1 << 40] {
+            for delta in [0i64, 1, -1, 100, -100, 30_000, -30_000] {
+                let reference = abs as i64 + delta;
+                if reference < 0 {
+                    continue;
+                }
+                let got = reconstruct_abs(Epoch::from_abs(abs), reference as u64);
+                if got != abs {
+                    // Only allowed to differ when abs is outside the window.
+                    let d = (abs as i128 - reference as i128).abs();
+                    assert!(d >= HALF_SPACE as i128, "abs {abs} ref {reference} -> {got}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reconstruct_examples_from_doc() {
+        assert_eq!(reconstruct_abs(Epoch(5), 3), 5);
+        assert_eq!(reconstruct_abs(Epoch(65_535), 65_546), 65_535);
+        assert_eq!(reconstruct_abs(Epoch(2), 65_530), 65_538);
+        assert_eq!(reconstruct_abs(Epoch(65_530), 65_538), 65_530);
+    }
+
+    #[test]
+    fn tag_round_trips_through_abs() {
+        for abs in [0u64, 1, 65_535, 65_536, 123_456_789] {
+            assert_eq!(Epoch::from_abs(abs).raw(), (abs & 0xFFFF) as u16);
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! The battery-backed OMC write-back buffer (paper §IV-E, evaluated in
+//! Fig 16).
+//!
+//! A set-associative cache in front of the NVM that absorbs *redundant*
+//! version write-backs — versions of the same address generated in the
+//! same epoch. Being battery-backed it counts as part of the persistence
+//! domain: buffered versions are durable, and the buffer is flushed on
+//! power failure (or, here, on [`OmcBuffer::drain`]).
+
+use nvsim::addr::{LineAddr, Token};
+use nvsim::cache::CacheArray;
+
+/// A version held in the buffer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BufferedVersion {
+    /// The line.
+    pub line: LineAddr,
+    /// Version content.
+    pub token: Token,
+    /// Absolute epoch of the version.
+    pub abs_epoch: u64,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Slot {
+    token: Token,
+    abs_epoch: u64,
+}
+
+/// Outcome of offering a version to the buffer.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BufferOutcome {
+    /// The write was absorbed (same line, same epoch already buffered).
+    pub hit: bool,
+    /// Versions pushed out of the buffer that must now be written to NVM
+    /// (an older-epoch version of the same line, or a capacity victim).
+    pub spilled: Vec<BufferedVersion>,
+}
+
+/// The OMC's persistent write-back buffer.
+#[derive(Debug)]
+pub struct OmcBuffer {
+    cache: CacheArray<Slot>,
+    hits: u64,
+    misses: u64,
+}
+
+impl OmcBuffer {
+    /// Creates a buffer with `sets` × `ways` line slots.
+    ///
+    /// # Panics
+    /// Panics if `sets` is not a power of two or `ways` is zero.
+    pub fn new(sets: u64, ways: u32) -> Self {
+        Self {
+            cache: CacheArray::new(sets, ways),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Offers a version to the buffer.
+    ///
+    /// * same line, same epoch → absorbed (hit; no NVM write);
+    /// * same line, older epoch buffered → the old version spills to NVM
+    ///   (it belongs to an earlier snapshot and must be kept), the new one
+    ///   takes the slot;
+    /// * miss → inserted; a capacity victim spills.
+    pub fn offer(&mut self, line: LineAddr, token: Token, abs_epoch: u64) -> BufferOutcome {
+        let mut out = BufferOutcome::default();
+        if let Some(slot) = self.cache.get_mut(line) {
+            if slot.abs_epoch == abs_epoch {
+                slot.token = token;
+                self.hits += 1;
+                out.hit = true;
+                return out;
+            }
+            debug_assert!(
+                slot.abs_epoch < abs_epoch,
+                "versions of one line arrive in epoch order"
+            );
+            out.spilled.push(BufferedVersion {
+                line,
+                token: slot.token,
+                abs_epoch: slot.abs_epoch,
+            });
+            slot.token = token;
+            slot.abs_epoch = abs_epoch;
+            self.misses += 1;
+            return out;
+        }
+        self.misses += 1;
+        if let Some((vline, vslot)) = self.cache.insert(line, Slot { token, abs_epoch }) {
+            out.spilled.push(BufferedVersion {
+                line: vline,
+                token: vslot.token,
+                abs_epoch: vslot.abs_epoch,
+            });
+        }
+        out
+    }
+
+    /// Drains every buffered version with epoch < `below_epoch` (epoch
+    /// commit) — they must reach their final NVM home so the mapping
+    /// tables can be merged.
+    pub fn drain_below(&mut self, below_epoch: u64) -> Vec<BufferedVersion> {
+        let lines: Vec<LineAddr> = self
+            .cache
+            .lines_where(|_, s| s.abs_epoch < below_epoch);
+        lines
+            .into_iter()
+            .map(|l| {
+                let s = self.cache.remove(l).expect("listed");
+                BufferedVersion {
+                    line: l,
+                    token: s.token,
+                    abs_epoch: s.abs_epoch,
+                }
+            })
+            .collect()
+    }
+
+    /// Drains everything (shutdown / power failure flush).
+    pub fn drain(&mut self) -> Vec<BufferedVersion> {
+        self.drain_below(u64::MAX)
+    }
+
+    /// Reads a buffered version (battery-backed = part of the persistence
+    /// domain, so recovery may consult it).
+    pub fn get(&self, line: LineAddr) -> Option<BufferedVersion> {
+        self.cache.peek(line).map(|s| BufferedVersion {
+            line,
+            token: s.token,
+            abs_epoch: s.abs_epoch,
+        })
+    }
+
+    /// Absorbed writes.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Writes that were not absorbed.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Buffered version count.
+    pub fn len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cache.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: u64) -> LineAddr {
+        LineAddr::new(n)
+    }
+
+    #[test]
+    fn same_epoch_rewrites_are_absorbed() {
+        let mut b = OmcBuffer::new(4, 2);
+        let o1 = b.offer(line(1), 10, 1);
+        assert!(!o1.hit);
+        let o2 = b.offer(line(1), 11, 1);
+        assert!(o2.hit);
+        assert!(o2.spilled.is_empty());
+        assert_eq!(b.hits(), 1);
+        assert_eq!(b.get(line(1)).unwrap().token, 11);
+    }
+
+    #[test]
+    fn newer_epoch_spills_the_old_version() {
+        let mut b = OmcBuffer::new(4, 2);
+        b.offer(line(1), 10, 1);
+        let o = b.offer(line(1), 20, 2);
+        assert!(!o.hit);
+        assert_eq!(
+            o.spilled,
+            vec![BufferedVersion {
+                line: line(1),
+                token: 10,
+                abs_epoch: 1
+            }]
+        );
+        assert_eq!(b.get(line(1)).unwrap().abs_epoch, 2);
+    }
+
+    #[test]
+    fn capacity_victims_spill() {
+        let mut b = OmcBuffer::new(1, 1);
+        b.offer(line(1), 10, 1);
+        let o = b.offer(line(2), 20, 1);
+        assert_eq!(o.spilled.len(), 1);
+        assert_eq!(o.spilled[0].line, line(1));
+    }
+
+    #[test]
+    fn drain_below_partitions_by_epoch() {
+        let mut b = OmcBuffer::new(8, 2);
+        b.offer(line(1), 10, 1);
+        b.offer(line(2), 20, 2);
+        b.offer(line(3), 30, 3);
+        let old = b.drain_below(3);
+        assert_eq!(old.len(), 2);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.get(line(3)).unwrap().token, 30);
+        let rest = b.drain();
+        assert_eq!(rest.len(), 1);
+        assert!(b.is_empty());
+    }
+}

@@ -1,0 +1,258 @@
+//! The NVM overlay page buffer pool (paper §V-C, Fig 9).
+//!
+//! NVM storage for snapshot versions is a pool of 4-KiB pages managed by
+//! the OMC. Allocation status is a bitmap ("with negligible storage
+//! overhead"); each page holds up to 64 line-sized version slots. Versions
+//! of one epoch are packed into that epoch's open page, which is the
+//! compact sub-page packing of the original Page Overlays design taken to
+//! line granularity (DESIGN.md §2 documents the equivalence).
+
+use nvsim::addr::Token;
+use std::fmt;
+
+/// Line slots per 4-KiB overlay page.
+pub const SLOTS_PER_PAGE: usize = 64;
+
+/// The NVM location of one stored version: an overlay page and a 64-byte
+/// slot within it.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct NvmLoc {
+    /// Overlay page index within the pool.
+    pub page: u32,
+    /// Slot index within the page (0..64).
+    pub slot: u8,
+}
+
+/// Error returned when the pool cannot allocate a page.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PoolExhausted;
+
+impl fmt::Display for PoolExhausted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("overlay page pool exhausted")
+    }
+}
+
+impl std::error::Error for PoolExhausted {}
+
+#[derive(Clone, Debug)]
+struct DataPage {
+    slots: Vec<Option<Token>>,
+}
+
+impl DataPage {
+    fn new() -> Self {
+        Self {
+            slots: vec![None; SLOTS_PER_PAGE],
+        }
+    }
+}
+
+/// A bitmap-managed pool of overlay data pages.
+pub struct PagePool {
+    bitmap: Vec<u64>,
+    pages: Vec<Option<DataPage>>,
+    total: usize,
+    allocated: usize,
+    high_water: usize,
+    total_allocations: u64,
+}
+
+impl PagePool {
+    /// Creates a pool of `total_pages` 4-KiB pages.
+    ///
+    /// # Panics
+    /// Panics if `total_pages` is zero.
+    pub fn new(total_pages: usize) -> Self {
+        assert!(total_pages > 0, "pool needs at least one page");
+        Self {
+            bitmap: vec![0; total_pages.div_ceil(64)],
+            pages: (0..total_pages).map(|_| None).collect(),
+            total: total_pages,
+            allocated: 0,
+            high_water: 0,
+            total_allocations: 0,
+        }
+    }
+
+    /// Allocates a page, returning its index.
+    ///
+    /// # Errors
+    /// Returns [`PoolExhausted`] when every page is in use (the OS would
+    /// then either grow the pool — [`PagePool::grow`] — or the OMC starts
+    /// version compaction, §V-D).
+    pub fn allocate(&mut self) -> Result<u32, PoolExhausted> {
+        for (w, word) in self.bitmap.iter_mut().enumerate() {
+            if *word != u64::MAX {
+                let b = word.trailing_ones() as usize;
+                let idx = w * 64 + b;
+                if idx >= self.total {
+                    break;
+                }
+                *word |= 1u64 << b;
+                self.pages[idx] = Some(DataPage::new());
+                self.allocated += 1;
+                self.total_allocations += 1;
+                self.high_water = self.high_water.max(self.allocated);
+                return Ok(idx as u32);
+            }
+        }
+        Err(PoolExhausted)
+    }
+
+    /// Frees a page.
+    ///
+    /// # Panics
+    /// Panics if the page is not currently allocated.
+    pub fn free(&mut self, page: u32) {
+        let idx = page as usize;
+        assert!(idx < self.total, "page index out of range");
+        let (w, b) = (idx / 64, idx % 64);
+        assert!(self.bitmap[w] & (1u64 << b) != 0, "double free of page {page}");
+        self.bitmap[w] &= !(1u64 << b);
+        self.pages[idx] = None;
+        self.allocated -= 1;
+    }
+
+    /// Whether a page is allocated.
+    pub fn is_allocated(&self, page: u32) -> bool {
+        let idx = page as usize;
+        idx < self.total && self.bitmap[idx / 64] & (1u64 << (idx % 64)) != 0
+    }
+
+    /// Writes a version token into a slot.
+    ///
+    /// # Panics
+    /// Panics if the page is not allocated or the slot index is out of
+    /// range.
+    pub fn write(&mut self, loc: NvmLoc, token: Token) {
+        let page = self.pages[loc.page as usize]
+            .as_mut()
+            .expect("write to unallocated page");
+        page.slots[loc.slot as usize] = Some(token);
+    }
+
+    /// Reads a version token from a slot.
+    pub fn read(&self, loc: NvmLoc) -> Option<Token> {
+        self.pages
+            .get(loc.page as usize)?
+            .as_ref()?
+            .slots
+            .get(loc.slot as usize)
+            .copied()
+            .flatten()
+    }
+
+    /// Grows the pool by `extra_pages` (the OS granting more NVM, §V-D).
+    pub fn grow(&mut self, extra_pages: usize) {
+        self.total += extra_pages;
+        self.pages.extend((0..extra_pages).map(|_| None));
+        self.bitmap.resize(self.total.div_ceil(64), 0);
+    }
+
+    /// Pages currently allocated.
+    pub fn allocated(&self) -> usize {
+        self.allocated
+    }
+
+    /// Total pool capacity in pages.
+    pub fn total_pages(&self) -> usize {
+        self.total
+    }
+
+    /// Peak simultaneous allocation.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Cumulative allocations over the pool's lifetime.
+    pub fn total_allocations(&self) -> u64 {
+        self.total_allocations
+    }
+
+    /// Fraction of the pool in use (0.0–1.0).
+    pub fn utilization(&self) -> f64 {
+        self.allocated as f64 / self.total as f64
+    }
+}
+
+impl fmt::Debug for PagePool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PagePool")
+            .field("total", &self.total)
+            .field("allocated", &self.allocated)
+            .field("high_water", &self.high_water)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_write_read_roundtrip() {
+        let mut p = PagePool::new(4);
+        let pg = p.allocate().unwrap();
+        let loc = NvmLoc { page: pg, slot: 7 };
+        p.write(loc, 1234);
+        assert_eq!(p.read(loc), Some(1234));
+        assert_eq!(p.read(NvmLoc { page: pg, slot: 8 }), None);
+        assert_eq!(p.allocated(), 1);
+    }
+
+    #[test]
+    fn exhaustion_and_grow() {
+        let mut p = PagePool::new(2);
+        p.allocate().unwrap();
+        p.allocate().unwrap();
+        assert_eq!(p.allocate(), Err(PoolExhausted));
+        p.grow(1);
+        assert!(p.allocate().is_ok());
+        assert_eq!(p.total_pages(), 3);
+    }
+
+    #[test]
+    fn free_makes_page_reusable_and_clears_data() {
+        let mut p = PagePool::new(1);
+        let pg = p.allocate().unwrap();
+        p.write(NvmLoc { page: pg, slot: 0 }, 9);
+        p.free(pg);
+        assert!(!p.is_allocated(pg));
+        assert_eq!(p.read(NvmLoc { page: pg, slot: 0 }), None);
+        let pg2 = p.allocate().unwrap();
+        assert_eq!(pg, pg2, "freed page is reused");
+        assert_eq!(p.read(NvmLoc { page: pg2, slot: 0 }), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut p = PagePool::new(1);
+        let pg = p.allocate().unwrap();
+        p.free(pg);
+        p.free(pg);
+    }
+
+    #[test]
+    fn high_water_and_utilization_track_peaks() {
+        let mut p = PagePool::new(4);
+        let a = p.allocate().unwrap();
+        let _b = p.allocate().unwrap();
+        assert_eq!(p.high_water(), 2);
+        p.free(a);
+        assert_eq!(p.high_water(), 2);
+        assert!((p.utilization() - 0.25).abs() < 1e-9);
+        assert_eq!(p.total_allocations(), 2);
+    }
+
+    #[test]
+    fn bitmap_allocates_past_64_pages() {
+        let mut p = PagePool::new(130);
+        let mut got = std::collections::HashSet::new();
+        for _ in 0..130 {
+            assert!(got.insert(p.allocate().unwrap()), "no duplicate pages");
+        }
+        assert_eq!(p.allocate(), Err(PoolExhausted));
+    }
+}

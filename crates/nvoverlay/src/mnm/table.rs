@@ -1,0 +1,411 @@
+//! Overlay mapping tables (paper §V-C, Fig 9/10).
+//!
+//! Both table kinds share one radix-tree shape over the 48-bit physical
+//! address: four inner levels indexed by 9 bits each (bits 47–12, the page
+//! number, exactly like x86-64 page tables) and a 64-entry leaf level
+//! indexed by bits 11–6 (the line within the page):
+//!
+//! * the **per-epoch table** `M_E` is volatile (DRAM) and tracks the
+//!   versions produced in epoch E;
+//! * the **Master Mapping Table** `M_master` is persisted on NVM and maps
+//!   the current consistent memory image; [`MasterTable`] wraps the radix
+//!   tree with 8-byte NVM metadata write accounting and displaced-location
+//!   tracking for garbage collection.
+//!
+//! Node sizes match Fig 10: inner nodes are 512×8 B = 4 KiB; leaf nodes
+//! are 64×8 B = 512 B, giving the 12.5 % theoretical metadata floor the
+//! paper reports against in Fig 13.
+
+use super::pool::NvmLoc;
+use nvsim::addr::LineAddr;
+use std::fmt;
+
+/// Entries per inner radix node (9 index bits).
+pub const INNER_FANOUT: usize = 512;
+/// Entries per leaf node (6 index bits — the 64 lines of a page).
+pub const LEAF_FANOUT: usize = 64;
+/// Bytes per inner node when persisted (512 × 8 B).
+pub const INNER_NODE_BYTES: u64 = (INNER_FANOUT * 8) as u64;
+/// Bytes per leaf node when persisted (64 × 8 B).
+pub const LEAF_NODE_BYTES: u64 = (LEAF_FANOUT * 8) as u64;
+
+struct Inner<T> {
+    children: Vec<Option<T>>,
+}
+
+impl<T> Inner<T> {
+    fn new() -> Self {
+        Self {
+            children: (0..INNER_FANOUT).map(|_| None).collect(),
+        }
+    }
+}
+
+struct Leaf {
+    lines: Vec<Option<NvmLoc>>,
+    used: u32,
+}
+
+impl Leaf {
+    fn new() -> Self {
+        Self {
+            lines: vec![None; LEAF_FANOUT],
+            used: 0,
+        }
+    }
+}
+
+type L4 = Inner<Box<Leaf>>;
+type L3 = Inner<Box<L4>>;
+type L2 = Inner<Box<L3>>;
+type L1 = Inner<Box<L2>>;
+
+/// Index decomposition of a line address into the five radix levels.
+fn split(line: LineAddr) -> [usize; 5] {
+    let a = line.base().raw();
+    [
+        ((a >> 39) & 0x1FF) as usize,
+        ((a >> 30) & 0x1FF) as usize,
+        ((a >> 21) & 0x1FF) as usize,
+        ((a >> 12) & 0x1FF) as usize,
+        ((a >> 6) & 0x3F) as usize,
+    ]
+}
+
+/// Counters describing one insert's effect on the persisted tree.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct InsertEffect {
+    /// 8-byte pointer/entry writes performed (leaf entry + any new parent
+    /// pointers).
+    pub entry_writes: u64,
+    /// New nodes allocated (inner or leaf).
+    pub nodes_created: u64,
+    /// The location this insert displaced, if the line was already mapped.
+    pub displaced: Option<NvmLoc>,
+}
+
+/// The shared five-level radix tree mapping lines to NVM locations.
+pub struct RadixTable {
+    root: L1,
+    entries: u64,
+    inner_nodes: u64,
+    leaf_nodes: u64,
+}
+
+impl Default for RadixTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RadixTable {
+    /// An empty table (the root inner node exists from the start).
+    pub fn new() -> Self {
+        Self {
+            root: Inner::new(),
+            entries: 0,
+            inner_nodes: 1,
+            leaf_nodes: 0,
+        }
+    }
+
+    /// Maps `line` to `loc`, returning what the insert did to the tree.
+    pub fn insert(&mut self, line: LineAddr, loc: NvmLoc) -> InsertEffect {
+        let [i1, i2, i3, i4, i5] = split(line);
+        let mut fx = InsertEffect::default();
+
+        let l2 = self.root.children[i1].get_or_insert_with(|| {
+            fx.nodes_created += 1;
+            fx.entry_writes += 1;
+            Box::new(Inner::new())
+        });
+        let l3 = l2.children[i2].get_or_insert_with(|| {
+            fx.nodes_created += 1;
+            fx.entry_writes += 1;
+            Box::new(Inner::new())
+        });
+        let l4 = l3.children[i3].get_or_insert_with(|| {
+            fx.nodes_created += 1;
+            fx.entry_writes += 1;
+            Box::new(Inner::new())
+        });
+        let leaf = l4.children[i4].get_or_insert_with(|| {
+            fx.nodes_created += 1;
+            fx.entry_writes += 1;
+            Box::new(Leaf::new())
+        });
+        // Inner node count bookkeeping (nodes_created counts both kinds;
+        // the leaf is the last created if any).
+        if fx.nodes_created > 0 {
+            // Determine how many of the created nodes were inner: all but
+            // possibly the leaf.
+            let leaf_created = leaf.used == 0 && leaf.lines.iter().all(Option::is_none);
+            let inner_created = fx.nodes_created - u64::from(leaf_created);
+            self.inner_nodes += inner_created;
+            self.leaf_nodes += u64::from(leaf_created);
+        }
+
+        fx.displaced = leaf.lines[i5].replace(loc);
+        fx.entry_writes += 1; // the leaf entry itself
+        if fx.displaced.is_none() {
+            leaf.used += 1;
+            self.entries += 1;
+        }
+        fx
+    }
+
+    /// Removes the mapping for `line` if it currently points at `loc`
+    /// (used when a compacted page's dead versions are reclaimed so no
+    /// stale entry can alias into a reused page). Returns whether an
+    /// entry was removed.
+    pub fn remove_if(&mut self, line: LineAddr, loc: NvmLoc) -> bool {
+        let [i1, i2, i3, i4, i5] = split(line);
+        let Some(l2) = self.root.children[i1].as_mut() else { return false };
+        let Some(l3) = l2.children[i2].as_mut() else { return false };
+        let Some(l4) = l3.children[i3].as_mut() else { return false };
+        let Some(leaf) = l4.children[i4].as_mut() else { return false };
+        if leaf.lines[i5] == Some(loc) {
+            leaf.lines[i5] = None;
+            leaf.used -= 1;
+            self.entries -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Looks up the mapping for `line`.
+    pub fn get(&self, line: LineAddr) -> Option<NvmLoc> {
+        let [i1, i2, i3, i4, i5] = split(line);
+        self.root.children[i1]
+            .as_ref()?
+            .children[i2]
+            .as_ref()?
+            .children[i3]
+            .as_ref()?
+            .children[i4]
+            .as_ref()?
+            .lines[i5]
+    }
+
+    /// Number of mapped lines.
+    pub fn len(&self) -> u64 {
+        self.entries
+    }
+
+    /// Whether the table maps nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// Total size of the tree if persisted (Fig 13's metric).
+    pub fn size_bytes(&self) -> u64 {
+        self.inner_nodes * INNER_NODE_BYTES + self.leaf_nodes * LEAF_NODE_BYTES
+    }
+
+    /// Inner node count.
+    pub fn inner_nodes(&self) -> u64 {
+        self.inner_nodes
+    }
+
+    /// Leaf node count.
+    pub fn leaf_nodes(&self) -> u64 {
+        self.leaf_nodes
+    }
+
+    /// Average fraction of leaf slots in use (Fig 13's occupancy analysis).
+    pub fn leaf_occupancy(&self) -> f64 {
+        if self.leaf_nodes == 0 {
+            return 0.0;
+        }
+        self.entries as f64 / (self.leaf_nodes * LEAF_FANOUT as u64) as f64
+    }
+
+    /// Iterates all `(line, loc)` mappings in address order.
+    pub fn iter(&self) -> impl Iterator<Item = (LineAddr, NvmLoc)> + '_ {
+        self.root
+            .children
+            .iter()
+            .enumerate()
+            .filter_map(|(i1, c)| c.as_ref().map(|c| (i1, c)))
+            .flat_map(|(i1, l2)| {
+                l2.children
+                    .iter()
+                    .enumerate()
+                    .filter_map(move |(i2, c)| c.as_ref().map(|c| (i1, i2, c)))
+            })
+            .flat_map(|(i1, i2, l3)| {
+                l3.children
+                    .iter()
+                    .enumerate()
+                    .filter_map(move |(i3, c)| c.as_ref().map(|c| (i1, i2, i3, c)))
+            })
+            .flat_map(|(i1, i2, i3, l4)| {
+                l4.children
+                    .iter()
+                    .enumerate()
+                    .filter_map(move |(i4, c)| c.as_ref().map(|c| (i1, i2, i3, i4, c)))
+            })
+            .flat_map(|(i1, i2, i3, i4, leaf)| {
+                leaf.lines.iter().enumerate().filter_map(move |(i5, l)| {
+                    l.map(|loc| {
+                        let a = ((i1 as u64) << 39)
+                            | ((i2 as u64) << 30)
+                            | ((i3 as u64) << 21)
+                            | ((i4 as u64) << 12)
+                            | ((i5 as u64) << 6);
+                        (LineAddr::new(a >> 6), loc)
+                    })
+                })
+            })
+    }
+}
+
+impl fmt::Debug for RadixTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RadixTable")
+            .field("entries", &self.entries)
+            .field("inner_nodes", &self.inner_nodes)
+            .field("leaf_nodes", &self.leaf_nodes)
+            .field("size_bytes", &self.size_bytes())
+            .finish()
+    }
+}
+
+/// The persistent Master Mapping Table: a [`RadixTable`] plus cumulative
+/// NVM metadata write accounting (each 8-byte entry write is charged to
+/// the NVM when the merge runs).
+#[derive(Debug, Default)]
+pub struct MasterTable {
+    tree: RadixTable,
+    meta_entry_writes: u64,
+}
+
+impl MasterTable {
+    /// An empty master table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Merges one mapping in; returns the insert effect (the caller
+    /// charges `entry_writes × 8` bytes of NVM metadata and adjusts page
+    /// reference counts via `displaced`).
+    pub fn merge_in(&mut self, line: LineAddr, loc: NvmLoc) -> InsertEffect {
+        let fx = self.tree.insert(line, loc);
+        self.meta_entry_writes += fx.entry_writes;
+        fx
+    }
+
+    /// Looks up the current image's mapping for `line`.
+    pub fn get(&self, line: LineAddr) -> Option<NvmLoc> {
+        self.tree.get(line)
+    }
+
+    /// The underlying tree (size metrics, iteration).
+    pub fn tree(&self) -> &RadixTable {
+        &self.tree
+    }
+
+    /// Total 8-byte metadata entry writes performed so far.
+    pub fn meta_entry_writes(&self) -> u64 {
+        self.meta_entry_writes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: u64) -> LineAddr {
+        LineAddr::new(n)
+    }
+
+    fn loc(p: u32, s: u8) -> NvmLoc {
+        NvmLoc { page: p, slot: s }
+    }
+
+    #[test]
+    fn insert_then_get_identity() {
+        let mut t = RadixTable::new();
+        let fx = t.insert(line(0x1234), loc(3, 7));
+        assert_eq!(t.get(line(0x1234)), Some(loc(3, 7)));
+        assert_eq!(t.get(line(0x1235)), None);
+        assert_eq!(fx.displaced, None);
+        assert_eq!(fx.nodes_created, 4, "first insert builds the whole path");
+        assert_eq!(fx.entry_writes, 5, "4 pointers + 1 leaf entry");
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn reinsert_displaces_and_reuses_path() {
+        let mut t = RadixTable::new();
+        t.insert(line(64), loc(0, 0));
+        let fx = t.insert(line(64), loc(1, 1));
+        assert_eq!(fx.displaced, Some(loc(0, 0)));
+        assert_eq!(fx.nodes_created, 0);
+        assert_eq!(fx.entry_writes, 1);
+        assert_eq!(t.len(), 1, "replacement does not grow the table");
+        assert_eq!(t.get(line(64)), Some(loc(1, 1)));
+    }
+
+    #[test]
+    fn same_page_lines_share_the_leaf() {
+        let mut t = RadixTable::new();
+        // Lines 0..64 live in page 0: one leaf after the first insert.
+        for i in 0..64 {
+            t.insert(line(i), loc(0, i as u8));
+        }
+        assert_eq!(t.leaf_nodes(), 1);
+        assert_eq!(t.len(), 64);
+        assert!((t.leaf_occupancy() - 1.0).abs() < 1e-9);
+        // Fully populated leaf: metadata is exactly 512 B for 4 KiB of
+        // data, the 12.5 % floor — plus the inner path.
+        assert_eq!(t.size_bytes(), 4 * INNER_NODE_BYTES + LEAF_NODE_BYTES);
+    }
+
+    #[test]
+    fn sparse_lines_inflate_occupancy_metric() {
+        let mut t = RadixTable::new();
+        // One line per page across 10 pages: 10 leaves at 1/64 occupancy.
+        for p in 0..10u64 {
+            t.insert(line(p * 64), loc(0, 0));
+        }
+        assert_eq!(t.leaf_nodes(), 10);
+        assert!((t.leaf_occupancy() - 10.0 / 640.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn iter_lists_all_mappings_in_order() {
+        let mut t = RadixTable::new();
+        let addrs = [5u64, 64, 1 << 20, (1 << 30) + 3];
+        for (i, &a) in addrs.iter().enumerate() {
+            t.insert(line(a), loc(i as u32, 0));
+        }
+        let got: Vec<u64> = t.iter().map(|(l, _)| l.raw()).collect();
+        assert_eq!(got, vec![5, 64, 1 << 20, (1 << 30) + 3]);
+        for (l, loc_) in t.iter() {
+            assert_eq!(t.get(l), Some(loc_));
+        }
+    }
+
+    #[test]
+    fn distant_addresses_use_distinct_paths() {
+        let mut t = RadixTable::new();
+        t.insert(line(0), loc(0, 0));
+        let fx = t.insert(line(1 << 41), loc(1, 0)); // differs at the top level
+        assert_eq!(fx.nodes_created, 4);
+        assert_eq!(t.inner_nodes(), 1 + 3 + 3);
+        assert_eq!(t.leaf_nodes(), 2);
+    }
+
+    #[test]
+    fn master_table_accumulates_meta_writes() {
+        let mut m = MasterTable::new();
+        m.merge_in(line(0), loc(0, 0));
+        m.merge_in(line(1), loc(0, 1));
+        // First: 5 writes; second reuses the path: 1 write.
+        assert_eq!(m.meta_entry_writes(), 6);
+        assert_eq!(m.get(line(1)), Some(loc(0, 1)));
+        assert_eq!(m.tree().len(), 2);
+    }
+}

@@ -1,0 +1,163 @@
+//! Crash recovery and snapshot retrieval (paper §V-E).
+//!
+//! After a crash, recovery reads `rec-epoch`, scans the Master Mapping
+//! Table(s) and loads every mapped version into its home address,
+//! reconstructing the consistent memory image as of the recoverable
+//! epoch. Processor contexts dumped at that epoch's boundary complete the
+//! restart (contexts are modeled as byte counts; see `system`).
+
+use crate::mnm::Mnm;
+use nvsim::addr::{LineAddr, Token};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Why recovery could not produce an image.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecoveryError {
+    /// No epoch has been fully persisted yet (`rec-epoch` is 0).
+    NothingRecoverable,
+}
+
+impl fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoveryError::NothingRecoverable => {
+                f.write_str("no epoch has been fully persisted yet")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {}
+
+/// A reconstructed memory image.
+#[derive(Clone, Debug, Default)]
+pub struct RecoveredImage {
+    epoch: u64,
+    lines: HashMap<LineAddr, Token>,
+}
+
+impl RecoveredImage {
+    /// The epoch this image represents.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Reads one line of the image (None = never written as of the
+    /// epoch, i.e. still zero-filled).
+    pub fn read(&self, line: LineAddr) -> Option<Token> {
+        self.lines.get(&line).copied()
+    }
+
+    /// Number of mapped lines.
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Whether the image maps nothing.
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+
+    /// Iterates `(line, token)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (LineAddr, Token)> + '_ {
+        self.lines.iter().map(|(l, t)| (*l, *t))
+    }
+}
+
+/// Rebuilds the consistent image at `rec-epoch` by scanning the master
+/// tables (crash recovery, §V-E).
+///
+/// # Errors
+/// [`RecoveryError::NothingRecoverable`] when no epoch has committed.
+pub fn recover(mnm: &Mnm) -> Result<RecoveredImage, RecoveryError> {
+    let epoch = mnm.rec_epoch();
+    if epoch == 0 {
+        return Err(RecoveryError::NothingRecoverable);
+    }
+    Ok(RecoveredImage {
+        epoch,
+        lines: mnm.master_image().collect(),
+    })
+}
+
+/// Rebuilds the image *as of* `epoch` by falling through per-epoch tables
+/// (time-travel/debugging reads, §V-E). Requires
+/// [`crate::mnm::SnapshotRetention::KeepAll`]; lines whose covering epochs
+/// were reclaimed or compacted read as `None`.
+pub fn snapshot_at(mnm: &Mnm, epoch: u64, lines: impl IntoIterator<Item = LineAddr>) -> RecoveredImage {
+    let mut img = RecoveredImage {
+        epoch,
+        lines: HashMap::new(),
+    };
+    for line in lines {
+        if let Some(t) = mnm.time_travel(line, epoch) {
+            img.lines.insert(line, t);
+        }
+    }
+    img
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mnm::{Mnm, OmcConfig};
+    use nvsim::nvm::Nvm;
+
+    fn line(n: u64) -> LineAddr {
+        LineAddr::new(n)
+    }
+
+    #[test]
+    fn recover_errors_before_any_commit() {
+        let m = Mnm::new(1, 1, OmcConfig::default());
+        assert_eq!(recover(&m).unwrap_err(), RecoveryError::NothingRecoverable);
+    }
+
+    #[test]
+    fn recover_reads_the_master_image() {
+        let mut m = Mnm::new(
+            2,
+            1,
+            OmcConfig {
+                pool_pages: 16,
+                ..OmcConfig::default()
+            },
+        );
+        let mut n = Nvm::new(4, 400, 200, 8, 100_000);
+        for i in 0..20 {
+            m.receive_version(&mut n, 0, line(i), 900 + i, 1);
+        }
+        m.finish(&mut n, 0, 1);
+        let img = recover(&m).unwrap();
+        assert_eq!(img.epoch(), 1);
+        assert_eq!(img.len(), 20);
+        assert_eq!(img.read(line(7)), Some(907));
+        assert_eq!(img.read(line(99)), None);
+    }
+
+    #[test]
+    fn snapshot_at_reconstructs_old_epochs() {
+        let mut m = Mnm::new(
+            1,
+            1,
+            OmcConfig {
+                pool_pages: 16,
+                ..OmcConfig::default()
+            },
+        );
+        let mut n = Nvm::new(4, 400, 200, 8, 100_000);
+        m.receive_version(&mut n, 0, line(1), 10, 1);
+        m.receive_version(&mut n, 0, line(2), 20, 1);
+        m.receive_version(&mut n, 0, line(1), 11, 2);
+        m.finish(&mut n, 0, 2);
+        let at1 = snapshot_at(&m, 1, [line(1), line(2), line(3)]);
+        assert_eq!(at1.read(line(1)), Some(10));
+        assert_eq!(at1.read(line(2)), Some(20));
+        assert_eq!(at1.read(line(3)), None);
+        let at2 = snapshot_at(&m, 2, [line(1), line(2)]);
+        assert_eq!(at2.read(line(1)), Some(11));
+        assert_eq!(at2.read(line(2)), Some(20), "fall-through to epoch 1");
+        assert_eq!(at2.iter().count(), 2);
+    }
+}

@@ -1,0 +1,188 @@
+//! High-level snapshot access — the paper's "persistent, multiversioned
+//! memory system" (§I) as a library surface.
+//!
+//! [`SnapshotStore`] is a read-only view over the MNM backend for
+//! downstream tools (debuggers, replicators, backup agents): list the
+//! captured epochs, read any line at any epoch, extract an epoch's
+//! incremental delta, and diff two epochs.
+
+use crate::mnm::Mnm;
+use nvsim::addr::{LineAddr, Token, VdId};
+use std::collections::HashMap;
+
+/// One line's change between two epochs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LineChange {
+    /// The line that changed.
+    pub line: LineAddr,
+    /// Its value at the *from* epoch (None = not yet written).
+    pub before: Option<Token>,
+    /// Its value at the *to* epoch.
+    pub after: Option<Token>,
+}
+
+/// Read-only, multi-epoch view over a snapshotted address space.
+#[derive(Clone, Copy, Debug)]
+pub struct SnapshotStore<'a> {
+    mnm: &'a Mnm,
+}
+
+impl<'a> SnapshotStore<'a> {
+    /// Opens a store over a backend.
+    pub fn new(mnm: &'a Mnm) -> Self {
+        Self { mnm }
+    }
+
+    /// The recoverable epoch (every epoch at or before it is durable).
+    pub fn recoverable_epoch(&self) -> u64 {
+        self.mnm.rec_epoch()
+    }
+
+    /// Captured epochs, ascending, with whether each is individually
+    /// readable (per-epoch table retained and not compacted).
+    pub fn epochs(&self) -> Vec<(u64, bool)> {
+        self.mnm.epochs()
+    }
+
+    /// Reads one line as of `epoch` (fall-through semantics, §V-E).
+    pub fn read_at(&self, line: LineAddr, epoch: u64) -> Option<Token> {
+        self.mnm.time_travel(line, epoch)
+    }
+
+    /// The incremental delta captured in exactly `epoch` — what a
+    /// replication agent ships (§V-E "Remote Replication").
+    ///
+    /// Returns `None` when the epoch's tables were reclaimed or
+    /// compacted (use [`crate::mnm::SnapshotRetention::KeepAll`]).
+    pub fn delta(&self, epoch: u64) -> Option<Vec<(LineAddr, Token)>> {
+        self.mnm.epoch_delta(epoch)
+    }
+
+    /// Diffs two epochs (`from < to`): every line whose visible value
+    /// differs, with both values.
+    ///
+    /// Returns `None` if any epoch in `(from, to]` is no longer
+    /// individually readable.
+    pub fn diff(&self, from: u64, to: u64) -> Option<Vec<LineChange>> {
+        assert!(from < to, "diff requires from < to");
+        // Lines that could have changed = union of the deltas in (from, to].
+        let mut candidates: HashMap<LineAddr, ()> = HashMap::new();
+        for (e, _) in self.epochs() {
+            if e > from && e <= to {
+                for (l, _) in self.delta(e)? {
+                    candidates.insert(l, ());
+                }
+            }
+        }
+        let mut out: Vec<LineChange> = candidates
+            .into_keys()
+            .filter_map(|line| {
+                let before = self.read_at(line, from);
+                let after = self.read_at(line, to);
+                (before != after).then_some(LineChange {
+                    line,
+                    before,
+                    after,
+                })
+            })
+            .collect();
+        out.sort_by_key(|c| c.line.raw());
+        Some(out)
+    }
+
+    /// The processor context `vd` dumped at the end of `epoch` (§III-C);
+    /// recovery restores these alongside the memory image.
+    pub fn context(&self, vd: VdId, epoch: u64) -> Option<Token> {
+        self.mnm.context(vd, epoch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mnm::{Mnm, OmcConfig};
+    use nvsim::nvm::Nvm;
+
+    fn line(n: u64) -> LineAddr {
+        LineAddr::new(n)
+    }
+
+    fn setup() -> (Mnm, Nvm) {
+        (
+            Mnm::new(
+                2,
+                2,
+                OmcConfig {
+                    pool_pages: 32,
+                    ..OmcConfig::default()
+                },
+            ),
+            Nvm::new(4, 400, 200, 8, 100_000),
+        )
+    }
+
+    #[test]
+    fn epochs_deltas_and_reads() {
+        let (mut m, mut n) = setup();
+        m.receive_version(&mut n, 0, line(1), 10, 1);
+        m.receive_version(&mut n, 0, line(64), 11, 1);
+        m.receive_version(&mut n, 0, line(1), 20, 2);
+        m.finish(&mut n, 0, 2);
+        let store = SnapshotStore::new(&m);
+        assert_eq!(store.recoverable_epoch(), 2);
+        assert_eq!(store.epochs(), vec![(1, true), (2, true)]);
+        let d1 = store.delta(1).unwrap();
+        assert_eq!(d1, vec![(line(1), 10), (line(64), 11)]);
+        let d2 = store.delta(2).unwrap();
+        assert_eq!(d2, vec![(line(1), 20)]);
+        assert_eq!(store.read_at(line(64), 2), Some(11), "fall-through");
+    }
+
+    #[test]
+    fn diff_reports_exact_changes() {
+        let (mut m, mut n) = setup();
+        m.receive_version(&mut n, 0, line(1), 10, 1);
+        m.receive_version(&mut n, 0, line(64), 11, 1);
+        m.receive_version(&mut n, 0, line(1), 20, 2);
+        m.receive_version(&mut n, 0, line(128), 30, 3);
+        m.finish(&mut n, 0, 3);
+        let store = SnapshotStore::new(&m);
+        let d = store.diff(1, 3).unwrap();
+        assert_eq!(
+            d,
+            vec![
+                LineChange {
+                    line: line(1),
+                    before: Some(10),
+                    after: Some(20)
+                },
+                LineChange {
+                    line: line(128),
+                    before: None,
+                    after: Some(30)
+                },
+            ]
+        );
+        assert!(store.diff(2, 3).unwrap().len() == 1);
+    }
+
+    #[test]
+    fn contexts_are_retrievable() {
+        let (mut m, mut n) = setup();
+        m.record_context(VdId(0), 5, 0xAA);
+        m.record_context(VdId(1), 5, 0xBB);
+        m.finish(&mut n, 0, 5);
+        let store = SnapshotStore::new(&m);
+        assert_eq!(store.context(VdId(0), 5), Some(0xAA));
+        assert_eq!(store.context(VdId(1), 5), Some(0xBB));
+        assert_eq!(store.context(VdId(0), 4), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "from < to")]
+    fn diff_rejects_reversed_range() {
+        let (m, _) = setup();
+        let store = SnapshotStore::new(&m);
+        let _ = store.diff(3, 1);
+    }
+}

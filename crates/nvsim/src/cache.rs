@@ -1,0 +1,315 @@
+//! A generic set-associative cache array with LRU replacement.
+//!
+//! The array stores per-line user metadata `T` (coherence state, OID tag,
+//! content token, sharer bits — whatever the level needs). It is used for
+//! L1s, L2s, LLC slices, PiCL's version-tagged LLC and NVOverlay's OMC
+//! buffer alike.
+
+use crate::addr::LineAddr;
+use crate::config::CacheParams;
+
+/// One resident line.
+#[derive(Clone, Debug)]
+struct Entry<T> {
+    line: LineAddr,
+    lru: u64,
+    meta: T,
+}
+
+/// A set-associative array mapping [`LineAddr`] → `T` with LRU replacement.
+///
+/// ```
+/// use nvsim::cache::CacheArray;
+/// use nvsim::addr::LineAddr;
+///
+/// let mut c: CacheArray<u32> = CacheArray::new(2, 2);
+/// assert!(c.insert(LineAddr::new(0), 10).is_none());
+/// assert!(c.insert(LineAddr::new(2), 20).is_none()); // same set (2 sets)
+/// // Third distinct line in set 0 evicts the LRU entry (line 0).
+/// let victim = c.insert(LineAddr::new(4), 30).unwrap();
+/// assert_eq!(victim.0, LineAddr::new(0));
+/// assert_eq!(victim.1, 10);
+/// ```
+#[derive(Clone, Debug)]
+pub struct CacheArray<T> {
+    sets: Vec<Vec<Entry<T>>>,
+    set_mask: u64,
+    index_stride: u64,
+    ways: usize,
+    tick: u64,
+}
+
+impl<T> CacheArray<T> {
+    /// Creates an array with `sets` sets of `ways` ways.
+    ///
+    /// # Panics
+    /// Panics if `sets` is not a power of two or `ways` is zero.
+    pub fn new(sets: u64, ways: u32) -> Self {
+        Self::with_stride(sets, ways, 1)
+    }
+
+    /// Like [`CacheArray::new`], but set indices are computed from
+    /// `line / index_stride`. Sliced caches (LLC) pass the slice count as
+    /// the stride so that consecutive lines in one slice map to
+    /// consecutive sets.
+    ///
+    /// # Panics
+    /// Panics if `sets` is not a power of two, or `ways`/`index_stride` is
+    /// zero.
+    pub fn with_stride(sets: u64, ways: u32, index_stride: u64) -> Self {
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        assert!(ways > 0, "associativity must be positive");
+        assert!(index_stride > 0, "index stride must be positive");
+        Self {
+            sets: (0..sets).map(|_| Vec::with_capacity(ways as usize)).collect(),
+            set_mask: sets - 1,
+            index_stride,
+            ways: ways as usize,
+            tick: 0,
+        }
+    }
+
+    /// Creates an array from one cache level's parameters.
+    pub fn from_params(p: &CacheParams) -> Self {
+        Self::new(p.sets(), p.ways)
+    }
+
+    #[inline]
+    fn set_of(&self, line: LineAddr) -> usize {
+        ((line.raw() / self.index_stride) & self.set_mask) as usize
+    }
+
+    fn next_tick(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// Looks up a line without touching LRU state.
+    pub fn peek(&self, line: LineAddr) -> Option<&T> {
+        let s = self.set_of(line);
+        self.sets[s].iter().find(|e| e.line == line).map(|e| &e.meta)
+    }
+
+    /// Looks up a line, promoting it to MRU on hit.
+    pub fn get(&mut self, line: LineAddr) -> Option<&T> {
+        self.get_mut(line).map(|m| &*m)
+    }
+
+    /// Mutable lookup, promoting the line to MRU on hit.
+    pub fn get_mut(&mut self, line: LineAddr) -> Option<&mut T> {
+        let tick = self.next_tick();
+        let s = self.set_of(line);
+        let e = self.sets[s].iter_mut().find(|e| e.line == line)?;
+        e.lru = tick;
+        Some(&mut e.meta)
+    }
+
+    /// Mutable lookup without LRU promotion (for coherence/walker probes
+    /// that must not perturb replacement, paper §IV-C "tag walker runs
+    /// opportunistically").
+    pub fn peek_mut(&mut self, line: LineAddr) -> Option<&mut T> {
+        let s = self.set_of(line);
+        self.sets[s]
+            .iter_mut()
+            .find(|e| e.line == line)
+            .map(|e| &mut e.meta)
+    }
+
+    /// Whether the line is resident.
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.peek(line).is_some()
+    }
+
+    /// Inserts a line as MRU, returning the evicted LRU victim if the set
+    /// was full.
+    ///
+    /// # Panics
+    /// Panics if the line is already resident (update in place via
+    /// [`CacheArray::get_mut`] instead).
+    pub fn insert(&mut self, line: LineAddr, meta: T) -> Option<(LineAddr, T)> {
+        let tick = self.next_tick();
+        let s = self.set_of(line);
+        let set = &mut self.sets[s];
+        assert!(
+            !set.iter().any(|e| e.line == line),
+            "line {line} already resident; update in place instead"
+        );
+        let victim = if set.len() == self.ways {
+            let (vi, _) = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.lru)
+                .expect("full set is non-empty");
+            let v = set.swap_remove(vi);
+            Some((v.line, v.meta))
+        } else {
+            None
+        };
+        set.push(Entry { line, lru: tick, meta });
+        victim
+    }
+
+    /// Removes a line, returning its metadata.
+    pub fn remove(&mut self, line: LineAddr) -> Option<T> {
+        let s = self.set_of(line);
+        let set = &mut self.sets[s];
+        let i = set.iter().position(|e| e.line == line)?;
+        Some(set.swap_remove(i).meta)
+    }
+
+    /// The LRU victim the next insert into `line`'s set would evict, if the
+    /// set is currently full.
+    pub fn would_evict(&self, line: LineAddr) -> Option<LineAddr> {
+        let s = self.set_of(line);
+        let set = &self.sets[s];
+        if set.len() == self.ways {
+            set.iter().min_by_key(|e| e.lru).map(|e| e.line)
+        } else {
+            None
+        }
+    }
+
+    /// Iterates all resident lines (tag-walk order: set by set).
+    pub fn iter(&self) -> impl Iterator<Item = (LineAddr, &T)> {
+        self.sets.iter().flatten().map(|e| (e.line, &e.meta))
+    }
+
+    /// Mutable iteration over all resident lines.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (LineAddr, &mut T)> {
+        self.sets.iter_mut().flatten().map(|e| (e.line, &mut e.meta))
+    }
+
+    /// Number of resident lines.
+    pub fn len(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Whether the array holds no lines.
+    pub fn is_empty(&self) -> bool {
+        self.sets.iter().all(Vec::is_empty)
+    }
+
+    /// Total capacity in lines.
+    pub fn capacity(&self) -> usize {
+        self.sets.len() * self.ways
+    }
+
+    /// Collects the addresses of lines matching a predicate (borrow-friendly
+    /// helper for tag walkers that must mutate while scanning).
+    pub fn lines_where(&self, mut pred: impl FnMut(LineAddr, &T) -> bool) -> Vec<LineAddr> {
+        self.iter()
+            .filter(|(l, m)| pred(*l, m))
+            .map(|(l, _)| l)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: u64) -> LineAddr {
+        LineAddr::new(n)
+    }
+
+    #[test]
+    fn hit_and_miss() {
+        let mut c: CacheArray<u8> = CacheArray::new(4, 2);
+        assert!(c.insert(line(5), 1).is_none());
+        assert_eq!(c.get(line(5)), Some(&1));
+        assert_eq!(c.get(line(9)), None);
+        assert!(c.contains(line(5)));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c: CacheArray<u8> = CacheArray::new(1, 2);
+        c.insert(line(1), 1);
+        c.insert(line(2), 2);
+        // Touch 1 so 2 becomes LRU.
+        c.get(line(1));
+        let (v, m) = c.insert(line(3), 3).expect("set full");
+        assert_eq!(v, line(2));
+        assert_eq!(m, 2);
+    }
+
+    #[test]
+    fn peek_does_not_promote() {
+        let mut c: CacheArray<u8> = CacheArray::new(1, 2);
+        c.insert(line(1), 1);
+        c.insert(line(2), 2);
+        // Peek at 1: without promotion it stays LRU.
+        assert_eq!(c.peek(line(1)), Some(&1));
+        let (v, _) = c.insert(line(3), 3).unwrap();
+        assert_eq!(v, line(1));
+    }
+
+    #[test]
+    fn remove_frees_the_slot() {
+        let mut c: CacheArray<u8> = CacheArray::new(1, 1);
+        c.insert(line(1), 1);
+        assert_eq!(c.remove(line(1)), Some(1));
+        assert_eq!(c.remove(line(1)), None);
+        assert!(c.insert(line(2), 2).is_none());
+    }
+
+    #[test]
+    fn would_evict_predicts_the_victim() {
+        let mut c: CacheArray<u8> = CacheArray::new(1, 2);
+        assert_eq!(c.would_evict(line(0)), None);
+        c.insert(line(1), 1);
+        assert_eq!(c.would_evict(line(0)), None);
+        c.insert(line(2), 2);
+        assert_eq!(c.would_evict(line(0)), Some(line(1)));
+        let (v, _) = c.insert(line(3), 3).unwrap();
+        assert_eq!(v, line(1));
+    }
+
+    #[test]
+    fn stride_separates_slice_indexing() {
+        // 2 sets, stride 4: lines 0,4 map to set 0/1 respectively.
+        let mut c: CacheArray<u8> = CacheArray::with_stride(2, 1, 4);
+        c.insert(line(0), 0);
+        assert!(c.insert(line(4), 1).is_none(), "different sets under stride");
+        // line 8 shares set 0 with line 0 (8/4 = 2, even).
+        let (v, _) = c.insert(line(8), 2).unwrap();
+        assert_eq!(v, line(0));
+    }
+
+    #[test]
+    fn iter_covers_everything() {
+        let mut c: CacheArray<u8> = CacheArray::new(4, 2);
+        for i in 0..6 {
+            c.insert(line(i), i as u8);
+        }
+        let mut got: Vec<u64> = c.iter().map(|(l, _)| l.raw()).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(c.capacity(), 8);
+    }
+
+    #[test]
+    fn lines_where_filters() {
+        let mut c: CacheArray<u8> = CacheArray::new(2, 4);
+        for i in 0..6 {
+            c.insert(line(i), i as u8);
+        }
+        let odd = c.lines_where(|_, m| m % 2 == 1);
+        assert_eq!(odd.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "already resident")]
+    fn double_insert_panics() {
+        let mut c: CacheArray<u8> = CacheArray::new(1, 2);
+        c.insert(line(1), 1);
+        c.insert(line(1), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_sets_panics() {
+        let _: CacheArray<u8> = CacheArray::new(3, 1);
+    }
+}

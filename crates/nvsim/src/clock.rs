@@ -1,0 +1,98 @@
+//! Cycle accounting.
+//!
+//! Every timing quantity in the simulator is a [`Cycle`] count at the core
+//! clock (3 GHz in the paper's Table II). Each core owns a [`CoreClock`];
+//! the run loop in [`crate::memsys`] always advances the globally smallest
+//! clock next, which makes the interleaving deterministic.
+
+/// A point in simulated time, in core cycles.
+pub type Cycle = u64;
+
+/// Per-core logical clock.
+///
+/// ```
+/// use nvsim::clock::CoreClock;
+/// let mut c = CoreClock::new();
+/// c.advance(10);
+/// c.stall(5);
+/// assert_eq!(c.now(), 15);
+/// assert_eq!(c.stall_cycles(), 5);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct CoreClock {
+    now: Cycle,
+    stall: Cycle,
+}
+
+impl CoreClock {
+    /// A clock at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current time.
+    #[inline]
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Advances time by `cycles` of useful work (access latency).
+    #[inline]
+    pub fn advance(&mut self, cycles: Cycle) {
+        self.now += cycles;
+    }
+
+    /// Advances time by `cycles` of *stall* (persistence barrier, queue
+    /// backpressure). Stall cycles are additionally accumulated so the
+    /// overhead of a scheme can be reported separately.
+    #[inline]
+    pub fn stall(&mut self, cycles: Cycle) {
+        self.now += cycles;
+        self.stall += cycles;
+    }
+
+    /// Moves the clock forward to `t` if `t` is in the future, counting the
+    /// jump as stall time. Returns the cycles actually stalled.
+    #[inline]
+    pub fn stall_until(&mut self, t: Cycle) -> Cycle {
+        if t > self.now {
+            let d = t - self.now;
+            self.stall(d);
+            d
+        } else {
+            0
+        }
+    }
+
+    /// Total cycles spent stalled so far.
+    #[inline]
+    pub fn stall_cycles(&self) -> Cycle {
+        self.stall
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advance_and_stall_accumulate() {
+        let mut c = CoreClock::new();
+        c.advance(100);
+        c.stall(20);
+        c.advance(1);
+        assert_eq!(c.now(), 121);
+        assert_eq!(c.stall_cycles(), 20);
+    }
+
+    #[test]
+    fn stall_until_ignores_past_times() {
+        let mut c = CoreClock::new();
+        c.advance(50);
+        assert_eq!(c.stall_until(30), 0);
+        assert_eq!(c.now(), 50);
+        assert_eq!(c.stall_until(80), 30);
+        assert_eq!(c.now(), 80);
+        assert_eq!(c.stall_cycles(), 30);
+    }
+}

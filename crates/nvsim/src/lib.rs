@@ -1,0 +1,59 @@
+//! # nvsim — deterministic multicore cache/NVM timing simulator
+//!
+//! `nvsim` is the substrate on which the NVOverlay reproduction is built. It
+//! plays the role zsim played in the paper: a fast, deterministic,
+//! trace-driven timing model of a multicore memory hierarchy with a banked
+//! NVDIMM at the bottom.
+//!
+//! The crate provides reusable building blocks:
+//!
+//! * [`addr`] — strongly-typed byte/line/page addresses and geometry math.
+//! * [`mesi`] — the MESI coherence state lattice.
+//! * [`cache`] — a generic set-associative cache array with LRU replacement
+//!   and per-line user metadata.
+//! * [`directory`] — sparse sharer directories (used at the L2 and LLC).
+//! * [`noc`] — a hop-latency interconnect model with message accounting.
+//! * [`dram`] / [`nvm`] — device models. The NVM model has banked write
+//!   occupancy, bounded queues with backpressure, byte accounting by purpose
+//!   (data / log / mapping metadata / context), and bandwidth time series.
+//! * [`trace`] — per-thread memory access traces and deterministic
+//!   interleaving.
+//! * [`hierarchy`] — a complete non-versioned 3-level MESI hierarchy
+//!   (private L1s, per-domain inclusive L2s, distributed non-inclusive LLC
+//!   slices) with policy hooks. The five baseline schemes in `nvbaselines`
+//!   are built on it. NVOverlay's *versioned* hierarchy lives in the
+//!   `nvoverlay` crate and reuses the low-level blocks from here.
+//! * [`memsys`] — the [`memsys::MemorySystem`] trait every snapshotting
+//!   scheme implements, and the deterministic run loop.
+//!
+//! ## Example
+//!
+//! ```
+//! use nvsim::config::SimConfig;
+//!
+//! let cfg = SimConfig::default();
+//! assert_eq!(cfg.cores, 16);
+//! assert_eq!(cfg.cores_per_vd, 2);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod cache;
+pub mod clock;
+pub mod config;
+pub mod directory;
+pub mod dram;
+pub mod hierarchy;
+pub mod memsys;
+pub mod mesi;
+pub mod noc;
+pub mod nvm;
+pub mod stats;
+pub mod trace;
+pub mod trace_io;
+
+pub use addr::{Addr, CoreId, LineAddr, PageAddr, ThreadId, Token, VdId};
+pub use clock::Cycle;
+pub use config::SimConfig;
+pub use memsys::{AccessOutcome, MemOp, MemorySystem, RunReport, Runner};

@@ -1,0 +1,152 @@
+//! Interconnect (NoC) latency model and message accounting.
+//!
+//! The paper assumes a "Generic Network" (Fig 2) connecting VDs, LLC slices
+//! and memory controllers. We model it as a fixed per-hop latency crossbar:
+//! one hop from an L2 to an LLC slice / directory, one hop from the
+//! directory to another VD, one hop down to a memory controller. Message
+//! counts are kept per kind so experiments can report coherence traffic.
+
+use crate::clock::Cycle;
+use std::fmt;
+
+/// Coherence / data message kinds, for traffic accounting.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum MsgKind {
+    /// Read request to the directory.
+    GetS,
+    /// Write (ownership) request to the directory.
+    GetX,
+    /// Dirty write-back from a cache.
+    PutX,
+    /// Directory-forwarded downgrade to an owner (paper's DIR-GETS).
+    FwdGetS,
+    /// Directory-forwarded invalidation to an owner (paper's DIR-GETX).
+    FwdGetX,
+    /// Invalidation acknowledgement.
+    InvAck,
+    /// Data response.
+    Data,
+    /// Direct cache-to-cache transfer (the §IV-A3 optimization).
+    CacheToCache,
+    /// Version eviction to the OMC over the LLC-bypass path (§IV-A2).
+    OmcEvict,
+    /// Epoch synchronization traffic (min-ver reports, context dumps).
+    EpochSync,
+}
+
+impl MsgKind {
+    /// All kinds, in reporting order.
+    pub const ALL: [MsgKind; 10] = [
+        MsgKind::GetS,
+        MsgKind::GetX,
+        MsgKind::PutX,
+        MsgKind::FwdGetS,
+        MsgKind::FwdGetX,
+        MsgKind::InvAck,
+        MsgKind::Data,
+        MsgKind::CacheToCache,
+        MsgKind::OmcEvict,
+        MsgKind::EpochSync,
+    ];
+
+    fn idx(self) -> usize {
+        match self {
+            MsgKind::GetS => 0,
+            MsgKind::GetX => 1,
+            MsgKind::PutX => 2,
+            MsgKind::FwdGetS => 3,
+            MsgKind::FwdGetX => 4,
+            MsgKind::InvAck => 5,
+            MsgKind::Data => 6,
+            MsgKind::CacheToCache => 7,
+            MsgKind::OmcEvict => 8,
+            MsgKind::EpochSync => 9,
+        }
+    }
+}
+
+impl fmt::Display for MsgKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MsgKind::GetS => "GETS",
+            MsgKind::GetX => "GETX",
+            MsgKind::PutX => "PUTX",
+            MsgKind::FwdGetS => "DIR-GETS",
+            MsgKind::FwdGetX => "DIR-GETX",
+            MsgKind::InvAck => "INV-ACK",
+            MsgKind::Data => "DATA",
+            MsgKind::CacheToCache => "C2C",
+            MsgKind::OmcEvict => "OMC-EVICT",
+            MsgKind::EpochSync => "EPOCH-SYNC",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Fixed-hop-latency interconnect with per-kind message counters.
+#[derive(Clone, Debug)]
+pub struct Noc {
+    hop_latency: Cycle,
+    counts: [u64; 10],
+}
+
+impl Noc {
+    /// Creates a NoC with the given one-way hop latency.
+    pub fn new(hop_latency: Cycle) -> Self {
+        Self {
+            hop_latency,
+            counts: [0; 10],
+        }
+    }
+
+    /// One-way hop latency.
+    pub fn hop_latency(&self) -> Cycle {
+        self.hop_latency
+    }
+
+    /// Records a message and returns the one-hop latency it incurs.
+    #[inline]
+    pub fn send(&mut self, kind: MsgKind) -> Cycle {
+        self.counts[kind.idx()] += 1;
+        self.hop_latency
+    }
+
+    /// Records a message crossing `hops` hops.
+    #[inline]
+    pub fn send_hops(&mut self, kind: MsgKind, hops: u32) -> Cycle {
+        self.counts[kind.idx()] += 1;
+        self.hop_latency * hops as Cycle
+    }
+
+    /// Messages sent of `kind`.
+    pub fn count(&self, kind: MsgKind) -> u64 {
+        self.counts[kind.idx()]
+    }
+
+    /// Total messages sent.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_counts_and_charges_latency() {
+        let mut n = Noc::new(4);
+        assert_eq!(n.send(MsgKind::GetS), 4);
+        assert_eq!(n.send_hops(MsgKind::Data, 2), 8);
+        assert_eq!(n.count(MsgKind::GetS), 1);
+        assert_eq!(n.count(MsgKind::Data), 1);
+        assert_eq!(n.count(MsgKind::GetX), 0);
+        assert_eq!(n.total(), 2);
+    }
+
+    #[test]
+    fn display_names_match_paper() {
+        assert_eq!(MsgKind::FwdGetS.to_string(), "DIR-GETS");
+        assert_eq!(MsgKind::FwdGetX.to_string(), "DIR-GETX");
+    }
+}

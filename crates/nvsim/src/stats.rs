@@ -1,0 +1,431 @@
+//! Statistics: counters, eviction-reason decomposition, NVM byte accounting
+//! and bandwidth time series.
+//!
+//! The paper's figures are all derived from these quantities:
+//!
+//! * Fig 11 — cycles (collected by the runner from per-core clocks);
+//! * Fig 12 — NVM bytes by [`NvmWriteKind`];
+//! * Fig 15 — [`EvictReason`] decomposition;
+//! * Fig 17 — [`BandwidthSeries`].
+
+use crate::clock::Cycle;
+use std::fmt;
+
+/// Why a dirty line was written out of the hierarchy.
+///
+/// Matches the decomposition of the paper's Fig 15 ("Capacity Miss",
+/// "Coherence/Log", "Tag Walk"), at finer grain: the harness groups
+/// [`EvictReason::CoherenceDowngrade`], [`EvictReason::CoherenceInvalidation`]
+/// and [`EvictReason::LogWrite`] into the figure's "Coherence/Log" bar.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum EvictReason {
+    /// Victim selected on a fill (set conflict / capacity).
+    CapacityMiss,
+    /// External GETS forced the owner to give up exclusivity.
+    CoherenceDowngrade,
+    /// External GETX invalidated the line.
+    CoherenceInvalidation,
+    /// NVOverlay store-eviction: an immutable old version pushed down
+    /// so the store can complete in place (paper §IV-A1).
+    StoreEviction,
+    /// Written back by a tag walker (paper §IV-C; PiCL's ACS).
+    TagWalk,
+    /// Flushed synchronously at an epoch boundary (software schemes).
+    EpochFlush,
+    /// Final drain when the simulation finishes.
+    Drain,
+    /// A log entry (undo/redo) emitted by a logging scheme.
+    LogWrite,
+}
+
+impl EvictReason {
+    /// All reasons, for iteration and table rendering.
+    pub const ALL: [EvictReason; 8] = [
+        EvictReason::CapacityMiss,
+        EvictReason::CoherenceDowngrade,
+        EvictReason::CoherenceInvalidation,
+        EvictReason::StoreEviction,
+        EvictReason::TagWalk,
+        EvictReason::EpochFlush,
+        EvictReason::Drain,
+        EvictReason::LogWrite,
+    ];
+
+    fn idx(self) -> usize {
+        match self {
+            EvictReason::CapacityMiss => 0,
+            EvictReason::CoherenceDowngrade => 1,
+            EvictReason::CoherenceInvalidation => 2,
+            EvictReason::StoreEviction => 3,
+            EvictReason::TagWalk => 4,
+            EvictReason::EpochFlush => 5,
+            EvictReason::Drain => 6,
+            EvictReason::LogWrite => 7,
+        }
+    }
+}
+
+impl fmt::Display for EvictReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            EvictReason::CapacityMiss => "capacity-miss",
+            EvictReason::CoherenceDowngrade => "coherence-downgrade",
+            EvictReason::CoherenceInvalidation => "coherence-invalidation",
+            EvictReason::StoreEviction => "store-eviction",
+            EvictReason::TagWalk => "tag-walk",
+            EvictReason::EpochFlush => "epoch-flush",
+            EvictReason::Drain => "drain",
+            EvictReason::LogWrite => "log-write",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Counts of dirty write-outs by reason.
+#[derive(Clone, Debug, Default)]
+pub struct EvictReasons {
+    counts: [u64; 8],
+}
+
+impl EvictReasons {
+    /// A zeroed decomposition.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one eviction for `reason`.
+    #[inline]
+    pub fn record(&mut self, reason: EvictReason) {
+        self.counts[reason.idx()] += 1;
+    }
+
+    /// The count for `reason`.
+    #[inline]
+    pub fn count(&self, reason: EvictReason) -> u64 {
+        self.counts[reason.idx()]
+    }
+
+    /// Sum over all reasons.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Iterates `(reason, count)` pairs in a stable order.
+    pub fn iter(&self) -> impl Iterator<Item = (EvictReason, u64)> + '_ {
+        EvictReason::ALL.iter().map(move |&r| (r, self.count(r)))
+    }
+
+    /// Adds another decomposition into this one.
+    pub fn merge(&mut self, other: &EvictReasons) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += *b;
+        }
+    }
+}
+
+/// What a byte written to NVM was for.
+///
+/// Write amplification (Fig 12) is the ratio of total bytes across all kinds
+/// to the unique snapshot data a scheme must persist.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum NvmWriteKind {
+    /// Snapshot or working data (a 64-byte line).
+    Data,
+    /// An undo/redo log entry (72 bytes in the paper: 64 B data + 8 B tag).
+    Log,
+    /// Mapping-table metadata (radix-tree node updates, 8 B per entry).
+    MapMetadata,
+    /// Processor context dumped at an epoch boundary.
+    Context,
+}
+
+impl NvmWriteKind {
+    /// All kinds, for iteration.
+    pub const ALL: [NvmWriteKind; 4] = [
+        NvmWriteKind::Data,
+        NvmWriteKind::Log,
+        NvmWriteKind::MapMetadata,
+        NvmWriteKind::Context,
+    ];
+
+    fn idx(self) -> usize {
+        match self {
+            NvmWriteKind::Data => 0,
+            NvmWriteKind::Log => 1,
+            NvmWriteKind::MapMetadata => 2,
+            NvmWriteKind::Context => 3,
+        }
+    }
+}
+
+impl fmt::Display for NvmWriteKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            NvmWriteKind::Data => "data",
+            NvmWriteKind::Log => "log",
+            NvmWriteKind::MapMetadata => "map-metadata",
+            NvmWriteKind::Context => "context",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Bytes written to NVM, decomposed by purpose.
+#[derive(Clone, Debug, Default)]
+pub struct NvmBytes {
+    bytes: [u64; 4],
+    writes: [u64; 4],
+}
+
+impl NvmBytes {
+    /// A zeroed accounting.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one write of `bytes` bytes of `kind`.
+    #[inline]
+    pub fn record(&mut self, kind: NvmWriteKind, bytes: u64) {
+        self.bytes[kind.idx()] += bytes;
+        self.writes[kind.idx()] += 1;
+    }
+
+    /// Bytes written for `kind`.
+    #[inline]
+    pub fn bytes(&self, kind: NvmWriteKind) -> u64 {
+        self.bytes[kind.idx()]
+    }
+
+    /// Number of write requests for `kind`.
+    #[inline]
+    pub fn writes(&self, kind: NvmWriteKind) -> u64 {
+        self.writes[kind.idx()]
+    }
+
+    /// Total bytes across all kinds.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.iter().sum()
+    }
+
+    /// Total write requests across all kinds.
+    pub fn total_writes(&self) -> u64 {
+        self.writes.iter().sum()
+    }
+}
+
+/// A bandwidth time series: bytes written per fixed-width cycle bucket.
+///
+/// Used for Fig 17. Buckets grow on demand; queries past the end read zero.
+#[derive(Clone, Debug)]
+pub struct BandwidthSeries {
+    bucket_cycles: Cycle,
+    buckets: Vec<u64>,
+}
+
+impl BandwidthSeries {
+    /// Creates a series with the given bucket width.
+    ///
+    /// # Panics
+    /// Panics if `bucket_cycles` is zero.
+    pub fn new(bucket_cycles: Cycle) -> Self {
+        assert!(bucket_cycles > 0, "bucket width must be positive");
+        Self {
+            bucket_cycles,
+            buckets: Vec::new(),
+        }
+    }
+
+    /// Records `bytes` written at time `now`.
+    pub fn record(&mut self, now: Cycle, bytes: u64) {
+        let b = (now / self.bucket_cycles) as usize;
+        if b >= self.buckets.len() {
+            self.buckets.resize(b + 1, 0);
+        }
+        self.buckets[b] += bytes;
+    }
+
+    /// Bucket width in cycles.
+    pub fn bucket_cycles(&self) -> Cycle {
+        self.bucket_cycles
+    }
+
+    /// The raw buckets (bytes per bucket).
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Bandwidth of bucket `i` in GB/s given a core frequency in GHz.
+    ///
+    /// `bytes / (bucket_cycles / freq_ghz ns)` expressed in GB/s.
+    pub fn gbps(&self, i: usize, freq_ghz: f64) -> f64 {
+        let bytes = *self.buckets.get(i).unwrap_or(&0) as f64;
+        let ns = self.bucket_cycles as f64 / freq_ghz;
+        bytes / ns // bytes per ns == GB/s
+    }
+
+    /// Resamples the series into exactly `n` buckets covering its span,
+    /// distributing each input bucket's bytes proportionally over the
+    /// output buckets it overlaps (no aliasing artifacts). Useful for
+    /// "percent of total progress" plots (Fig 17).
+    pub fn resample(&self, n: usize) -> Vec<u64> {
+        assert!(n > 0, "cannot resample into zero buckets");
+        let mut out = vec![0f64; n];
+        if self.buckets.is_empty() {
+            return vec![0; n];
+        }
+        let scale = n as f64 / self.buckets.len() as f64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            let start = i as f64 * scale;
+            let end = (i + 1) as f64 * scale;
+            let mut lo = start;
+            while lo < end - 1e-12 {
+                let j = (lo.floor() as usize).min(n - 1);
+                let hi = (j as f64 + 1.0).min(end);
+                out[j] += b as f64 * (hi - lo) / (end - start);
+                lo = hi;
+            }
+        }
+        out.into_iter().map(|v| v.round() as u64).collect()
+    }
+}
+
+/// Per-run cache-access counters.
+#[derive(Clone, Debug, Default)]
+pub struct AccessCounters {
+    /// Loads issued.
+    pub loads: u64,
+    /// Stores issued.
+    pub stores: u64,
+    /// Hits at the L1.
+    pub l1_hits: u64,
+    /// Hits at the L2 (after an L1 miss).
+    pub l2_hits: u64,
+    /// Hits in an LLC slice or via a cache-to-cache transfer.
+    pub llc_hits: u64,
+    /// Fills from DRAM/NVM.
+    pub mem_fetches: u64,
+}
+
+impl AccessCounters {
+    /// Total accesses.
+    pub fn total(&self) -> u64 {
+        self.loads + self.stores
+    }
+}
+
+/// The common statistics block every [`crate::memsys::MemorySystem`]
+/// maintains and exposes.
+#[derive(Clone, Debug)]
+pub struct SystemStats {
+    /// Cache access counters.
+    pub access: AccessCounters,
+    /// Dirty write-outs by reason.
+    pub evictions: EvictReasons,
+    /// NVM bytes/writes by purpose.
+    pub nvm: NvmBytes,
+    /// NVM write bandwidth over time.
+    pub nvm_bandwidth: BandwidthSeries,
+    /// Cycles cores spent stalled on persistence (barriers, backpressure).
+    pub persist_stall_cycles: u64,
+    /// Number of epochs completed (across all VDs for distributed schemes).
+    pub epochs_completed: u64,
+    /// Writes absorbed by a persistent buffer in front of the NVM (Fig 16).
+    pub omc_buffer_hits: u64,
+    /// Writes that missed that buffer (or all writes when no buffer).
+    pub omc_buffer_misses: u64,
+}
+
+impl SystemStats {
+    /// Creates a stats block with the given bandwidth bucket width.
+    pub fn new(bandwidth_bucket_cycles: Cycle) -> Self {
+        Self {
+            access: AccessCounters::default(),
+            evictions: EvictReasons::new(),
+            nvm: NvmBytes::new(),
+            nvm_bandwidth: BandwidthSeries::new(bandwidth_bucket_cycles),
+            persist_stall_cycles: 0,
+            epochs_completed: 0,
+            omc_buffer_hits: 0,
+            omc_buffer_misses: 0,
+        }
+    }
+}
+
+impl Default for SystemStats {
+    fn default() -> Self {
+        // 100k-cycle buckets by default; experiments that need finer series
+        // construct their own.
+        Self::new(100_000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evict_reasons_roundtrip() {
+        let mut e = EvictReasons::new();
+        e.record(EvictReason::TagWalk);
+        e.record(EvictReason::TagWalk);
+        e.record(EvictReason::CapacityMiss);
+        assert_eq!(e.count(EvictReason::TagWalk), 2);
+        assert_eq!(e.count(EvictReason::CapacityMiss), 1);
+        assert_eq!(e.count(EvictReason::Drain), 0);
+        assert_eq!(e.total(), 3);
+    }
+
+    #[test]
+    fn evict_reasons_merge_adds() {
+        let mut a = EvictReasons::new();
+        a.record(EvictReason::LogWrite);
+        let mut b = EvictReasons::new();
+        b.record(EvictReason::LogWrite);
+        b.record(EvictReason::EpochFlush);
+        a.merge(&b);
+        assert_eq!(a.count(EvictReason::LogWrite), 2);
+        assert_eq!(a.count(EvictReason::EpochFlush), 1);
+    }
+
+    #[test]
+    fn nvm_bytes_accumulate_by_kind() {
+        let mut n = NvmBytes::new();
+        n.record(NvmWriteKind::Data, 64);
+        n.record(NvmWriteKind::Data, 64);
+        n.record(NvmWriteKind::Log, 72);
+        assert_eq!(n.bytes(NvmWriteKind::Data), 128);
+        assert_eq!(n.writes(NvmWriteKind::Data), 2);
+        assert_eq!(n.bytes(NvmWriteKind::Log), 72);
+        assert_eq!(n.total_bytes(), 200);
+        assert_eq!(n.total_writes(), 3);
+    }
+
+    #[test]
+    fn bandwidth_series_buckets_and_resample() {
+        let mut s = BandwidthSeries::new(100);
+        s.record(0, 64);
+        s.record(99, 64);
+        s.record(100, 64);
+        s.record(950, 64);
+        assert_eq!(s.buckets(), &[128, 64, 0, 0, 0, 0, 0, 0, 0, 64]);
+        let r = s.resample(5);
+        assert_eq!(r.iter().sum::<u64>(), 256);
+        assert_eq!(r[0], 128 + 64);
+        assert_eq!(r[4], 64);
+    }
+
+    #[test]
+    fn bandwidth_gbps_math() {
+        let mut s = BandwidthSeries::new(3000); // 1 us at 3 GHz
+        s.record(0, 1000);
+        let g = s.gbps(0, 3.0);
+        assert!((g - 1.0).abs() < 1e-9, "1000 B / 1000 ns = 1 GB/s, got {g}");
+        assert_eq!(s.gbps(99, 3.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn bandwidth_series_rejects_zero_bucket() {
+        let _ = BandwidthSeries::new(0);
+    }
+}

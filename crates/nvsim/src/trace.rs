@@ -1,0 +1,236 @@
+//! Memory access traces.
+//!
+//! Workloads (the `nvworkloads` crate) produce a [`Trace`]: one event
+//! stream per logical thread. The [`crate::memsys::Runner`] interleaves the
+//! streams deterministically by per-core clock and feeds them to a
+//! [`crate::memsys::MemorySystem`].
+//!
+//! Stores carry a unique [`Token`] standing in for the 64 bytes they would
+//! write; snapshot correctness is verified by token equality (DESIGN.md §2).
+
+use crate::addr::{Addr, ThreadId, Token};
+use crate::memsys::MemOp;
+
+/// One event in a thread's stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A memory access. `token` is the stored content for
+    /// [`MemOp::Store`]; it is ignored for loads.
+    Access {
+        /// Load or store.
+        op: MemOp,
+        /// Byte address accessed.
+        addr: Addr,
+        /// Content token written (stores only).
+        token: Token,
+    },
+    /// The thread requests an epoch boundary for its Versioned Domain
+    /// (models the paper's user-initiated epochs in the time-travel
+    /// debugging scenario, Fig 17b).
+    EpochMark,
+}
+
+/// A complete multi-threaded trace.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    threads: Vec<Vec<TraceEvent>>,
+}
+
+impl Trace {
+    /// Number of thread streams.
+    pub fn thread_count(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// The event stream of one thread.
+    ///
+    /// # Panics
+    /// Panics if `thread` is out of range.
+    pub fn thread(&self, thread: ThreadId) -> &[TraceEvent] {
+        &self.threads[thread.index()]
+    }
+
+    /// Total accesses (loads + stores) across all threads.
+    pub fn access_count(&self) -> u64 {
+        self.threads
+            .iter()
+            .flatten()
+            .filter(|e| matches!(e, TraceEvent::Access { .. }))
+            .count() as u64
+    }
+
+    /// Total stores across all threads.
+    pub fn store_count(&self) -> u64 {
+        self.threads
+            .iter()
+            .flatten()
+            .filter(|e| matches!(e, TraceEvent::Access { op: MemOp::Store, .. }))
+            .count() as u64
+    }
+
+    /// Number of distinct lines touched (footprint).
+    pub fn line_footprint(&self) -> u64 {
+        let mut lines: Vec<u64> = self
+            .threads
+            .iter()
+            .flatten()
+            .filter_map(|e| match e {
+                TraceEvent::Access { addr, .. } => Some(addr.line().raw()),
+                TraceEvent::EpochMark => None,
+            })
+            .collect();
+        lines.sort_unstable();
+        lines.dedup();
+        lines.len() as u64
+    }
+
+    /// Number of distinct lines written (write working set).
+    pub fn write_footprint(&self) -> u64 {
+        let mut lines: Vec<u64> = self
+            .threads
+            .iter()
+            .flatten()
+            .filter_map(|e| match e {
+                TraceEvent::Access {
+                    op: MemOp::Store,
+                    addr,
+                    ..
+                } => Some(addr.line().raw()),
+                _ => None,
+            })
+            .collect();
+        lines.sort_unstable();
+        lines.dedup();
+        lines.len() as u64
+    }
+}
+
+/// Incremental [`Trace`] builder handing out unique store tokens.
+///
+/// ```
+/// use nvsim::trace::TraceBuilder;
+/// use nvsim::addr::{Addr, ThreadId};
+///
+/// let mut b = TraceBuilder::new(2);
+/// b.store(ThreadId(0), Addr::new(0x40));
+/// b.load(ThreadId(1), Addr::new(0x40));
+/// let t = b.build();
+/// assert_eq!(t.access_count(), 2);
+/// assert_eq!(t.store_count(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct TraceBuilder {
+    threads: Vec<Vec<TraceEvent>>,
+    next_token: Token,
+}
+
+impl TraceBuilder {
+    /// Creates a builder for `threads` thread streams.
+    ///
+    /// # Panics
+    /// Panics if `threads` is zero.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads > 0, "a trace needs at least one thread");
+        Self {
+            threads: vec![Vec::new(); threads],
+            // Token 0 is reserved for "never written" (zero-filled memory).
+            next_token: 1,
+        }
+    }
+
+    /// Appends a load.
+    pub fn load(&mut self, thread: ThreadId, addr: Addr) -> &mut Self {
+        self.threads[thread.index()].push(TraceEvent::Access {
+            op: MemOp::Load,
+            addr,
+            token: 0,
+        });
+        self
+    }
+
+    /// Appends a store with a fresh unique token; returns the token.
+    pub fn store(&mut self, thread: ThreadId, addr: Addr) -> Token {
+        let token = self.next_token;
+        self.next_token += 1;
+        self.threads[thread.index()].push(TraceEvent::Access {
+            op: MemOp::Store,
+            addr,
+            token,
+        });
+        token
+    }
+
+    /// Appends a store with an explicit token (trace deserialization;
+    /// keeps the builder's counter ahead so later [`TraceBuilder::store`]
+    /// calls stay unique).
+    pub fn store_with_token(&mut self, thread: ThreadId, addr: Addr, token: Token) {
+        self.next_token = self.next_token.max(token + 1);
+        self.threads[thread.index()].push(TraceEvent::Access {
+            op: MemOp::Store,
+            addr,
+            token,
+        });
+    }
+
+    /// Appends an explicit epoch boundary request.
+    pub fn epoch_mark(&mut self, thread: ThreadId) -> &mut Self {
+        self.threads[thread.index()].push(TraceEvent::EpochMark);
+        self
+    }
+
+    /// Events currently recorded for `thread`.
+    pub fn thread_len(&self, thread: ThreadId) -> usize {
+        self.threads[thread.index()].len()
+    }
+
+    /// Finalizes the trace.
+    pub fn build(self) -> Trace {
+        Trace {
+            threads: self.threads,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokens_are_unique_and_nonzero() {
+        let mut b = TraceBuilder::new(1);
+        let t1 = b.store(ThreadId(0), Addr::new(0));
+        let t2 = b.store(ThreadId(0), Addr::new(64));
+        assert_ne!(t1, 0);
+        assert_ne!(t1, t2);
+    }
+
+    #[test]
+    fn footprints_count_distinct_lines() {
+        let mut b = TraceBuilder::new(2);
+        b.store(ThreadId(0), Addr::new(0));
+        b.store(ThreadId(0), Addr::new(8)); // same line
+        b.store(ThreadId(1), Addr::new(64));
+        b.load(ThreadId(1), Addr::new(128));
+        let t = b.build();
+        assert_eq!(t.line_footprint(), 3);
+        assert_eq!(t.write_footprint(), 2);
+        assert_eq!(t.access_count(), 4);
+        assert_eq!(t.store_count(), 3);
+    }
+
+    #[test]
+    fn epoch_marks_are_recorded_but_not_accesses() {
+        let mut b = TraceBuilder::new(1);
+        b.epoch_mark(ThreadId(0));
+        b.store(ThreadId(0), Addr::new(0));
+        let t = b.build();
+        assert_eq!(t.thread(ThreadId(0)).len(), 2);
+        assert_eq!(t.access_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        let _ = TraceBuilder::new(0);
+    }
+}

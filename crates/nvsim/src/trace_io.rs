@@ -1,0 +1,224 @@
+//! Trace (de)serialization — a compact binary format so generated
+//! workloads can be saved once and replayed across schemes, machines and
+//! tools (`nvo trace-gen` / `nvo run --trace`).
+//!
+//! Format (little-endian):
+//!
+//! ```text
+//! magic  "NVTR"            4 bytes
+//! version u16              currently 1
+//! threads u16
+//! per thread:
+//!   count  u64
+//!   events count times:
+//!     kind u8              0 = load, 1 = store, 2 = epoch mark
+//!     addr u64             (loads/stores only)
+//!     token u64            (stores only)
+//! ```
+
+use crate::addr::{Addr, ThreadId};
+use crate::memsys::MemOp;
+use crate::trace::{Trace, TraceBuilder, TraceEvent};
+use std::fmt;
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 4] = b"NVTR";
+const VERSION: u16 = 1;
+
+/// Errors from reading a trace file.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file does not start with the `NVTR` magic.
+    BadMagic,
+    /// The format version is not supported.
+    BadVersion(u16),
+    /// An event record has an unknown kind byte.
+    BadEventKind(u8),
+    /// The file declares zero threads.
+    NoThreads,
+}
+
+impl fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "trace i/o failed: {e}"),
+            TraceIoError::BadMagic => f.write_str("not a trace file (bad magic)"),
+            TraceIoError::BadVersion(v) => write!(f, "unsupported trace version {v}"),
+            TraceIoError::BadEventKind(k) => write!(f, "unknown event kind {k}"),
+            TraceIoError::NoThreads => f.write_str("trace declares zero threads"),
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceIoError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceIoError {
+    fn from(e: io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+/// Writes a trace to `w`. A mutable reference works as the writer.
+///
+/// # Errors
+/// Propagates I/O errors from `w`.
+pub fn write_trace<W: Write>(trace: &Trace, mut w: W) -> Result<(), TraceIoError> {
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&(trace.thread_count() as u16).to_le_bytes())?;
+    for t in 0..trace.thread_count() {
+        let events = trace.thread(ThreadId(t as u16));
+        w.write_all(&(events.len() as u64).to_le_bytes())?;
+        for e in events {
+            match e {
+                TraceEvent::Access { op, addr, token } => {
+                    let kind: u8 = match op {
+                        MemOp::Load => 0,
+                        MemOp::Store => 1,
+                    };
+                    w.write_all(&[kind])?;
+                    w.write_all(&addr.raw().to_le_bytes())?;
+                    if *op == MemOp::Store {
+                        w.write_all(&token.to_le_bytes())?;
+                    }
+                }
+                TraceEvent::EpochMark => w.write_all(&[2u8])?,
+            }
+        }
+    }
+    Ok(())
+}
+
+fn read_u16<R: Read>(r: &mut R) -> Result<u16, TraceIoError> {
+    let mut b = [0u8; 2];
+    r.read_exact(&mut b)?;
+    Ok(u16::from_le_bytes(b))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> Result<u64, TraceIoError> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+/// Reads a trace from `r`.
+///
+/// # Errors
+/// Returns [`TraceIoError`] on malformed input or I/O failure.
+pub fn read_trace<R: Read>(mut r: R) -> Result<Trace, TraceIoError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(TraceIoError::BadMagic);
+    }
+    let version = read_u16(&mut r)?;
+    if version != VERSION {
+        return Err(TraceIoError::BadVersion(version));
+    }
+    let threads = read_u16(&mut r)? as usize;
+    if threads == 0 {
+        return Err(TraceIoError::NoThreads);
+    }
+    let mut tb = TraceBuilder::new(threads);
+    for t in 0..threads {
+        let tid = ThreadId(t as u16);
+        let count = read_u64(&mut r)?;
+        for _ in 0..count {
+            let mut kind = [0u8; 1];
+            r.read_exact(&mut kind)?;
+            match kind[0] {
+                0 => {
+                    let addr = read_u64(&mut r)?;
+                    tb.load(tid, Addr::new(addr));
+                }
+                1 => {
+                    let addr = read_u64(&mut r)?;
+                    let token = read_u64(&mut r)?;
+                    tb.store_with_token(tid, Addr::new(addr), token);
+                }
+                2 => {
+                    tb.epoch_mark(tid);
+                }
+                k => return Err(TraceIoError::BadEventKind(k)),
+            }
+        }
+    }
+    Ok(tb.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        let mut tb = TraceBuilder::new(3);
+        tb.store(ThreadId(0), Addr::new(0x40));
+        tb.load(ThreadId(1), Addr::new(0x80));
+        tb.epoch_mark(ThreadId(1));
+        tb.store(ThreadId(2), Addr::new(0xC0));
+        tb.load(ThreadId(0), Addr::new(0x40));
+        tb.build()
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_trace(&t, &mut buf).unwrap();
+        let back = read_trace(buf.as_slice()).unwrap();
+        assert_eq!(back.thread_count(), t.thread_count());
+        for i in 0..t.thread_count() {
+            assert_eq!(
+                back.thread(ThreadId(i as u16)),
+                t.thread(ThreadId(i as u16)),
+                "thread {i}"
+            );
+        }
+        assert_eq!(back.store_count(), t.store_count());
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let err = read_trace(&b"XXXX\x01\x00\x01\x00"[..]).unwrap_err();
+        assert!(matches!(err, TraceIoError::BadMagic));
+    }
+
+    #[test]
+    fn bad_version_is_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"NVTR");
+        buf.extend_from_slice(&9u16.to_le_bytes());
+        buf.extend_from_slice(&1u16.to_le_bytes());
+        let err = read_trace(buf.as_slice()).unwrap_err();
+        assert!(matches!(err, TraceIoError::BadVersion(9)));
+    }
+
+    #[test]
+    fn truncated_input_is_an_io_error() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_trace(&t, &mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        let err = read_trace(buf.as_slice()).unwrap_err();
+        assert!(matches!(err, TraceIoError::Io(_)), "{err}");
+    }
+
+    #[test]
+    fn zero_threads_is_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"NVTR");
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&0u16.to_le_bytes());
+        let err = read_trace(buf.as_slice()).unwrap_err();
+        assert!(matches!(err, TraceIoError::NoThreads));
+    }
+}

@@ -1,0 +1,326 @@
+//! An instrumented Adaptive Radix Tree (the paper's `ARTOLC` workload).
+//!
+//! A real ART over 8-byte keys with the four adaptive node types
+//! (Node4/16/48/256), lazy expansion (single-key subtrees stay as
+//! leaves), and node growth on overflow. Every node lives on the shadow
+//! heap; descents, inserts and grow-copies record their line traffic.
+
+use crate::record::{Recorder, ShadowHeap};
+use nvsim::addr::Addr;
+
+/// Shadow sizes of each node kind (header + index structures + pointers),
+/// rounded to lines.
+const LEAF_BYTES: u64 = 64;
+const N4_BYTES: u64 = 64;
+const N16_BYTES: u64 = 192;
+const N48_BYTES: u64 = 704;
+const N256_BYTES: u64 = 2112;
+
+#[derive(Debug)]
+enum Kind {
+    Leaf {
+        key: u64,
+    },
+    /// An inner node; the adaptive kinds differ only in capacity and
+    /// shadow footprint here.
+    Inner {
+        /// Sorted (byte, child index) pairs.
+        slots: Vec<(u8, usize)>,
+        capacity: usize,
+    },
+}
+
+#[derive(Debug)]
+struct ArtSlot {
+    base: Addr,
+    kind: Kind,
+}
+
+fn key_byte(key: u64, depth: usize) -> u8 {
+    (key >> (56 - 8 * depth)) as u8
+}
+
+/// The instrumented adaptive radix tree.
+#[derive(Debug)]
+pub struct Art {
+    nodes: Vec<ArtSlot>,
+    root: Option<usize>,
+    len: u64,
+    grows: u64,
+}
+
+impl Default for Art {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Art {
+    /// An empty tree.
+    pub fn new() -> Self {
+        Self {
+            nodes: Vec::new(),
+            root: None,
+            len: 0,
+            grows: 0,
+        }
+    }
+
+    /// Keys stored.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Node-growth events so far (4→16→48→256).
+    pub fn grows(&self) -> u64 {
+        self.grows
+    }
+
+    fn new_leaf(&mut self, key: u64, heap: &mut ShadowHeap, rec: &mut Recorder) -> usize {
+        let base = heap.alloc(LEAF_BYTES, 64);
+        rec.store(base);
+        self.nodes.push(ArtSlot {
+            base,
+            kind: Kind::Leaf { key },
+        });
+        self.nodes.len() - 1
+    }
+
+    fn new_inner(&mut self, heap: &mut ShadowHeap, rec: &mut Recorder) -> usize {
+        let base = heap.alloc(N4_BYTES, 64);
+        rec.store(base);
+        self.nodes.push(ArtSlot {
+            base,
+            kind: Kind::Inner {
+                slots: Vec::new(),
+                capacity: 4,
+            },
+        });
+        self.nodes.len() - 1
+    }
+
+    /// Looks a key up, recording the descent.
+    pub fn contains(&self, key: u64, rec: &mut Recorder) -> bool {
+        let mut cur = match self.root {
+            Some(r) => r,
+            None => return false,
+        };
+        for depth in 0..8 {
+            let slot = &self.nodes[cur];
+            rec.load(slot.base);
+            match &slot.kind {
+                Kind::Leaf { key: k } => return *k == key,
+                Kind::Inner { slots, .. } => {
+                    let b = key_byte(key, depth);
+                    // The index lookup touches the key array line(s).
+                    rec.load(Addr::new(slot.base.raw() + 16));
+                    match slots.binary_search_by_key(&b, |(kb, _)| *kb) {
+                        Ok(i) => cur = slots[i].1,
+                        Err(_) => return false,
+                    }
+                }
+            }
+        }
+        matches!(&self.nodes[cur].kind, Kind::Leaf { key: k } if *k == key)
+    }
+
+    /// Inserts a key (duplicates ignored), recording all traffic.
+    pub fn insert(&mut self, key: u64, rec: &mut Recorder, heap: &mut ShadowHeap) {
+        let Some(mut cur) = self.root else {
+            let leaf = self.new_leaf(key, heap, rec);
+            self.root = Some(leaf);
+            self.len = 1;
+            return;
+        };
+        let mut parent: Option<(usize, u8)> = None;
+        for depth in 0..8 {
+            rec.load(self.nodes[cur].base);
+            match &self.nodes[cur].kind {
+                Kind::Leaf { key: existing } => {
+                    let existing = *existing;
+                    if existing == key {
+                        return; // duplicate
+                    }
+                    // Lazy expansion: grow a chain of inner nodes over the
+                    // common prefix, then branch into two leaves.
+                    let mut d = depth;
+                    let mut chain_top: Option<usize> = None;
+                    let mut chain_bottom: Option<usize> = None;
+                    while d < 8 && key_byte(key, d) == key_byte(existing, d) {
+                        let inner = self.new_inner(heap, rec);
+                        if let Some(bot) = chain_bottom {
+                            let b = key_byte(key, d - 1);
+                            self.link(bot, b, inner, rec, heap);
+                        }
+                        if chain_top.is_none() {
+                            chain_top = Some(inner);
+                        }
+                        chain_bottom = Some(inner);
+                        d += 1;
+                    }
+                    debug_assert!(d < 8, "distinct keys diverge within 8 bytes");
+                    let branch = self.new_inner(heap, rec);
+                    if let Some(bot) = chain_bottom {
+                        let b = key_byte(key, d - 1);
+                        self.link(bot, b, branch, rec, heap);
+                    }
+                    let top = chain_top.unwrap_or(branch);
+                    let new_leaf = self.new_leaf(key, heap, rec);
+                    self.link(branch, key_byte(key, d), new_leaf, rec, heap);
+                    self.link(branch, key_byte(existing, d), cur, rec, heap);
+                    // Splice the chain where the old leaf hung.
+                    match parent {
+                        Some((p, byte)) => self.relink(p, byte, top, rec),
+                        None => self.root = Some(top),
+                    }
+                    self.len += 1;
+                    return;
+                }
+                Kind::Inner { slots, .. } => {
+                    let b = key_byte(key, depth);
+                    rec.load(Addr::new(self.nodes[cur].base.raw() + 16));
+                    match slots.binary_search_by_key(&b, |(kb, _)| *kb) {
+                        Ok(i) => {
+                            let next = slots[i].1;
+                            parent = Some((cur, b));
+                            cur = next;
+                        }
+                        Err(_) => {
+                            let leaf = self.new_leaf(key, heap, rec);
+                            self.link(cur, b, leaf, rec, heap);
+                            self.len += 1;
+                            return;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Adds a child under `byte`, growing the node when full.
+    fn link(&mut self, n: usize, byte: u8, child: usize, rec: &mut Recorder, heap: &mut ShadowHeap) {
+        // Grow first if needed.
+        let (full, cap) = match &self.nodes[n].kind {
+            Kind::Inner { slots, capacity } => (slots.len() >= *capacity, *capacity),
+            Kind::Leaf { .. } => unreachable!("link targets inner nodes"),
+        };
+        if full {
+            let (new_cap, bytes) = match cap {
+                4 => (16, N16_BYTES),
+                16 => (48, N48_BYTES),
+                48 => (256, N256_BYTES),
+                _ => unreachable!("Node256 never fills for 1-byte indices"),
+            };
+            self.grows += 1;
+            let new_base = heap.alloc(bytes, 64);
+            // Grow-copy: read every old slot, write the new node.
+            let old_base = self.nodes[n].base;
+            let count = match &self.nodes[n].kind {
+                Kind::Inner { slots, .. } => slots.len(),
+                Kind::Leaf { .. } => unreachable!(),
+            };
+            rec.load_range(old_base, 16 + count as u64 * 9);
+            // The new node is allocated and fully initialized, then the
+            // old slots are copied in.
+            rec.store_range(new_base, bytes);
+            let slot = &mut self.nodes[n];
+            slot.base = new_base;
+            if let Kind::Inner { capacity, .. } = &mut slot.kind {
+                *capacity = new_cap;
+            }
+        }
+        let base = self.nodes[n].base;
+        if let Kind::Inner { slots, .. } = &mut self.nodes[n].kind {
+            match slots.binary_search_by_key(&byte, |(kb, _)| *kb) {
+                Ok(i) => slots[i].1 = child,
+                Err(i) => slots.insert(i, (byte, child)),
+            }
+        }
+        rec.store(Addr::new(base.raw() + 16)); // index entry
+        rec.store(base); // header/count
+    }
+
+    /// Replaces the child under `byte` (no growth).
+    fn relink(&mut self, n: usize, byte: u8, child: usize, rec: &mut Recorder) {
+        let base = self.nodes[n].base;
+        if let Kind::Inner { slots, .. } = &mut self.nodes[n].kind {
+            if let Ok(i) = slots.binary_search_by_key(&byte, |(kb, _)| *kb) {
+                slots[i].1 = child;
+            }
+        }
+        rec.store(Addr::new(base.raw() + 16));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Art, Recorder, ShadowHeap) {
+        (Art::new(), Recorder::new(1), ShadowHeap::new())
+    }
+
+    #[test]
+    fn insert_and_lookup_random_keys() {
+        let (mut t, mut rec, mut heap) = setup();
+        let keys: Vec<u64> = (0..3000u64)
+            .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .collect();
+        for &k in &keys {
+            t.insert(k, &mut rec, &mut heap);
+        }
+        assert_eq!(t.len(), 3000);
+        for &k in &keys {
+            assert!(t.contains(k, &mut rec), "key {k:#x}");
+        }
+        assert!(!t.contains(0xdead_beef, &mut rec));
+    }
+
+    #[test]
+    fn duplicates_are_ignored() {
+        let (mut t, mut rec, mut heap) = setup();
+        t.insert(42, &mut rec, &mut heap);
+        t.insert(42, &mut rec, &mut heap);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn dense_prefixes_grow_nodes() {
+        let (mut t, mut rec, mut heap) = setup();
+        // 300 keys sharing the top 7 bytes: the bottom node must grow
+        // 4→16→48→256.
+        for i in 0..256u64 {
+            t.insert(0xAA00_0000_0000_0000 | i, &mut rec, &mut heap);
+        }
+        assert!(t.grows() >= 3, "grew through the node kinds: {}", t.grows());
+        for i in 0..256u64 {
+            assert!(t.contains(0xAA00_0000_0000_0000 | i, &mut rec));
+        }
+    }
+
+    #[test]
+    fn shared_prefix_keys_build_chains() {
+        let (mut t, mut rec, mut heap) = setup();
+        t.insert(0x1111_1111_1111_1100, &mut rec, &mut heap);
+        t.insert(0x1111_1111_1111_1101, &mut rec, &mut heap);
+        assert_eq!(t.len(), 2);
+        assert!(t.contains(0x1111_1111_1111_1100, &mut rec));
+        assert!(t.contains(0x1111_1111_1111_1101, &mut rec));
+        assert!(!t.contains(0x1111_1111_1111_1102, &mut rec));
+    }
+
+    #[test]
+    fn traffic_is_recorded() {
+        let (mut t, mut rec, mut heap) = setup();
+        for i in 0..1000u64 {
+            t.insert(i.wrapping_mul(0x12345679), &mut rec, &mut heap);
+        }
+        assert!(rec.loads() > 1000);
+        assert!(rec.stores() > 1000);
+    }
+}

@@ -1,0 +1,178 @@
+//! An instrumented chained hash table (the paper's
+//! `std::unordered_map` workload).
+//!
+//! Bucket array of 8-byte heads plus 64-byte chain nodes, resizing at
+//! load factor 1.0 with a full rehash — random single-line probes during
+//! steady state punctuated by large read+write bursts at rehash, the
+//! signature of unordered_map bulk insertion.
+
+use crate::record::{Recorder, ShadowHeap};
+use nvsim::addr::Addr;
+
+#[derive(Debug)]
+struct Entry {
+    base: Addr,
+    key: u64,
+    next: Option<usize>,
+}
+
+/// The instrumented hash table.
+#[derive(Debug)]
+pub struct HashTable {
+    buckets: Vec<Option<usize>>,
+    bucket_base: Addr,
+    entries: Vec<Entry>,
+    len: u64,
+    rehashes: u64,
+}
+
+fn hash(key: u64) -> u64 {
+    key.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(31)
+}
+
+impl HashTable {
+    /// An empty table with `initial_buckets` buckets (power of two).
+    ///
+    /// # Panics
+    /// Panics if `initial_buckets` is not a power of two.
+    pub fn new(initial_buckets: usize, heap: &mut ShadowHeap) -> Self {
+        assert!(initial_buckets.is_power_of_two(), "bucket count must be a power of two");
+        Self {
+            buckets: vec![None; initial_buckets],
+            bucket_base: heap.alloc(initial_buckets as u64 * 8, 64),
+            entries: Vec::new(),
+            len: 0,
+            rehashes: 0,
+        }
+    }
+
+    /// Keys stored.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Rehash events so far.
+    pub fn rehashes(&self) -> u64 {
+        self.rehashes
+    }
+
+    fn bucket_addr(&self, b: usize) -> Addr {
+        Addr::new(self.bucket_base.raw() + 8 * b as u64)
+    }
+
+    /// Looks a key up, recording bucket + chain probes.
+    pub fn contains(&self, key: u64, rec: &mut Recorder) -> bool {
+        let b = (hash(key) as usize) & (self.buckets.len() - 1);
+        rec.load(self.bucket_addr(b));
+        let mut cur = self.buckets[b];
+        while let Some(i) = cur {
+            rec.load(self.entries[i].base);
+            if self.entries[i].key == key {
+                return true;
+            }
+            cur = self.entries[i].next;
+        }
+        false
+    }
+
+    /// Inserts a key (duplicates ignored), recording all traffic
+    /// including rehash bursts.
+    pub fn insert(&mut self, key: u64, rec: &mut Recorder, heap: &mut ShadowHeap) {
+        if self.len as usize >= self.buckets.len() {
+            self.rehash(heap, rec);
+        }
+        let b = (hash(key) as usize) & (self.buckets.len() - 1);
+        rec.load(self.bucket_addr(b));
+        let mut cur = self.buckets[b];
+        while let Some(i) = cur {
+            rec.load(self.entries[i].base);
+            if self.entries[i].key == key {
+                return;
+            }
+            cur = self.entries[i].next;
+        }
+        // Head insertion: write the node, then the bucket head.
+        let base = heap.alloc_line();
+        let idx = self.entries.len();
+        self.entries.push(Entry {
+            base,
+            key,
+            next: self.buckets[b],
+        });
+        rec.store(base);
+        rec.store(self.bucket_addr(b));
+        self.buckets[b] = Some(idx);
+        self.len += 1;
+    }
+
+    /// Doubles the bucket array and relinks every entry.
+    fn rehash(&mut self, heap: &mut ShadowHeap, rec: &mut Recorder) {
+        self.rehashes += 1;
+        let new_count = self.buckets.len() * 2;
+        let new_base = heap.alloc(new_count as u64 * 8, 64);
+        let mut new_buckets: Vec<Option<usize>> = vec![None; new_count];
+        // The new array is zero-initialized, then the old one is read.
+        rec.store_range(new_base, new_count as u64 * 8);
+        rec.load_range(self.bucket_base, self.buckets.len() as u64 * 8);
+        for i in 0..self.entries.len() {
+            // Each entry is read (key) and written (next pointer), and
+            // its new bucket head is written.
+            rec.load(self.entries[i].base);
+            let b = (hash(self.entries[i].key) as usize) & (new_count - 1);
+            self.entries[i].next = new_buckets[b];
+            new_buckets[b] = Some(i);
+            rec.store(self.entries[i].base);
+            rec.store(Addr::new(new_base.raw() + 8 * b as u64));
+        }
+        self.buckets = new_buckets;
+        self.bucket_base = new_base;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (HashTable, Recorder, ShadowHeap) {
+        let mut heap = ShadowHeap::new();
+        let t = HashTable::new(16, &mut heap);
+        (t, Recorder::new(1), heap)
+    }
+
+    #[test]
+    fn insert_lookup_roundtrip() {
+        let (mut t, mut rec, mut heap) = setup();
+        for k in 0..500u64 {
+            t.insert(k * 3 + 1, &mut rec, &mut heap);
+        }
+        assert_eq!(t.len(), 500);
+        for k in 0..500u64 {
+            assert!(t.contains(k * 3 + 1, &mut rec));
+        }
+        assert!(!t.contains(2, &mut rec));
+    }
+
+    #[test]
+    fn duplicates_are_ignored() {
+        let (mut t, mut rec, mut heap) = setup();
+        t.insert(7, &mut rec, &mut heap);
+        t.insert(7, &mut rec, &mut heap);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn growth_triggers_rehashes_with_write_bursts() {
+        let (mut t, mut rec, mut heap) = setup();
+        for k in 0..1000u64 {
+            t.insert(k, &mut rec, &mut heap);
+        }
+        assert!(t.rehashes() >= 6, "16 → 2048 buckets: {}", t.rehashes());
+        // Rehash writes dominate: > 2 stores per insert on average.
+        assert!(rec.stores() > 2 * 1000, "stores: {}", rec.stores());
+    }
+}

@@ -1,0 +1,26 @@
+//! # nvworkloads — the paper's 12-workload benchmark suite
+//!
+//! Traces for the NVOverlay evaluation (§VI-C): four *real* instrumented
+//! data structures running on a shadow heap ([`btree`], [`art`],
+//! [`rbtree`], [`hashtable`]) and eight STAMP applications as synthetic
+//! kernels reproducing their documented memory-access shapes ([`stamp`]).
+//!
+//! ```
+//! use nvworkloads::{generate, SuiteParams, Workload};
+//!
+//! let trace = generate(Workload::BTree, &SuiteParams::quick());
+//! assert!(trace.store_count() > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod art;
+pub mod btree;
+pub mod hashtable;
+pub mod rbtree;
+pub mod record;
+pub mod stamp;
+pub mod suite;
+
+pub use record::{Recorder, ShadowHeap};
+pub use suite::{generate, generate_btree_bursty, Burst, SuiteParams, Workload};

@@ -1,0 +1,296 @@
+//! An instrumented red-black tree (the paper's `std::map` workload).
+//!
+//! Classic parent-pointer red-black tree with one 64-byte shadow node per
+//! key — every hop of a descent is exactly one line load, and rebalancing
+//! (recolor + rotations) writes a scatter of lines up the tree, matching
+//! the pointer-heavy behaviour of `std::map` bulk insertion.
+
+use crate::record::{Recorder, ShadowHeap};
+use nvsim::addr::Addr;
+
+#[derive(Debug)]
+struct RbNode {
+    base: Addr,
+    key: u64,
+    left: Option<usize>,
+    right: Option<usize>,
+    parent: Option<usize>,
+    red: bool,
+}
+
+/// The instrumented red-black tree.
+#[derive(Debug, Default)]
+pub struct RbTree {
+    nodes: Vec<RbNode>,
+    root: Option<usize>,
+    len: u64,
+}
+
+impl RbTree {
+    /// An empty tree.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Keys stored.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn touch_r(&self, n: usize, rec: &mut Recorder) {
+        rec.load(self.nodes[n].base);
+    }
+
+    fn touch_w(&self, n: usize, rec: &mut Recorder) {
+        rec.store(self.nodes[n].base);
+    }
+
+    /// Looks a key up, recording one load per hop.
+    pub fn contains(&self, key: u64, rec: &mut Recorder) -> bool {
+        let mut cur = self.root;
+        while let Some(n) = cur {
+            self.touch_r(n, rec);
+            cur = match key.cmp(&self.nodes[n].key) {
+                std::cmp::Ordering::Equal => return true,
+                std::cmp::Ordering::Less => self.nodes[n].left,
+                std::cmp::Ordering::Greater => self.nodes[n].right,
+            };
+        }
+        false
+    }
+
+    /// Inserts a key (duplicates ignored), recording descent, link and
+    /// rebalancing traffic.
+    pub fn insert(&mut self, key: u64, rec: &mut Recorder, heap: &mut ShadowHeap) {
+        // BST insert.
+        let mut parent = None;
+        let mut cur = self.root;
+        while let Some(n) = cur {
+            self.touch_r(n, rec);
+            parent = Some(n);
+            cur = match key.cmp(&self.nodes[n].key) {
+                std::cmp::Ordering::Equal => return,
+                std::cmp::Ordering::Less => self.nodes[n].left,
+                std::cmp::Ordering::Greater => self.nodes[n].right,
+            };
+        }
+        let base = heap.alloc_line();
+        let idx = self.nodes.len();
+        self.nodes.push(RbNode {
+            base,
+            key,
+            left: None,
+            right: None,
+            parent,
+            red: true,
+        });
+        rec.store(base);
+        match parent {
+            None => self.root = Some(idx),
+            Some(p) => {
+                if key < self.nodes[p].key {
+                    self.nodes[p].left = Some(idx);
+                } else {
+                    self.nodes[p].right = Some(idx);
+                }
+                self.touch_w(p, rec);
+            }
+        }
+        self.len += 1;
+        self.fixup(idx, rec);
+    }
+
+    fn is_red(&self, n: Option<usize>) -> bool {
+        n.is_some_and(|i| self.nodes[i].red)
+    }
+
+    fn grandparent(&self, n: usize) -> Option<usize> {
+        self.nodes[n].parent.and_then(|p| self.nodes[p].parent)
+    }
+
+    fn uncle(&self, n: usize) -> Option<usize> {
+        let p = self.nodes[n].parent?;
+        let g = self.nodes[p].parent?;
+        if self.nodes[g].left == Some(p) {
+            self.nodes[g].right
+        } else {
+            self.nodes[g].left
+        }
+    }
+
+    fn fixup(&mut self, mut n: usize, rec: &mut Recorder) {
+        while self.is_red(self.nodes[n].parent) {
+            let p = self.nodes[n].parent.expect("red parent exists");
+            let g = match self.grandparent(n) {
+                Some(g) => g,
+                None => break,
+            };
+            self.touch_r(p, rec);
+            self.touch_r(g, rec);
+            let uncle = self.uncle(n);
+            if self.is_red(uncle) {
+                let u = uncle.expect("red uncle exists");
+                self.nodes[p].red = false;
+                self.nodes[u].red = false;
+                self.nodes[g].red = true;
+                self.touch_w(p, rec);
+                self.touch_w(u, rec);
+                self.touch_w(g, rec);
+                n = g;
+            } else {
+                let p_is_left = self.nodes[g].left == Some(p);
+                let n_is_left = self.nodes[p].left == Some(n);
+                match (p_is_left, n_is_left) {
+                    (true, false) => {
+                        self.rotate_left(p, rec);
+                        n = p;
+                    }
+                    (false, true) => {
+                        self.rotate_right(p, rec);
+                        n = p;
+                    }
+                    _ => {}
+                }
+                let p = self.nodes[n].parent.expect("still has parent");
+                let g = self.grandparent(n).expect("still has grandparent");
+                self.nodes[p].red = false;
+                self.nodes[g].red = true;
+                self.touch_w(p, rec);
+                self.touch_w(g, rec);
+                if self.nodes[g].left == Some(p) {
+                    self.rotate_right(g, rec);
+                } else {
+                    self.rotate_left(g, rec);
+                }
+            }
+        }
+        let r = self.root.expect("non-empty after insert");
+        if self.nodes[r].red {
+            self.nodes[r].red = false;
+            self.touch_w(r, rec);
+        }
+    }
+
+    fn replace_child(&mut self, parent: Option<usize>, old: usize, new: usize, rec: &mut Recorder) {
+        match parent {
+            None => self.root = Some(new),
+            Some(p) => {
+                if self.nodes[p].left == Some(old) {
+                    self.nodes[p].left = Some(new);
+                } else {
+                    self.nodes[p].right = Some(new);
+                }
+                self.touch_w(p, rec);
+            }
+        }
+        self.nodes[new].parent = parent;
+    }
+
+    fn rotate_left(&mut self, n: usize, rec: &mut Recorder) {
+        let r = self.nodes[n].right.expect("rotate_left needs right child");
+        let rl = self.nodes[r].left;
+        self.nodes[n].right = rl;
+        if let Some(c) = rl {
+            self.nodes[c].parent = Some(n);
+            self.touch_w(c, rec);
+        }
+        let p = self.nodes[n].parent;
+        self.replace_child(p, n, r, rec);
+        self.nodes[r].left = Some(n);
+        self.nodes[n].parent = Some(r);
+        self.touch_w(n, rec);
+        self.touch_w(r, rec);
+    }
+
+    fn rotate_right(&mut self, n: usize, rec: &mut Recorder) {
+        let l = self.nodes[n].left.expect("rotate_right needs left child");
+        let lr = self.nodes[l].right;
+        self.nodes[n].left = lr;
+        if let Some(c) = lr {
+            self.nodes[c].parent = Some(n);
+            self.touch_w(c, rec);
+        }
+        let p = self.nodes[n].parent;
+        self.replace_child(p, n, l, rec);
+        self.nodes[l].right = Some(n);
+        self.nodes[n].parent = Some(l);
+        self.touch_w(n, rec);
+        self.touch_w(l, rec);
+    }
+
+    /// Black-height validity check (testing aid): returns the black
+    /// height if the red-black invariants hold.
+    pub fn check_invariants(&self) -> Option<usize> {
+        fn walk(t: &RbTree, n: Option<usize>) -> Option<usize> {
+            let Some(i) = n else { return Some(1) };
+            let node = &t.nodes[i];
+            if node.red && (t.is_red(node.left) || t.is_red(node.right)) {
+                return None; // red-red violation
+            }
+            let lh = walk(t, node.left)?;
+            let rh = walk(t, node.right)?;
+            if lh != rh {
+                return None; // black-height violation
+            }
+            Some(lh + usize::from(!node.red))
+        }
+        if self.is_red(self.root) {
+            return None;
+        }
+        walk(self, self.root)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (RbTree, Recorder, ShadowHeap) {
+        (RbTree::new(), Recorder::new(1), ShadowHeap::new())
+    }
+
+    #[test]
+    fn insert_lookup_and_invariants() {
+        let (mut t, mut rec, mut heap) = setup();
+        let keys: Vec<u64> = (0..2000u64).map(|i| i.wrapping_mul(48271) % 100_000).collect();
+        for &k in &keys {
+            t.insert(k, &mut rec, &mut heap);
+            debug_assert!(t.check_invariants().is_some());
+        }
+        assert!(t.check_invariants().is_some(), "red-black invariants hold");
+        for &k in &keys {
+            assert!(t.contains(k, &mut rec));
+        }
+        assert!(!t.contains(100_001, &mut rec));
+    }
+
+    #[test]
+    fn sequential_inserts_stay_balanced() {
+        let (mut t, mut rec, mut heap) = setup();
+        for k in 0..4096u64 {
+            t.insert(k, &mut rec, &mut heap);
+        }
+        let bh = t.check_invariants().expect("valid tree");
+        assert!(bh <= 14, "black height bounded: {bh}");
+        // A descent's recorded loads stay logarithmic.
+        let before = rec.loads();
+        t.contains(4095, &mut rec);
+        assert!(rec.loads() - before <= 26);
+    }
+
+    #[test]
+    fn rebalancing_records_scattered_writes() {
+        let (mut t, mut rec, mut heap) = setup();
+        for k in 0..1000u64 {
+            t.insert(k, &mut rec, &mut heap);
+        }
+        // Sequential insertion into an RB tree forces constant
+        // rotations: far more stores than one per insert.
+        assert!(rec.stores() > 2000, "stores: {}", rec.stores());
+    }
+}

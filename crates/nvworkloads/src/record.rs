@@ -1,0 +1,218 @@
+//! The shadow heap and access recorder.
+//!
+//! The paper instruments real binaries with Pin; we instrument real Rust
+//! data structures with a *shadow heap*: every node the structure
+//! allocates gets a simulated physical address, and every field access is
+//! recorded as a load/store at that address into a per-thread trace. The
+//! structures therefore produce genuine pointer-chasing, node-splitting
+//! and shared-hot-node traffic (DESIGN.md §2).
+
+use nvsim::addr::{Addr, ThreadId, LINE_BYTES, PAGE_BYTES};
+use nvsim::trace::{Trace, TraceBuilder};
+
+/// Base of the simulated heap (arbitrary, away from address 0).
+pub const HEAP_BASE: u64 = 0x1000_0000;
+
+/// A bump allocator handing out simulated physical addresses.
+#[derive(Clone, Debug)]
+pub struct ShadowHeap {
+    next: u64,
+}
+
+impl Default for ShadowHeap {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ShadowHeap {
+    /// A heap starting at [`HEAP_BASE`].
+    pub fn new() -> Self {
+        Self { next: HEAP_BASE }
+    }
+
+    /// Allocates `bytes` bytes aligned to `align` (power of two).
+    ///
+    /// # Panics
+    /// Panics if `align` is not a power of two or `bytes` is zero.
+    pub fn alloc(&mut self, bytes: u64, align: u64) -> Addr {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        assert!(bytes > 0, "cannot allocate zero bytes");
+        let base = (self.next + align - 1) & !(align - 1);
+        self.next = base + bytes;
+        Addr::new(base)
+    }
+
+    /// Allocates one 64-byte cache line.
+    pub fn alloc_line(&mut self) -> Addr {
+        self.alloc(LINE_BYTES, LINE_BYTES)
+    }
+
+    /// Allocates `bytes` at the start of a fresh 4-KiB page, then skips
+    /// `skip_pages` pages — produces the sparsely-scattered layouts that
+    /// stress mapping-table occupancy (the paper's `yada` behaviour,
+    /// Fig 13).
+    pub fn alloc_sparse(&mut self, bytes: u64, skip_pages: u64) -> Addr {
+        let base = (self.next + PAGE_BYTES - 1) & !(PAGE_BYTES - 1);
+        self.next = base + skip_pages.max(1) * PAGE_BYTES;
+        let _ = bytes;
+        Addr::new(base)
+    }
+
+    /// Bytes allocated so far.
+    pub fn used(&self) -> u64 {
+        self.next - HEAP_BASE
+    }
+}
+
+/// Records the memory accesses of instrumented structures into a
+/// multi-threaded trace.
+#[derive(Clone, Debug)]
+pub struct Recorder {
+    tb: TraceBuilder,
+    thread: ThreadId,
+    loads: u64,
+    stores: u64,
+    muted: bool,
+}
+
+impl Recorder {
+    /// A recorder producing a `threads`-way trace, starting on thread 0.
+    pub fn new(threads: usize) -> Self {
+        Self {
+            tb: TraceBuilder::new(threads),
+            thread: ThreadId(0),
+            loads: 0,
+            stores: 0,
+            muted: false,
+        }
+    }
+
+    /// Switches the issuing thread.
+    pub fn set_thread(&mut self, t: ThreadId) {
+        self.thread = t;
+    }
+
+    /// The currently issuing thread.
+    pub fn thread(&self) -> ThreadId {
+        self.thread
+    }
+
+    /// Mutes or unmutes recording. Muted accesses are dropped — used to
+    /// pre-populate structures (warm-up) before the measured phase, so a
+    /// scaled-down run sees the paper's "large structure, short epoch"
+    /// regime (see EXPERIMENTS.md).
+    pub fn set_muted(&mut self, muted: bool) {
+        self.muted = muted;
+    }
+
+    /// Whether recording is muted.
+    pub fn is_muted(&self) -> bool {
+        self.muted
+    }
+
+    /// Records a load.
+    pub fn load(&mut self, addr: Addr) {
+        if self.muted {
+            return;
+        }
+        self.loads += 1;
+        self.tb.load(self.thread, addr);
+    }
+
+    /// Records a store.
+    pub fn store(&mut self, addr: Addr) {
+        if self.muted {
+            return;
+        }
+        self.stores += 1;
+        self.tb.store(self.thread, addr);
+    }
+
+    /// Records one load per cache line covering `[base, base+bytes)`.
+    pub fn load_range(&mut self, base: Addr, bytes: u64) {
+        let first = base.line().raw();
+        let last = Addr::new(base.raw() + bytes.max(1) - 1).line().raw();
+        for l in first..=last {
+            self.load(Addr::new(l * LINE_BYTES));
+        }
+    }
+
+    /// Records one store per cache line covering `[base, base+bytes)`.
+    pub fn store_range(&mut self, base: Addr, bytes: u64) {
+        let first = base.line().raw();
+        let last = Addr::new(base.raw() + bytes.max(1) - 1).line().raw();
+        for l in first..=last {
+            self.store(Addr::new(l * LINE_BYTES));
+        }
+    }
+
+    /// Records an explicit epoch boundary on the current thread.
+    pub fn epoch_mark(&mut self) {
+        self.tb.epoch_mark(self.thread);
+    }
+
+    /// Loads recorded so far.
+    pub fn loads(&self) -> u64 {
+        self.loads
+    }
+
+    /// Stores recorded so far.
+    pub fn stores(&self) -> u64 {
+        self.stores
+    }
+
+    /// Total accesses recorded.
+    pub fn accesses(&self) -> u64 {
+        self.loads + self.stores
+    }
+
+    /// Finalizes the trace.
+    pub fn into_trace(self) -> Trace {
+        self.tb.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heap_bump_allocates_aligned() {
+        let mut h = ShadowHeap::new();
+        let a = h.alloc(100, 64);
+        assert_eq!(a.raw() % 64, 0);
+        let b = h.alloc(8, 8);
+        assert!(b.raw() >= a.raw() + 100);
+        assert!(h.used() >= 108);
+    }
+
+    #[test]
+    fn sparse_alloc_lands_on_fresh_pages() {
+        let mut h = ShadowHeap::new();
+        let a = h.alloc_sparse(64, 3);
+        let b = h.alloc_sparse(64, 3);
+        assert_eq!(a.raw() % PAGE_BYTES, 0);
+        assert_eq!(b.raw() - a.raw(), 3 * PAGE_BYTES);
+    }
+
+    #[test]
+    fn range_accesses_touch_each_line_once() {
+        let mut r = Recorder::new(2);
+        r.store_range(Addr::new(0), 130); // lines 0,1,2
+        assert_eq!(r.stores(), 3);
+        r.set_thread(ThreadId(1));
+        r.load_range(Addr::new(64), 1);
+        assert_eq!(r.loads(), 1);
+        let t = r.into_trace();
+        assert_eq!(t.thread(ThreadId(0)).len(), 3);
+        assert_eq!(t.thread(ThreadId(1)).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_alignment_panics() {
+        let mut h = ShadowHeap::new();
+        let _ = h.alloc(8, 3);
+    }
+}

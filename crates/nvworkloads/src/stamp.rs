@@ -1,0 +1,469 @@
+//! STAMP-like synthetic kernels.
+//!
+//! We do not have Pin or the STAMP binaries; each kernel here reproduces
+//! the memory-access *shape* the paper's analysis attributes to the
+//! corresponding application (working-set size, read/write mix, sharing
+//! and locality) — see DESIGN.md §2 for the substitution argument. All
+//! kernels are deterministic given the seed and spread operations
+//! round-robin over the logical threads.
+
+use crate::record::{Recorder, ShadowHeap};
+use nvsim::addr::{Addr, ThreadId, LINE_BYTES};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters shared by every kernel.
+#[derive(Clone, Debug)]
+pub struct KernelParams {
+    /// Logical threads (map 1:1 onto simulated cores).
+    pub threads: usize,
+    /// Abstract operation count — kernels scale their structures and
+    /// iteration counts off this.
+    pub ops: u64,
+    /// RNG seed (runs are deterministic per seed).
+    pub seed: u64,
+}
+
+impl KernelParams {
+    fn rng(&self, salt: u64) -> StdRng {
+        StdRng::seed_from_u64(self.seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    fn thread_of(&self, op: u64) -> ThreadId {
+        // Block-wise assignment: threads run streaks of operations (see
+        // `suite::OP_BLOCK`); per-op interleaving would over-share.
+        ThreadId(((op / crate::suite::OP_BLOCK) % self.threads as u64) as u16)
+    }
+}
+
+/// Allocates `lines` whole cache lines and returns the base address.
+fn alloc_lines(heap: &mut ShadowHeap, lines: u64) -> Addr {
+    heap.alloc(lines * LINE_BYTES, LINE_BYTES)
+}
+
+fn line_at(base: Addr, i: u64) -> Addr {
+    Addr::new(base.raw() + i * LINE_BYTES)
+}
+
+/// `kmeans` — streaming clustering.
+///
+/// Streams a multi-megabyte point array while rewriting a membership
+/// array and per-thread partial sums every iteration: far more data is
+/// written into the (small) L2s than they can hold, so capacity evictions
+/// dominate — the paper's §VII-B analysis of why kmeans favours LLC-based
+/// schemes (HW Shadow writes ~70 % less NVM than NVOverlay here).
+pub fn kmeans(p: &KernelParams, rec: &mut Recorder, heap: &mut ShadowHeap) {
+    let mut rng = p.rng(1);
+    let n_points = (p.ops / 3).clamp(1024, 1 << 20);
+    let k = 16u64;
+    let iters = 3u64;
+    let points = alloc_lines(heap, n_points); // one line per point
+    let membership = alloc_lines(heap, n_points.div_ceil(8));
+    let centroids = alloc_lines(heap, k);
+    let partials: Vec<Addr> = (0..p.threads).map(|_| alloc_lines(heap, k)).collect();
+
+    for _it in 0..iters {
+        for i in 0..n_points {
+            let t = p.thread_of(i);
+            rec.set_thread(t);
+            rec.load(line_at(points, i));
+            // Distance computation reads most centroids.
+            for _ in 0..6 {
+                rec.load(line_at(centroids, rng.gen_range(0..k)));
+            }
+            // Assign + accumulate (accumulation batches every few points).
+            rec.store(line_at(membership, i / 8));
+            if i % 4 == 0 {
+                rec.store(line_at(partials[t.index()], rng.gen_range(0..k)));
+            }
+        }
+        // Merge partials into the shared centroids (contended writes).
+        for (ti, &part) in partials.iter().enumerate() {
+            rec.set_thread(ThreadId(ti as u16));
+            for c in 0..k {
+                rec.load(line_at(part, c));
+                rec.store(line_at(centroids, c));
+            }
+        }
+    }
+}
+
+/// `ssca2` — scalable graph kernel.
+///
+/// Scattered reads of a CSR-ish adjacency structure with scattered
+/// single-line property updates across a large array.
+pub fn ssca2(p: &KernelParams, rec: &mut Recorder, heap: &mut ShadowHeap) {
+    let mut rng = p.rng(2);
+    let n_nodes = (p.ops / 8).clamp(1024, 1 << 20);
+    let adjacency = alloc_lines(heap, n_nodes * 2);
+    let props = alloc_lines(heap, n_nodes);
+    for op in 0..p.ops {
+        rec.set_thread(p.thread_of(op));
+        let u = rng.gen_range(0..n_nodes);
+        let v = rng.gen_range(0..n_nodes);
+        // Neighbor-list scans dominate the kernel.
+        for h in 0..5 {
+            rec.load(line_at(adjacency, (u * 2 + h) % (n_nodes * 2)));
+        }
+        rec.load(line_at(adjacency, v * 2 + 1));
+        rec.store(line_at(props, u));
+        if rng.gen_bool(0.25) {
+            rec.store(line_at(props, v));
+        }
+    }
+}
+
+/// `labyrinth` — parallel maze routing.
+///
+/// Each routing task copies a window of the shared grid into a private
+/// buffer, computes a path privately, and writes the path back to the
+/// shared grid — large private write bursts with occasional shared
+/// scatter-writes.
+pub fn labyrinth(p: &KernelParams, rec: &mut Recorder, heap: &mut ShadowHeap) {
+    let mut rng = p.rng(3);
+    let grid_lines = 32_768u64.min(p.ops.max(512)); // up to 2 MiB shared grid
+    let grid = alloc_lines(heap, grid_lines);
+    let privates: Vec<Addr> = (0..p.threads).map(|_| alloc_lines(heap, 512)).collect();
+    let tasks = (p.ops / 300).max(4);
+    for task in 0..tasks {
+        // Tasks are coarse work units (hundreds of accesses); assign them
+        // round-robin directly.
+        let t = ThreadId((task % p.threads as u64) as u16);
+        rec.set_thread(t);
+        let window = rng.gen_range(0..grid_lines.saturating_sub(128).max(1));
+        let priv_buf = privates[t.index()];
+        // Grid scan (reads) with a compact private copy of the region.
+        for i in 0..128 {
+            rec.load(line_at(grid, window + i));
+            if i % 2 == 0 {
+                rec.store(line_at(priv_buf, (i / 2) % 512));
+            }
+        }
+        // Private path computation: read-heavy search, modest writes.
+        for i in 0..96 {
+            rec.load(line_at(priv_buf, rng.gen_range(0..512)));
+            if i % 3 == 0 {
+                rec.store(line_at(priv_buf, 128 + i % 384));
+            }
+        }
+        // Path write-back: a routed path is a run of contiguous grid
+        // cells; write it as two 16-line segments.
+        for _ in 0..2 {
+            let seg = rng.gen_range(0..grid_lines.saturating_sub(16).max(1));
+            rec.store_range(line_at(grid, seg), 16 * LINE_BYTES);
+        }
+    }
+}
+
+/// `bayes` — Bayesian network structure learning.
+///
+/// Deep pointer chases over a medium-sized tree with sparse writes to
+/// score accumulators.
+pub fn bayes(p: &KernelParams, rec: &mut Recorder, heap: &mut ShadowHeap) {
+    let mut rng = p.rng(4);
+    let tree_lines = (p.ops / 4).clamp(1024, 1 << 18);
+    let tree = alloc_lines(heap, tree_lines);
+    let scores = alloc_lines(heap, 4096);
+    let ops = p.ops / 14;
+    for op in 0..ops {
+        rec.set_thread(p.thread_of(op));
+        // Pointer chase ~12 deep.
+        let mut cur = rng.gen_range(0..tree_lines);
+        for _ in 0..12 {
+            rec.load(line_at(tree, cur));
+            cur = (cur.wrapping_mul(6364136223846793005).wrapping_add(op)) % tree_lines;
+        }
+        rec.store(line_at(scores, rng.gen_range(0..4096)));
+        if rng.gen_bool(0.25) {
+            // ADTree node updates rewrite a whole 256-byte node in a hot
+            // subregion of the tree.
+            let hot = tree_lines / 8;
+            let node = (cur % hot) / 4 * 4;
+            rec.store_range(line_at(tree, node), 4 * LINE_BYTES);
+        }
+    }
+}
+
+/// `yada` — Delaunay mesh refinement.
+///
+/// Cavity retriangulation over a mesh whose elements are *sparsely*
+/// scattered across the address space: one or two live lines per 4-KiB
+/// page. This is the Fig 13 outlier — per-epoch mapping-table inner
+/// nodes stay nearly empty (the paper measures 3.5 % inner occupancy and
+/// 19.7 % metadata cost).
+pub fn yada(p: &KernelParams, rec: &mut Recorder, heap: &mut ShadowHeap) {
+    let mut rng = p.rng(5);
+    // Mesh regions: *page-dense* clusters of elements, with the pages
+    // themselves scattered widely (~30 pages apart). This reproduces the
+    // paper's yada profile: leaf mapping nodes ~94 % full while inner
+    // nodes map only ~3.5 % of their slots (Fig 13's 19.7 % outlier).
+    let mut region = heap.alloc_sparse(64, 32);
+    let mut region_used = 0u64;
+    let mut alloc_element = |heap: &mut ShadowHeap, rng: &mut StdRng| -> Addr {
+        if region_used >= 60 {
+            region = heap.alloc_sparse(64, rng.gen_range(24..40));
+            region_used = 0;
+        }
+        let a = Addr::new(region.raw() + region_used * LINE_BYTES);
+        region_used += 1;
+        a
+    };
+    let initial = (p.ops / 12).clamp(256, 1 << 16);
+    let mut elements: Vec<Addr> = (0..initial)
+        .map(|_| alloc_element(heap, &mut rng))
+        .collect();
+    let ops = p.ops / 12;
+    for op in 0..ops {
+        rec.set_thread(p.thread_of(op));
+        // Walk the cavity: ~12 scattered element reads.
+        for _ in 0..12 {
+            let e = elements[rng.gen_range(0..elements.len())];
+            rec.load(e);
+        }
+        // Retriangulate: 2 new elements + 3 neighbour updates.
+        for _ in 0..2 {
+            let e = alloc_element(heap, &mut rng);
+            rec.store(e);
+            elements.push(e);
+        }
+        for _ in 0..3 {
+            let e = elements[rng.gen_range(0..elements.len())];
+            rec.store(e);
+        }
+    }
+}
+
+/// `intruder` — network intrusion detection.
+///
+/// Producer/consumer packet queues with highly contended head/tail
+/// lines, plus a shared flow table.
+pub fn intruder(p: &KernelParams, rec: &mut Recorder, heap: &mut ShadowHeap) {
+    let mut rng = p.rng(6);
+    let ring_lines = 4096u64;
+    let ring = alloc_lines(heap, ring_lines);
+    let head = heap.alloc_line();
+    let tail = heap.alloc_line();
+    let flow_buckets = 4096u64;
+    let flows = alloc_lines(heap, flow_buckets);
+    let ops = p.ops / 8;
+    for op in 0..ops {
+        rec.set_thread(p.thread_of(op));
+        if op % 2 == 0 {
+            // Producer: claim a batch of slots with one tail RMW (real
+            // queue implementations amortize the contended counter), then
+            // write the packets.
+            if op % 16 == 0 {
+                rec.load(tail);
+                rec.store(tail);
+            }
+            let slot = rng.gen_range(0..ring_lines);
+            rec.store(line_at(ring, slot));
+            rec.load(line_at(ring, (slot + 1) % ring_lines));
+        } else {
+            // Consumer: claim a batch via head, read the packet, update
+            // its flow-table entry.
+            if op % 16 == 1 {
+                rec.load(head);
+                rec.store(head);
+            }
+            let slot = rng.gen_range(0..ring_lines);
+            rec.load(line_at(ring, slot));
+            // Signature matching: several flow reads per update.
+            for _ in 0..3 {
+                rec.load(line_at(flows, rng.gen_range(0..flow_buckets)));
+            }
+            let b = rng.gen_range(0..flow_buckets);
+            rec.load(line_at(flows, b));
+            if rng.gen_bool(0.5) {
+                rec.store(line_at(flows, b));
+            }
+        }
+    }
+}
+
+/// `vacation` — travel reservation OLTP.
+///
+/// Transactions touch several random records across four tables through
+/// shallow index chases, updating a couple of them.
+pub fn vacation(p: &KernelParams, rec: &mut Recorder, heap: &mut ShadowHeap) {
+    let mut rng = p.rng(7);
+    // 512-byte reservation records (8 lines each).
+    let record_lines = 8u64;
+    let records = (p.ops / 64).clamp(256, 1 << 15);
+    let tables: Vec<Addr> = (0..4)
+        .map(|_| alloc_lines(heap, records * record_lines))
+        .collect();
+    let index = alloc_lines(heap, records / 4);
+    let ops = p.ops / 20;
+    for op in 0..ops {
+        rec.set_thread(p.thread_of(op));
+        // Index chase.
+        for _ in 0..8 {
+            rec.load(line_at(index, rng.gen_range(0..records / 4)));
+        }
+        // Read 8 records, rewrite one whole record half the time.
+        for i in 0..8 {
+            let t = &tables[rng.gen_range(0..4)];
+            let r = rng.gen_range(0..records) * record_lines;
+            rec.load(line_at(*t, r));
+            rec.load(line_at(*t, r + 1));
+            if i == 0 && rng.gen_bool(0.5) {
+                rec.store_range(line_at(*t, r), record_lines * LINE_BYTES);
+            }
+        }
+    }
+}
+
+/// `genome` — gene sequencing.
+///
+/// Phase 1 deduplicates segments through a shared hash set; phase 2
+/// streams the segment array doing mostly-read matching.
+pub fn genome(p: &KernelParams, rec: &mut Recorder, heap: &mut ShadowHeap) {
+    let mut rng = p.rng(8);
+    let buckets = 8_192u64;
+    let set = alloc_lines(heap, buckets);
+    let segs = (p.ops / 4).clamp(1024, 1 << 19);
+    let segments = alloc_lines(heap, segs);
+    // Phase 1: dedup inserts (write-heavy on the hash set).
+    let phase1 = p.ops / 5;
+    for op in 0..phase1 {
+        rec.set_thread(p.thread_of(op));
+        let b = rng.gen_range(0..buckets);
+        rec.load(line_at(set, b));
+        rec.load(line_at(set, (b + 1) % buckets));
+        if rng.gen_bool(0.3) {
+            rec.store(line_at(set, b));
+        }
+    }
+    // Phase 2: streaming matching (read-dominated); matches append to a
+    // dense output array.
+    let phase2 = p.ops / 3;
+    let out = alloc_lines(heap, phase2 / 8 + 1);
+    for op in 0..phase2 {
+        rec.set_thread(p.thread_of(op));
+        let pos = op % segs;
+        rec.load(line_at(segments, pos));
+        if op % 8 == 0 {
+            rec.store(line_at(out, op / 8));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(f: fn(&KernelParams, &mut Recorder, &mut ShadowHeap)) -> (u64, u64, u64) {
+        let p = KernelParams {
+            threads: 4,
+            ops: 20_000,
+            seed: 42,
+        };
+        let mut rec = Recorder::new(p.threads);
+        let mut heap = ShadowHeap::new();
+        f(&p, &mut rec, &mut heap);
+        let (l, s) = (rec.loads(), rec.stores());
+        let t = rec.into_trace();
+        (l, s, t.write_footprint())
+    }
+
+    #[test]
+    fn all_kernels_produce_traffic_on_all_threads() {
+        for f in [
+            kmeans, ssca2, labyrinth, bayes, yada, intruder, vacation, genome,
+        ] {
+            let p = KernelParams {
+                threads: 4,
+                ops: 10_000,
+                seed: 7,
+            };
+            let mut rec = Recorder::new(p.threads);
+            let mut heap = ShadowHeap::new();
+            f(&p, &mut rec, &mut heap);
+            assert!(rec.loads() > 0 && rec.stores() > 0);
+            let t = rec.into_trace();
+            for thread in 0..4 {
+                assert!(
+                    !t.thread(ThreadId(thread)).is_empty(),
+                    "thread {thread} idle"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kernels_are_deterministic() {
+        let p = KernelParams {
+            threads: 4,
+            ops: 5_000,
+            seed: 11,
+        };
+        let mk = || {
+            let mut rec = Recorder::new(p.threads);
+            let mut heap = ShadowHeap::new();
+            ssca2(&p, &mut rec, &mut heap);
+            rec.into_trace().access_count()
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn kernels_are_read_dominated_like_their_originals() {
+        let (gl, gs, _) = run(genome);
+        assert!(gl > 3 * gs, "genome reads dominate: {gl} loads, {gs} stores");
+        let (kl, ks, _) = run(kmeans);
+        assert!(kl > 3 * ks, "kmeans distance phase reads dominate: {kl}/{ks}");
+        assert!(ks > 0);
+    }
+
+    #[test]
+    fn yada_write_set_is_page_dense_but_address_sparse() {
+        // Yada's profile (paper Fig 13): pages internally dense (~94 %
+        // leaf occupancy) but scattered widely (~3.5 % inner occupancy).
+        let p = KernelParams {
+            threads: 4,
+            ops: 20_000,
+            seed: 3,
+        };
+        let mut rec = Recorder::new(p.threads);
+        let mut heap = ShadowHeap::new();
+        yada(&p, &mut rec, &mut heap);
+        let t = rec.into_trace();
+        let lines = t.write_footprint();
+        let mut pages: Vec<u64> = (0..t.thread_count())
+            .flat_map(|i| t.thread(ThreadId(i as u16)).iter())
+            .filter_map(|e| match e {
+                nvsim::trace::TraceEvent::Access {
+                    op: nvsim::memsys::MemOp::Store,
+                    addr,
+                    ..
+                } => Some(addr.page().raw()),
+                _ => None,
+            })
+            .collect();
+        pages.sort_unstable();
+        pages.dedup();
+        let lines_per_page = lines as f64 / pages.len() as f64;
+        assert!(
+            lines_per_page > 32.0,
+            "pages are internally dense: {lines_per_page:.1} lines/page"
+        );
+        let span = pages.last().unwrap() - pages.first().unwrap() + 1;
+        let spread = span as f64 / pages.len() as f64;
+        assert!(
+            spread > 16.0,
+            "pages are scattered widely: {spread:.1} pages of span per used page"
+        );
+    }
+
+    #[test]
+    fn kmeans_membership_rewrites_across_iterations() {
+        // The same membership lines are written every iteration: the
+        // write footprint is far smaller than total stores.
+        let (_, stores, footprint) = run(kmeans);
+        assert!(
+            stores > 2 * footprint,
+            "kmeans rewrites lines across iterations: {stores} stores on {footprint} lines"
+        );
+    }
+}

@@ -1,0 +1,76 @@
+//! Low-latency crash recovery (the paper's §I usage model 4, §V-E).
+//!
+//! Runs the same workload under NVOverlay and under software undo
+//! logging, "crashes" both, and compares (a) that both recover a
+//! consistent epoch-boundary image and (b) what the snapshotting cost
+//! during the run — the trade the paper quantifies in Figs 11/12.
+//!
+//! ```sh
+//! cargo run --release --example crash_recovery
+//! ```
+
+use nvoverlay_suite::baselines::SwUndoLogging;
+use nvoverlay_suite::overlay::system::NvOverlaySystem;
+use nvoverlay_suite::sim::memsys::{MemorySystem, Runner};
+use nvoverlay_suite::sim::stats::NvmWriteKind;
+use nvoverlay_suite::sim::SimConfig;
+use nvoverlay_suite::workloads::{generate, SuiteParams, Workload};
+
+fn main() {
+    let cfg = SimConfig::builder()
+        .epoch_size_stores(1_500)
+        .build()
+        .expect("valid configuration");
+    let params = SuiteParams {
+        threads: 16,
+        ops: 6_000,
+        warmup_ops: 24_000,
+        seed: 7,
+    };
+    let trace = generate(Workload::HashTable, &params);
+    println!(
+        "workload: hash-table bulk insert, {} accesses / {} stores",
+        trace.access_count(),
+        trace.store_count()
+    );
+
+    // --- NVOverlay ---------------------------------------------------
+    let mut nvo = NvOverlaySystem::new(&cfg);
+    let r1 = Runner::new().run(&mut nvo, &trace);
+    let image = nvo.recover().expect("recoverable");
+    for (line, token) in &r1.golden_image {
+        assert_eq!(image.read(*line), Some(*token), "NVOverlay image diverged");
+    }
+    let s1 = nvo.stats();
+    println!();
+    println!("NVOverlay:");
+    println!("  cycles:            {:>12}", r1.cycles);
+    println!("  persist stalls:    {:>12} (across 16 cores)", r1.stall_cycles);
+    println!("  NVM bytes:         {:>12} (log bytes: {})", s1.nvm.total_bytes(), s1.nvm.bytes(NvmWriteKind::Log));
+    println!("  snapshots:         {:>12}", s1.epochs_completed);
+    println!("  recovered image:   {:>12} lines at epoch {}", image.len(), image.epoch());
+
+    // --- SW undo logging ---------------------------------------------
+    let mut swl = SwUndoLogging::new(&cfg);
+    let r2 = Runner::new().run(&mut swl, &trace);
+    for (line, token) in &r2.golden_image {
+        assert_eq!(
+            swl.recovered_image().get(line),
+            Some(token),
+            "SW logging image diverged"
+        );
+    }
+    let s2 = swl.stats();
+    println!();
+    println!("SW undo logging:");
+    println!("  cycles:            {:>12}  ({:.1}x NVOverlay)", r2.cycles, r2.cycles as f64 / r1.cycles as f64);
+    println!("  persist stalls:    {:>12}", r2.stall_cycles);
+    println!("  NVM bytes:         {:>12}  ({:.2}x NVOverlay, {} log bytes)",
+        s2.nvm.total_bytes(),
+        s2.nvm.total_bytes() as f64 / s1.nvm.total_bytes() as f64,
+        s2.nvm.bytes(NvmWriteKind::Log));
+    println!("  epochs committed:  {:>12}", swl.epochs_committed());
+
+    println!();
+    println!("both recover a consistent image; NVOverlay does it without barriers or logs.");
+}

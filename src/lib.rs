@@ -1,0 +1,19 @@
+//! # nvoverlay-suite
+//!
+//! Facade crate for the NVOverlay (ISCA 2021) reproduction. Re-exports the
+//! workspace crates so examples and integration tests can use one import
+//! root:
+//!
+//! * [`sim`] — the `nvsim` timing simulator substrate.
+//! * [`overlay`] — the `nvoverlay` mechanism (CST + MNM).
+//! * [`baselines`] — the five comparison schemes.
+//! * [`workloads`] — the paper's 12-workload benchmark suite.
+//!
+//! See README.md for a quickstart and DESIGN.md for the architecture.
+
+#![warn(missing_docs)]
+
+pub use nvbaselines as baselines;
+pub use nvoverlay as overlay;
+pub use nvsim as sim;
+pub use nvworkloads as workloads;
