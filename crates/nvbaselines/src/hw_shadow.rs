@@ -19,19 +19,19 @@ use nvoverlay::mnm::{NvmLoc, RadixTable};
 use nvsim::addr::{Addr, CoreId, LineAddr, Token};
 use nvsim::clock::Cycle;
 use nvsim::config::SimConfig;
+use nvsim::fastmap::FastHashMap;
 use nvsim::hierarchy::HierarchyEvent;
 use nvsim::memsys::{AccessOutcome, MemOp, MemorySystem};
 use nvsim::stats::{EvictReason, NvmWriteKind, SystemStats};
-use std::collections::HashMap;
 
 /// The ThyNVM-like hardware shadow-paging scheme.
 pub struct HwShadow {
     core: BaselineCore,
     write_set: Vec<LineAddr>,
-    in_set: HashMap<LineAddr, ()>,
+    in_set: FastHashMap<LineAddr, ()>,
     table: RadixTable,
-    shadow_flip: HashMap<LineAddr, bool>,
-    committed_image: HashMap<LineAddr, Token>,
+    shadow_flip: FastHashMap<LineAddr, bool>,
+    committed_image: FastHashMap<LineAddr, Token>,
     epochs_committed: u64,
 }
 
@@ -41,16 +41,16 @@ impl HwShadow {
         Self {
             core: BaselineCore::new(cfg),
             write_set: Vec::new(),
-            in_set: HashMap::new(),
+            in_set: FastHashMap::default(),
             table: RadixTable::new(),
-            shadow_flip: HashMap::new(),
-            committed_image: HashMap::new(),
+            shadow_flip: FastHashMap::default(),
+            committed_image: FastHashMap::default(),
             epochs_committed: 0,
         }
     }
 
     /// The image recovery would restore.
-    pub fn recovered_image(&self) -> &HashMap<LineAddr, Token> {
+    pub fn recovered_image(&self) -> &FastHashMap<LineAddr, Token> {
         &self.committed_image
     }
 
@@ -68,9 +68,12 @@ impl HwShadow {
             let (token, _) = self.core.hier.clwb(line);
             let flip = self.shadow_flip.entry(line).or_insert(false);
             *flip = !*flip;
-            self.core
-                .nvm
-                .write(now, line.raw() * 2 + u64::from(*flip), NvmWriteKind::Data, DATA_BYTES);
+            self.core.nvm.write(
+                now,
+                line.raw() * 2 + u64::from(*flip),
+                NvmWriteKind::Data,
+                DATA_BYTES,
+            );
             self.core.stats.evictions.record(EvictReason::EpochFlush);
             self.committed_image.insert(line, token);
         }
@@ -119,7 +122,12 @@ impl HwShadow {
                 // A dirty line evicted from the LLC mid-epoch must be
                 // shadowed immediately (it may not survive until the
                 // boundary). Background write.
-                HierarchyEvent::LlcWriteback { line, token, reason, .. } => {
+                HierarchyEvent::LlcWriteback {
+                    line,
+                    token,
+                    reason,
+                    ..
+                } => {
                     self.core
                         .nvm
                         .write(now, line.raw(), NvmWriteKind::Data, DATA_BYTES);

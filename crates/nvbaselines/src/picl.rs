@@ -19,10 +19,10 @@ use crate::common::{BaselineCore, DATA_BYTES, LOG_ENTRY_BYTES};
 use nvsim::addr::{Addr, CoreId, LineAddr, Token};
 use nvsim::clock::Cycle;
 use nvsim::config::SimConfig;
+use nvsim::fastmap::{FastHashMap, FastHashSet};
 use nvsim::hierarchy::{EpochId, HierarchyEvent};
 use nvsim::memsys::{AccessOutcome, MemOp, MemorySystem};
 use nvsim::stats::{EvictReason, NvmWriteKind, SystemStats};
-use std::collections::{HashMap, HashSet};
 
 /// Where PiCL's version tracking and tag walks live.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -41,11 +41,11 @@ pub struct Picl {
     /// PiCL-L2 only: lines currently resident in an L2 whose pre-image has
     /// been logged this epoch (tags are lost when a line leaves the L2,
     /// forcing a conservative re-log on return).
-    logged_resident: HashSet<LineAddr>,
+    logged_resident: FastHashSet<LineAddr>,
     /// Undo log of not-yet-committed epochs: (epoch, line, pre-image).
     undo: Vec<(EpochId, LineAddr, Token)>,
     /// NVM home image (data writes land here).
-    nvm_image: HashMap<LineAddr, Token>,
+    nvm_image: FastHashMap<LineAddr, Token>,
     /// Last epoch whose data is fully on NVM.
     committed_epoch: EpochId,
     walk_writes: u64,
@@ -65,9 +65,9 @@ impl Picl {
             core: BaselineCore::new(cfg),
             level,
             walker_enabled,
-            logged_resident: HashSet::new(),
+            logged_resident: FastHashSet::default(),
             undo: Vec::new(),
-            nvm_image: HashMap::new(),
+            nvm_image: FastHashMap::default(),
             committed_epoch: 0,
             walk_writes: 0,
         }
@@ -90,7 +90,7 @@ impl Picl {
 
     /// The image crash recovery would produce: NVM home data with the
     /// undo log of uncommitted epochs applied in reverse.
-    pub fn recovered_image(&self) -> HashMap<LineAddr, Token> {
+    pub fn recovered_image(&self) -> FastHashMap<LineAddr, Token> {
         let mut img = self.nvm_image.clone();
         for (epoch, line, old) in self.undo.iter().rev() {
             if *epoch > self.committed_epoch {
@@ -104,7 +104,13 @@ impl Picl {
         img
     }
 
-    fn write_home(&mut self, now: Cycle, line: LineAddr, token: Token, reason: EvictReason) -> Cycle {
+    fn write_home(
+        &mut self,
+        now: Cycle,
+        line: LineAddr,
+        token: Token,
+        reason: EvictReason,
+    ) -> Cycle {
         let t = self
             .core
             .nvm
@@ -115,12 +121,10 @@ impl Picl {
     }
 
     fn log_pre_image(&mut self, now: Cycle, line: LineAddr, old: Token, epoch: EpochId) -> Cycle {
-        let t = self.core.nvm.write(
-            now,
-            line.raw() ^ 0x7777,
-            NvmWriteKind::Log,
-            LOG_ENTRY_BYTES,
-        );
+        let t = self
+            .core
+            .nvm
+            .write(now, line.raw() ^ 0x7777, NvmWriteKind::Log, LOG_ENTRY_BYTES);
         self.core.stats.evictions.record(EvictReason::LogWrite);
         self.undo.push((epoch, line, old));
         t.backpressure_stall(now)
@@ -209,7 +213,12 @@ impl Picl {
                 HierarchyEvent::EpochTrigger { .. } => {
                     self.commit_epoch(now);
                 }
-                HierarchyEvent::L2Writeback { line, token, reason, .. } => {
+                HierarchyEvent::L2Writeback {
+                    line,
+                    token,
+                    reason,
+                    ..
+                } => {
                     if self.level == PiclLevel::L2 {
                         // Persistence boundary at the L2: the line's data
                         // must be home before the tag is lost.
@@ -217,7 +226,12 @@ impl Picl {
                         self.logged_resident.remove(&line);
                     }
                 }
-                HierarchyEvent::LlcWriteback { line, token, reason, .. } => {
+                HierarchyEvent::LlcWriteback {
+                    line,
+                    token,
+                    reason,
+                    ..
+                } => {
                     if self.level == PiclLevel::Llc {
                         stall = stall.max(self.write_home(now, line, token, reason));
                     }
@@ -318,8 +332,16 @@ mod tests {
         let trace = mk_trace(30, 10);
         let report = Runner::new().run(&mut sys, &trace);
         let s = sys.stats();
-        assert_eq!(s.nvm.writes(NvmWriteKind::Log), 10, "one log per line/epoch");
-        assert_eq!(s.nvm.writes(NvmWriteKind::Data), 10, "walk writes each line");
+        assert_eq!(
+            s.nvm.writes(NvmWriteKind::Log),
+            10,
+            "one log per line/epoch"
+        );
+        assert_eq!(
+            s.nvm.writes(NvmWriteKind::Data),
+            10,
+            "walk writes each line"
+        );
         for (l, t) in &report.golden_image {
             assert_eq!(sys.recovered_image().get(l), Some(t));
         }

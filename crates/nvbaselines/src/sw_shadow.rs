@@ -15,23 +15,23 @@ use nvoverlay::mnm::{NvmLoc, RadixTable};
 use nvsim::addr::{Addr, CoreId, LineAddr, Token};
 use nvsim::clock::Cycle;
 use nvsim::config::SimConfig;
+use nvsim::fastmap::FastHashMap;
 use nvsim::hierarchy::HierarchyEvent;
 use nvsim::memsys::{AccessOutcome, MemOp, MemorySystem};
 use nvsim::stats::{EvictReason, NvmWriteKind, SystemStats};
-use std::collections::HashMap;
 
 /// The software shadow-paging scheme.
 pub struct SwShadow {
     core: BaselineCore,
     write_set: Vec<LineAddr>,
-    in_set: HashMap<LineAddr, ()>,
+    in_set: FastHashMap<LineAddr, ()>,
     /// The persistent shadow mapping table (same radix shape as
     /// NVOverlay's master table, which the paper also charges 8-byte
     /// entry writes for).
     table: RadixTable,
     /// Shadow slot allocator: two slots per line, flipped each commit.
-    shadow_flip: HashMap<LineAddr, bool>,
-    committed_image: HashMap<LineAddr, Token>,
+    shadow_flip: FastHashMap<LineAddr, bool>,
+    committed_image: FastHashMap<LineAddr, Token>,
     epochs_committed: u64,
 }
 
@@ -41,16 +41,16 @@ impl SwShadow {
         Self {
             core: BaselineCore::new(cfg),
             write_set: Vec::new(),
-            in_set: HashMap::new(),
+            in_set: FastHashMap::default(),
             table: RadixTable::new(),
-            shadow_flip: HashMap::new(),
-            committed_image: HashMap::new(),
+            shadow_flip: FastHashMap::default(),
+            committed_image: FastHashMap::default(),
             epochs_committed: 0,
         }
     }
 
     /// The image recovery would restore.
-    pub fn recovered_image(&self) -> &HashMap<LineAddr, Token> {
+    pub fn recovered_image(&self) -> &FastHashMap<LineAddr, Token> {
         &self.committed_image
     }
 

@@ -14,22 +14,22 @@ use crate::common::{BaselineCore, DATA_BYTES, LOG_ENTRY_BYTES};
 use nvsim::addr::{Addr, CoreId, LineAddr, Token};
 use nvsim::clock::Cycle;
 use nvsim::config::SimConfig;
+use nvsim::fastmap::FastHashMap;
 use nvsim::hierarchy::HierarchyEvent;
 use nvsim::memsys::{AccessOutcome, MemOp, MemorySystem};
 use nvsim::stats::{EvictReason, NvmWriteKind, SystemStats};
-use std::collections::HashMap;
 
 /// The software undo-logging scheme.
 pub struct SwUndoLogging {
     core: BaselineCore,
     /// Lines dirtied this epoch (the library's write set).
     write_set: Vec<LineAddr>,
-    in_set: HashMap<LineAddr, ()>,
+    in_set: FastHashMap<LineAddr, ()>,
     /// Undo log of the current epoch: (line, pre-image) — used for
     /// functional recovery verification.
     undo_log: Vec<(LineAddr, Token)>,
     /// Image as of the last committed epoch (what recovery reproduces).
-    committed_image: HashMap<LineAddr, Token>,
+    committed_image: FastHashMap<LineAddr, Token>,
     epochs_committed: u64,
 }
 
@@ -39,9 +39,9 @@ impl SwUndoLogging {
         Self {
             core: BaselineCore::new(cfg),
             write_set: Vec::new(),
-            in_set: HashMap::new(),
+            in_set: FastHashMap::default(),
             undo_log: Vec::new(),
-            committed_image: HashMap::new(),
+            committed_image: FastHashMap::default(),
             epochs_committed: 0,
         }
     }
@@ -49,7 +49,7 @@ impl SwUndoLogging {
     /// The image recovery would restore (last committed epoch): data in
     /// NVM home locations with the current epoch's writes rolled back via
     /// the undo log.
-    pub fn recovered_image(&self) -> &HashMap<LineAddr, Token> {
+    pub fn recovered_image(&self) -> &FastHashMap<LineAddr, Token> {
         &self.committed_image
     }
 

@@ -7,38 +7,60 @@
 //! (distributed epochs + per-VD walkers + partitioned OMCs), normalized
 //! to the ideal system at the same core count.
 
-use nvbench::{run_scheme, EnvScale, Scheme};
+use nvbench::{default_jobs, run_ordered, run_scheme, EnvScale, Scheme};
 use nvsim::SimConfig;
 use nvworkloads::{generate, SuiteParams, Workload};
+use std::sync::Arc;
 
 fn main() {
     let scale = EnvScale::from_env();
     let base = scale.suite_params();
+    let jobs = default_jobs();
 
     println!("Ablation: core-count scaling (ssca2, constant per-thread load)");
     println!(
         "{:<8} {:>12} {:>10} {:>12} {:>12}",
         "cores", "ideal cyc", "PiCL", "PiCL-L2", "NVOverlay"
     );
-    for cores in [8u16, 16, 32, 64] {
-        let cfg = SimConfig::builder()
-            .cores(cores, 2)
-            // LLC grows with the socket count, as real systems do.
-            .llc(2 * 1024 * 1024 * cores as u64, 16, 30, (cores / 4).max(1))
-            .epoch_size_stores(scale.sim_config().epoch_size_stores)
-            .build()
-            .expect("valid scaled config");
+    let core_counts = [8u16, 16, 32, 64];
+    let configs: Vec<SimConfig> = core_counts
+        .iter()
+        .map(|&cores| {
+            SimConfig::builder()
+                .cores(cores, 2)
+                // LLC grows with the socket count, as real systems do.
+                .llc(2 * 1024 * 1024 * cores as u64, 16, 30, (cores / 4).max(1))
+                .epoch_size_stores(scale.sim_config().epoch_size_stores)
+                .build()
+                .expect("valid scaled config")
+        })
+        .collect();
+    // One trace per core count (generated in parallel, shared across the
+    // four schemes), then the full 4×4 matrix fans out.
+    let traces: Vec<Arc<_>> = run_ordered(core_counts.len(), jobs, |i| {
+        let cores = core_counts[i];
         let params = SuiteParams {
             threads: cores as usize,
             // Constant per-thread operation count.
             ops: base.ops * cores as u64 / 16,
             ..base.clone()
         };
-        let trace = generate(Workload::Ssca2, &params);
-        let ideal = run_scheme(Scheme::Ideal, &cfg, &trace);
-        let picl = run_scheme(Scheme::Picl, &cfg, &trace);
-        let picl2 = run_scheme(Scheme::PiclL2, &cfg, &trace);
-        let nvo = run_scheme(Scheme::NvOverlay, &cfg, &trace);
+        Arc::new(generate(Workload::Ssca2, &params))
+    });
+    let schemes = [
+        Scheme::Ideal,
+        Scheme::Picl,
+        Scheme::PiclL2,
+        Scheme::NvOverlay,
+    ];
+    let runs = run_ordered(core_counts.len() * schemes.len(), jobs, |i| {
+        let (row, col) = (i / schemes.len(), i % schemes.len());
+        run_scheme(schemes[col], &configs[row], &traces[row])
+    });
+
+    for (row, cores) in core_counts.iter().enumerate() {
+        let r = &runs[row * schemes.len()..(row + 1) * schemes.len()];
+        let (ideal, picl, picl2, nvo) = (&r[0], &r[1], &r[2], &r[3]);
         println!(
             "{:<8} {:>12} {:>10.2} {:>12.2} {:>12.2}",
             cores,

@@ -7,7 +7,7 @@
 //! behaviour-preserving (identical recoverable image and essentially
 //! identical traffic) while the per-OMC load drops linearly.
 
-use nvbench::{run_nvoverlay, EnvScale};
+use nvbench::{default_jobs, run_nvoverlay, run_ordered, EnvScale};
 use nvoverlay::system::NvOverlayOptions;
 use nvworkloads::{generate, Workload};
 
@@ -22,12 +22,15 @@ fn main() {
         "{:<8} {:>10} {:>12} {:>14} {:>12}",
         "OMCs", "cycles", "NVM bytes", "master bytes", "rec epoch"
     );
-    for omcs in [1usize, 2, 4, 8] {
+    let omc_counts = [1usize, 2, 4, 8];
+    let runs = run_ordered(omc_counts.len(), default_jobs(), |i| {
         let opts = NvOverlayOptions {
-            omc_count: omcs,
+            omc_count: omc_counts[i],
             ..NvOverlayOptions::default()
         };
-        let (r, d) = run_nvoverlay(&cfg, opts, &trace);
+        run_nvoverlay(&cfg, opts, &trace)
+    });
+    for (omcs, (r, d)) in omc_counts.iter().zip(runs) {
         println!(
             "{:<8} {:>10} {:>12} {:>14} {:>12}",
             omcs,

@@ -9,31 +9,52 @@
 //! producer/consumer handoff, cutting coherence-driven NVM traffic on
 //! read-shared workloads.
 
-use nvbench::{run_scheme, EnvScale, Scheme};
+use nvbench::{default_jobs, gen_traces, run_ordered, run_scheme, EnvScale, Scheme};
 use nvsim::config::Protocol;
 use nvsim::SimConfig;
-use nvworkloads::{generate, Workload};
+use nvworkloads::Workload;
 
 fn main() {
     let scale = EnvScale::from_env();
     let params = scale.suite_params();
+    let jobs = default_jobs();
 
     println!("Ablation: MESI vs MOESI (normalized cycles ×, NVM MB)");
     println!(
         "{:<11} {:>13} {:>14} {:>13} {:>14}",
         "workload", "PiCL/MESI", "PiCL/MOESI", "NVO/MESI", "NVO/MOESI"
     );
-    for w in [Workload::BTree, Workload::Intruder, Workload::Kmeans, Workload::Ssca2] {
-        let trace = generate(w, &params);
+    let workloads = [
+        Workload::BTree,
+        Workload::Intruder,
+        Workload::Kmeans,
+        Workload::Ssca2,
+    ];
+    let traces = gen_traces(&workloads, &params, jobs);
+    // Per workload: 2 protocols × 3 runs (ideal, PiCL, NVOverlay) = 6
+    // cells, all sharing the workload's trace.
+    let schemes = [Scheme::Ideal, Scheme::Picl, Scheme::NvOverlay];
+    let cells = run_ordered(workloads.len() * 6, jobs, |i| {
+        let (wi, rest) = (i / 6, i % 6);
+        let proto = if rest / 3 == 0 {
+            Protocol::Mesi
+        } else {
+            Protocol::Moesi
+        };
+        let cfg = SimConfig {
+            protocol: proto,
+            ..scale.sim_config()
+        };
+        run_scheme(schemes[rest % 3], &cfg, &traces[wi])
+    });
+
+    for (wi, w) in workloads.iter().enumerate() {
         let mut row = Vec::new();
-        for proto in [Protocol::Mesi, Protocol::Moesi] {
-            let cfg = SimConfig {
-                protocol: proto,
-                ..scale.sim_config()
-            };
-            let ideal = run_scheme(Scheme::Ideal, &cfg, &trace);
-            for s in [Scheme::Picl, Scheme::NvOverlay] {
-                let r = run_scheme(s, &cfg, &trace);
+        for proto_block in 0..2 {
+            let base = wi * 6 + proto_block * 3;
+            let ideal = &cells[base];
+            for s in 1..3 {
+                let r = &cells[base + s];
                 row.push((
                     r.cycles as f64 / ideal.cycles as f64,
                     r.total_bytes() as f64 / 1e6,
@@ -44,10 +65,14 @@ fn main() {
         println!(
             "{:<11} {:>6.2}x {:>4.1}MB {:>7.2}x {:>4.1}MB {:>6.2}x {:>4.1}MB {:>7.2}x {:>4.1}MB",
             w.name(),
-            row[0].0, row[0].1,
-            row[2].0, row[2].1,
-            row[1].0, row[1].1,
-            row[3].0, row[3].1,
+            row[0].0,
+            row[0].1,
+            row[2].0,
+            row[2].1,
+            row[1].0,
+            row[1].1,
+            row[3].0,
+            row[3].1,
         );
     }
 }

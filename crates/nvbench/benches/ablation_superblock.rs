@@ -6,7 +6,7 @@
 //! tag can only over-approximate a line's epoch, which may cause extra
 //! (spurious) epoch synchronizations; this ablation measures that cost.
 
-use nvbench::{run_nvoverlay, EnvScale};
+use nvbench::{default_jobs, run_nvoverlay, run_ordered, EnvScale};
 use nvoverlay::system::NvOverlayOptions;
 use nvsim::SimConfig;
 use nvworkloads::{generate, Workload};
@@ -22,12 +22,15 @@ fn main() {
         "{:<18} {:>10} {:>12} {:>10} {:>10}",
         "lines per tag", "cycles", "NVM bytes", "epochs", "DRAM tags"
     );
-    for sb in [1u32, 4, 16, 64] {
+    let granularities = [1u32, 4, 16, 64];
+    let runs = run_ordered(granularities.len(), default_jobs(), |i| {
         let cfg = SimConfig {
-            dram_oid_superblock_lines: sb,
+            dram_oid_superblock_lines: granularities[i],
             ..base_cfg.clone()
         };
-        let (r, d) = run_nvoverlay(&cfg, NvOverlayOptions::default(), &trace);
+        run_nvoverlay(&cfg, NvOverlayOptions::default(), &trace)
+    });
+    for (sb, (r, d)) in granularities.iter().zip(runs) {
         println!(
             "{:<18} {:>10} {:>12} {:>10} {:>10}",
             sb,

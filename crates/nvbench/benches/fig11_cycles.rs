@@ -8,13 +8,14 @@
 //! moderately slower, PiCL and NVOverlay mostly overlap persistence
 //! completely (≈1.0), and PiCL-L2 trails PiCL.
 
-use nvbench::{run_scheme, EnvScale, Scheme};
-use nvworkloads::{generate, Workload};
+use nvbench::{default_jobs, gen_traces, run_matrix, EnvScale, Scheme};
+use nvworkloads::Workload;
 
 fn main() {
     let scale = EnvScale::from_env();
     let cfg = scale.sim_config();
     let params = scale.suite_params();
+    let jobs = default_jobs();
 
     println!("Figure 11: Normalized Cycles (scale {scale:?}, lower is better)");
     print!("{:<11}", "workload");
@@ -23,12 +24,17 @@ fn main() {
     }
     println!();
 
-    for w in Workload::ALL {
-        let trace = generate(w, &params);
-        let ideal = run_scheme(Scheme::Ideal, &cfg, &trace);
+    // Column 0 is the Ideal normalization baseline; the trace for each
+    // workload is generated once and shared across all seven runs.
+    let mut schemes = vec![Scheme::Ideal];
+    schemes.extend(Scheme::FIGURE);
+    let traces = gen_traces(&Workload::ALL, &params, jobs);
+    let rows = run_matrix(&schemes, &cfg, &traces, jobs);
+
+    for (w, row) in Workload::ALL.iter().zip(rows) {
+        let ideal = &row[0];
         print!("{:<11}", w.name());
-        for s in Scheme::FIGURE {
-            let r = run_scheme(s, &cfg, &trace);
+        for r in &row[1..] {
             print!(" {:>10.2}", r.cycles as f64 / ideal.cycles as f64);
         }
         println!();

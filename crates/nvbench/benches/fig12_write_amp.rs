@@ -8,13 +8,14 @@
 //! Expected shape (paper): PiCL 1.4×–1.9×, PiCL-L2 1.8×–2.3×, HW Shadow
 //! mostly 0.77×–1.0× (0.30× on kmeans).
 
-use nvbench::{run_scheme, EnvScale, Scheme};
-use nvworkloads::{generate, Workload};
+use nvbench::{default_jobs, gen_traces, run_matrix, EnvScale, Scheme};
+use nvworkloads::Workload;
 
 fn main() {
     let scale = EnvScale::from_env();
     let cfg = scale.sim_config();
     let params = scale.suite_params();
+    let jobs = default_jobs();
 
     println!("Figure 12: Write Amplification in Bytes, normalized to NVOverlay");
     print!("{:<11}", "workload");
@@ -23,18 +24,22 @@ fn main() {
     }
     println!("  {:>12}", "NVO bytes");
 
-    for w in Workload::ALL {
-        let trace = generate(w, &params);
-        let nvo = run_scheme(Scheme::NvOverlay, &cfg, &trace);
-        let base = nvo.total_bytes().max(1);
+    let traces = gen_traces(&Workload::ALL, &params, jobs);
+    let rows = run_matrix(&Scheme::FIGURE, &cfg, &traces, jobs);
+    let nvo_col = Scheme::FIGURE
+        .iter()
+        .position(|&s| s == Scheme::NvOverlay)
+        .expect("NVOverlay is a figure scheme");
+
+    for (w, row) in Workload::ALL.iter().zip(rows) {
+        let base = row[nvo_col].total_bytes().max(1);
         print!("{:<11}", w.name());
-        for s in Scheme::FIGURE {
-            if s == Scheme::NvOverlay {
+        for (i, r) in row.iter().enumerate() {
+            if i == nvo_col {
                 print!(" {:>10.2}", 1.00);
-                continue;
+            } else {
+                print!(" {:>10.2}", r.total_bytes() as f64 / base as f64);
             }
-            let r = run_scheme(s, &cfg, &trace);
-            print!(" {:>10.2}", r.total_bytes() as f64 / base as f64);
         }
         println!("  {:>12}", base);
     }

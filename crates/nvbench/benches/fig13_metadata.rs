@@ -9,7 +9,7 @@
 //! 19.7 % because its sparsely scattered writes leave inner nodes almost
 //! empty.
 
-use nvbench::{run_nvoverlay, EnvScale};
+use nvbench::{default_jobs, run_nvoverlay, run_ordered, EnvScale};
 use nvoverlay::system::NvOverlayOptions;
 use nvworkloads::{generate, Workload};
 
@@ -32,9 +32,13 @@ fn main() {
         "{:<11} {:>14} {:>16} {:>9}",
         "workload", "Mmaster bytes", "working-set B", "percent"
     );
-    for w in Workload::ALL {
-        let trace = generate(w, &params);
-        let (_, d) = run_nvoverlay(&cfg, NvOverlayOptions::default(), &trace);
+    // One NVOverlay run per workload; each task generates its own trace
+    // (used exactly once, so there is nothing to share).
+    let details = run_ordered(Workload::ALL.len(), default_jobs(), |i| {
+        let trace = generate(Workload::ALL[i], &params);
+        run_nvoverlay(&cfg, NvOverlayOptions::default(), &trace).1
+    });
+    for (w, d) in Workload::ALL.iter().zip(details) {
         let ws = d.master_entries * 64;
         let pct = 100.0 * d.master_bytes as f64 / ws.max(1) as f64;
         println!(

@@ -10,7 +10,7 @@
 //! amplification falls ~11 %–16 % from the shortest to the longest epoch
 //! while NVOverlay's writes stay flat.
 
-use nvbench::{run_scheme, EnvScale, Scheme};
+use nvbench::{default_jobs, run_ordered, run_scheme, EnvScale, Scheme};
 use nvsim::SimConfig;
 use nvworkloads::{generate, Workload};
 
@@ -18,16 +18,30 @@ fn main() {
     let scale = EnvScale::from_env();
     let base_cfg = scale.sim_config();
     let params = scale.suite_params();
+    let jobs = default_jobs();
     let trace = generate(Workload::Art, &params);
 
     let base_epoch = base_cfg.epoch_size_stores;
     let sweep: Vec<u64> = [base_epoch / 2, base_epoch, base_epoch * 2, base_epoch * 4].into();
     let schemes = [Scheme::Picl, Scheme::PiclL2, Scheme::NvOverlay];
 
-    // Normalize cycles to the ideal run and writes to NVOverlay at the
-    // base epoch (as in the paper).
-    let ideal = run_scheme(Scheme::Ideal, &base_cfg, &trace);
-    let nvo_base = run_scheme(Scheme::NvOverlay, &base_cfg, &trace);
+    // The full matrix in one parallel fan-out: the two normalization
+    // runs (ideal, NVOverlay@base), then sweep × schemes — all over the
+    // single shared ART trace.
+    let cols = schemes.len();
+    let all = run_ordered(2 + sweep.len() * cols, jobs, |i| match i {
+        0 => run_scheme(Scheme::Ideal, &base_cfg, &trace),
+        1 => run_scheme(Scheme::NvOverlay, &base_cfg, &trace),
+        _ => {
+            let (si, ei) = ((i - 2) % cols, (i - 2) / cols);
+            let cfg = SimConfig {
+                epoch_size_stores: sweep[ei],
+                ..base_cfg.clone()
+            };
+            run_scheme(schemes[si], &cfg, &trace)
+        }
+    });
+    let (ideal, nvo_base, runs) = (&all[0], &all[1], &all[2..]);
 
     println!("Figure 14a: Normalized cycles vs epoch size (ART)");
     print!("{:<12}", "epoch");
@@ -36,15 +50,11 @@ fn main() {
     }
     println!();
     let mut write_rows = Vec::new();
-    for &e in &sweep {
-        let cfg = SimConfig {
-            epoch_size_stores: e,
-            ..base_cfg.clone()
-        };
+    for (ei, &e) in sweep.iter().enumerate() {
         print!("{:<12}", format!("{e}"));
         let mut row = Vec::new();
-        for s in schemes {
-            let r = run_scheme(s, &cfg, &trace);
+        for si in 0..cols {
+            let r = &runs[ei * cols + si];
             print!(" {:>10.2}", r.cycles as f64 / ideal.cycles as f64);
             row.push(r.total_bytes());
         }

@@ -10,8 +10,8 @@
 //! and capacity evictions, with the walker contributing ~11 % — so
 //! disabling the walker barely changes NVOverlay.
 
-use nvbench::{run_nvoverlay, run_picl_walker, EnvScale};
 use nvbaselines::PiclLevel;
+use nvbench::{default_jobs, run_nvoverlay, run_ordered, run_picl_walker, EnvScale, ExpResult};
 use nvoverlay::system::NvOverlayOptions;
 use nvworkloads::{generate, Workload};
 
@@ -24,6 +24,16 @@ struct Row {
 }
 
 impl Row {
+    fn from_result(name: &'static str, r: &ExpResult) -> Self {
+        Row {
+            name,
+            cap: r.evict_capacity,
+            coh: r.evict_coherence_log,
+            walk: r.evict_tag_walk,
+            store_evict: r.evict_store,
+        }
+    }
+
     fn print(&self) {
         let total = (self.cap + self.coh + self.walk + self.store_evict).max(1) as f64;
         println!(
@@ -52,7 +62,24 @@ fn main() {
     };
     let trace = generate(Workload::Art, &params);
 
-    for walker in [true, false] {
+    // All six (walker × scheme) runs fan out over the shared ART trace;
+    // index = walker-block * 3 + {PiCL, PiCL-L2, NVOverlay}.
+    let results = run_ordered(6, default_jobs(), |i| {
+        let walker = i < 3;
+        match i % 3 {
+            0 => run_picl_walker(&cfg, PiclLevel::Llc, walker, &trace),
+            1 => run_picl_walker(&cfg, PiclLevel::L2, walker, &trace),
+            _ => {
+                let opts = NvOverlayOptions {
+                    walk_on_epoch_advance: walker,
+                    ..NvOverlayOptions::default()
+                };
+                run_nvoverlay(&cfg, opts, &trace).0
+            }
+        }
+    });
+
+    for (block, walker) in [true, false].into_iter().enumerate() {
         println!(
             "Figure 15{}: Evict reason decomposition (ART), {} tag walker",
             if walker { "a" } else { "b" },
@@ -62,30 +89,9 @@ fn main() {
             "{:<11} {:>10} {:>15} {:>10} {:>13}",
             "scheme", "capacity", "coherence/log", "tag-walk", "store-evict"
         );
-        for (name, level) in [("PiCL", PiclLevel::Llc), ("PiCL-L2", PiclLevel::L2)] {
-            let r = run_picl_walker(&cfg, level, walker, &trace);
-            Row {
-                name,
-                cap: r.evict_capacity,
-                coh: r.evict_coherence_log,
-                walk: r.evict_tag_walk,
-                store_evict: r.evict_store,
-            }
-            .print();
+        for (j, name) in ["PiCL", "PiCL-L2", "NVOverlay"].into_iter().enumerate() {
+            Row::from_result(name, &results[block * 3 + j]).print();
         }
-        let opts = NvOverlayOptions {
-            walk_on_epoch_advance: walker,
-            ..NvOverlayOptions::default()
-        };
-        let (r, _) = run_nvoverlay(&cfg, opts, &trace);
-        Row {
-            name: "NVOverlay",
-            cap: r.evict_capacity,
-            coh: r.evict_coherence_log,
-            walk: r.evict_tag_walk,
-            store_evict: r.evict_store,
-        }
-        .print();
         println!();
     }
 }

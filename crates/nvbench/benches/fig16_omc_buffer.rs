@@ -9,15 +9,16 @@
 //! Expected shape (paper): the buffer improves performance ~41 % and cuts
 //! NVM writes ~4.8× (6.2 M → 1.3 M) at a 74.8 % hit rate.
 
-use nvbench::{run_nvoverlay, EnvScale};
+use nvbench::{default_jobs, gen_traces, run_nvoverlay, run_ordered, EnvScale};
 use nvoverlay::mnm::OmcConfig;
 use nvoverlay::system::NvOverlayOptions;
 use nvsim::SimConfig;
-use nvworkloads::{generate, Workload};
+use nvworkloads::Workload;
 
 fn main() {
     let scale = EnvScale::from_env();
     let base_cfg = scale.sim_config();
+    let jobs = default_jobs();
     // The stress test needs lines to leave the VDs and return repeatedly
     // within the one epoch (redundant write-backs): run a long insert
     // phase on a pre-warmed tree.
@@ -34,22 +35,32 @@ fn main() {
     // ART as in the paper, plus kmeans whose iteration structure rewrites
     // the same lines many times within the single epoch (the
     // redundant-write-back regime the paper's full-length ART run is in).
-    for w in [Workload::Art, Workload::Kmeans] {
-        let trace = generate(w, &params);
+    let workloads = [Workload::Art, Workload::Kmeans];
+    let traces = gen_traces(&workloads, &params, jobs);
+    // 2 workloads × {no buffer, with buffer} over shared traces.
+    let runs = run_ordered(4, jobs, |i| {
+        let opts = if i % 2 == 0 {
+            NvOverlayOptions::default()
+        } else {
+            NvOverlayOptions {
+                omc: OmcConfig {
+                    buffer: Some((cfg.llc.sets(), cfg.llc.ways)),
+                    ..OmcConfig::default()
+                },
+                ..NvOverlayOptions::default()
+            }
+        };
+        run_nvoverlay(&cfg, opts, &traces[i / 2])
+    });
+
+    for (wi, w) in workloads.iter().enumerate() {
+        let (no_buf, _) = &runs[wi * 2];
+        let (with_buf, d) = &runs[wi * 2 + 1];
         println!("Figure 16: OMC buffer on {w} (single epoch)");
         println!(
             "{:<12} {:>12} {:>12} {:>12} {:>9}",
             "variant", "cycles", "NVM writes", "buf hits", "hit rate"
         );
-        let (no_buf, _) = run_nvoverlay(&cfg, NvOverlayOptions::default(), &trace);
-        let buf_opts = NvOverlayOptions {
-            omc: OmcConfig {
-                buffer: Some((cfg.llc.sets(), cfg.llc.ways)),
-                ..OmcConfig::default()
-            },
-            ..NvOverlayOptions::default()
-        };
-        let (with_buf, d) = run_nvoverlay(&cfg, buf_opts, &trace);
         println!(
             "{:<12} {:>12} {:>12} {:>12} {:>9}",
             "No Buffer", no_buf.cycles, no_buf.data_writes, "-", "-"

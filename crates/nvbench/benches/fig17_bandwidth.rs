@@ -10,8 +10,9 @@
 //! of the scaled base here). With very small epochs PiCL's log traffic
 //! surges ~50 % above NVOverlay's.
 
-use nvbench::{run_scheme, EnvScale, Scheme};
+use nvbench::{default_jobs, run_ordered, run_scheme, EnvScale, Scheme};
 use nvworkloads::{generate, generate_btree_bursty, Burst, Workload};
+use std::sync::Arc;
 
 fn series_row(label: &str, series: &[u64], bucket_cycles: u64, total_cycles: u64, freq_ghz: f64) {
     // Convert resampled buckets (bytes per 1% of progress) to GB/s.
@@ -39,17 +40,9 @@ fn main() {
     let scale = EnvScale::from_env();
     let cfg = scale.sim_config();
     let params = scale.suite_params();
+    let jobs = default_jobs();
     let freq = cfg.freq_ghz;
 
-    println!("Figure 17a: NVM write bandwidth over time, B+Tree, default epochs");
-    let trace = generate(Workload::BTree, &params);
-    for s in [Scheme::Picl, Scheme::NvOverlay] {
-        let r = run_scheme(s, &cfg, &trace);
-        series_row(s.name(), &r.bandwidth_100, r.bucket_cycles, r.cycles, freq);
-    }
-
-    println!();
-    println!("Figure 17b: bursty epochs (three debug windows with tiny epochs)");
     let base = cfg.epoch_size_stores;
     let bursts = [
         Burst {
@@ -68,9 +61,28 @@ fn main() {
             stores_per_epoch: (base / 10).max(1024),
         },
     ];
-    let btrace = generate_btree_bursty(&params, &bursts);
-    for s in [Scheme::Picl, Scheme::NvOverlay] {
-        let r = run_scheme(s, &cfg, &btrace);
+    // Generate both traces in parallel, then fan the 2×2 (trace × scheme)
+    // matrix out over them.
+    let traces = run_ordered(2, jobs, |i| {
+        Arc::new(if i == 0 {
+            generate(Workload::BTree, &params)
+        } else {
+            generate_btree_bursty(&params, &bursts)
+        })
+    });
+    let schemes = [Scheme::Picl, Scheme::NvOverlay];
+    let runs = run_ordered(4, jobs, |i| {
+        run_scheme(schemes[i % 2], &cfg, &traces[i / 2])
+    });
+
+    println!("Figure 17a: NVM write bandwidth over time, B+Tree, default epochs");
+    for (s, r) in schemes.iter().zip(&runs[..2]) {
+        series_row(s.name(), &r.bandwidth_100, r.bucket_cycles, r.cycles, freq);
+    }
+
+    println!();
+    println!("Figure 17b: bursty epochs (three debug windows with tiny epochs)");
+    for (s, r) in schemes.iter().zip(&runs[2..]) {
         series_row(s.name(), &r.bandwidth_100, r.bucket_cycles, r.cycles, freq);
     }
 }

@@ -1,32 +1,49 @@
-//! Criterion micro-benchmarks for the core data structures: mapping-table
+//! Micro-benchmarks for the core data structures: mapping-table
 //! insert/lookup/merge, cache-array access, and epoch arithmetic. These
 //! gauge the *simulator's* own performance, complementing the figure
 //! benches which measure the simulated system.
+//!
+//! Plain timing harness (`harness = false`); no external bench crates —
+//! the build environment has no registry access. Each case runs a fixed
+//! iteration budget and reports mean ns/iter over the best of several
+//! repetitions.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use nvoverlay::epoch::{reconstruct_abs, Epoch};
 use nvoverlay::mnm::{MasterTable, NvmLoc, RadixTable};
 use nvsim::addr::LineAddr;
 use nvsim::cache::CacheArray;
+use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_radix_table(c: &mut Criterion) {
-    c.bench_function("radix_insert_4k", |b| {
-        b.iter_batched(
-            RadixTable::new,
-            |mut t| {
-                for i in 0..4096u64 {
-                    t.insert(
-                        LineAddr::new(i * 97 % (1 << 20)),
-                        NvmLoc {
-                            page: (i % 1024) as u32,
-                            slot: (i % 64) as u8,
-                        },
-                    );
-                }
-                t
-            },
-            BatchSize::SmallInput,
-        )
+/// Times `iters` calls of `f`, repeated `reps` times; reports the best
+/// (least noisy) repetition as mean ns/iter.
+fn bench<F: FnMut()>(name: &str, iters: u64, mut f: F) {
+    const REPS: usize = 5;
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let ns = start.elapsed().as_nanos() as f64 / iters as f64;
+        best = best.min(ns);
+    }
+    println!("{name:<28} {best:>12.1} ns/iter  ({iters} iters, best of {REPS})");
+}
+
+fn bench_radix_table() {
+    bench("radix_insert_4k", 200, || {
+        let mut t = RadixTable::new();
+        for i in 0..4096u64 {
+            t.insert(
+                LineAddr::new(i * 97 % (1 << 20)),
+                NvmLoc {
+                    page: (i % 1024) as u32,
+                    slot: (i % 64) as u8,
+                },
+            );
+        }
+        black_box(&t);
     });
 
     let mut t = RadixTable::new();
@@ -39,83 +56,70 @@ fn bench_radix_table(c: &mut Criterion) {
             },
         );
     }
-    c.bench_function("radix_lookup_dense", |b| {
-        let mut i = 0u64;
-        b.iter(|| {
-            i = (i + 12_289) % 65_536;
-            t.get(LineAddr::new(i))
-        })
+    let mut i = 0u64;
+    bench("radix_lookup_dense", 2_000_000, || {
+        i = (i + 12_289) % 65_536;
+        black_box(t.get(LineAddr::new(i)));
     });
 
-    c.bench_function("master_merge_4k", |b| {
-        b.iter_batched(
-            || {
-                let mut src = Vec::new();
-                for i in 0..4096u64 {
-                    src.push((
-                        LineAddr::new(i * 31 % (1 << 18)),
-                        NvmLoc {
-                            page: (i % 512) as u32,
-                            slot: (i % 64) as u8,
-                        },
-                    ));
-                }
-                (MasterTable::new(), src)
+    let mut src = Vec::new();
+    for i in 0..4096u64 {
+        src.push((
+            LineAddr::new(i * 31 % (1 << 18)),
+            NvmLoc {
+                page: (i % 512) as u32,
+                slot: (i % 64) as u8,
             },
-            |(mut m, src)| {
-                for (l, loc) in src {
-                    m.merge_in(l, loc);
-                }
-                m
-            },
-            BatchSize::SmallInput,
-        )
-    });
-}
-
-fn bench_cache_array(c: &mut Criterion) {
-    c.bench_function("cache_array_hit", |b| {
-        let mut cache: CacheArray<u64> = CacheArray::new(512, 8);
-        for i in 0..4096u64 {
-            cache.insert(LineAddr::new(i), i);
+        ));
+    }
+    bench("master_merge_4k", 200, || {
+        let mut m = MasterTable::new();
+        for &(l, loc) in &src {
+            m.merge_in(l, loc);
         }
-        let mut i = 0u64;
-        b.iter(|| {
-            i = (i + 997) % 4096;
-            cache.get(LineAddr::new(i)).copied()
-        })
-    });
-
-    c.bench_function("cache_array_miss_evict", |b| {
-        let mut cache: CacheArray<u64> = CacheArray::new(64, 8);
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 1;
-            if !cache.contains(LineAddr::new(i % (1 << 20))) {
-                cache.insert(LineAddr::new(i % (1 << 20)), i)
-            } else {
-                None
-            }
-        })
+        black_box(&m);
     });
 }
 
-fn bench_epoch_math(c: &mut Criterion) {
-    c.bench_function("epoch_newer_than", |b| {
-        let mut x = 0u16;
-        b.iter(|| {
-            x = x.wrapping_add(12_289);
-            Epoch(x).newer_than(Epoch(x.wrapping_sub(100)))
-        })
+fn bench_cache_array() {
+    let mut cache: CacheArray<u64> = CacheArray::new(512, 8);
+    for i in 0..4096u64 {
+        cache.insert(LineAddr::new(i), i);
+    }
+    let mut i = 0u64;
+    bench("cache_array_hit", 2_000_000, || {
+        i = (i + 997) % 4096;
+        black_box(cache.get(LineAddr::new(i)).copied());
     });
-    c.bench_function("epoch_reconstruct_abs", |b| {
-        let mut r = 1u64;
-        b.iter(|| {
-            r = r.wrapping_mul(6364136223846793005).wrapping_add(1);
-            reconstruct_abs(Epoch(r as u16), r % (1 << 30))
-        })
+
+    let mut cache: CacheArray<u64> = CacheArray::new(64, 8);
+    let mut i = 0u64;
+    bench("cache_array_miss_evict", 2_000_000, || {
+        i += 1;
+        let out = if !cache.contains(LineAddr::new(i % (1 << 20))) {
+            cache.insert(LineAddr::new(i % (1 << 20)), i)
+        } else {
+            None
+        };
+        black_box(out);
     });
 }
 
-criterion_group!(benches, bench_radix_table, bench_cache_array, bench_epoch_math);
-criterion_main!(benches);
+fn bench_epoch_math() {
+    let mut x = 0u16;
+    bench("epoch_newer_than", 5_000_000, || {
+        x = x.wrapping_add(12_289);
+        black_box(Epoch(x).newer_than(Epoch(x.wrapping_sub(100))));
+    });
+    let mut r = 1u64;
+    bench("epoch_reconstruct_abs", 5_000_000, || {
+        r = r.wrapping_mul(6364136223846793005).wrapping_add(1);
+        black_box(reconstruct_abs(Epoch(r as u16), r % (1 << 30)));
+    });
+}
+
+fn main() {
+    bench_radix_table();
+    bench_cache_array();
+    bench_epoch_math();
+}

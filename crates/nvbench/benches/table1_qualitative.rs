@@ -20,12 +20,66 @@ fn main() {
         "DistributedVersioning",
     ];
     let rows: [[&str; 8]; 6] = [
-        ["SW Undo Logging", "no", "yes", "yes", "per write", "yes", "yes", "no"],
-        ["SW Redo Logging", "no", "no", "no", "constant", "yes", "yes", "no"],
-        ["SW Shadow Paging", "maybe", "no", "no", "constant", "yes", "yes", "no"],
-        ["PiCL (HW Logging)", "no", "yes", "yes", "none", "yes", "no", "no"],
-        ["SSP (HW Shadow)", "yes", "no", "no", "none", "no", "yes", "no"],
-        ["NVOverlay", "yes", "yes", "yes", "none", "yes", "yes", "yes"],
+        [
+            "SW Undo Logging",
+            "no",
+            "yes",
+            "yes",
+            "per write",
+            "yes",
+            "yes",
+            "no",
+        ],
+        [
+            "SW Redo Logging",
+            "no",
+            "no",
+            "no",
+            "constant",
+            "yes",
+            "yes",
+            "no",
+        ],
+        [
+            "SW Shadow Paging",
+            "maybe",
+            "no",
+            "no",
+            "constant",
+            "yes",
+            "yes",
+            "no",
+        ],
+        [
+            "PiCL (HW Logging)",
+            "no",
+            "yes",
+            "yes",
+            "none",
+            "yes",
+            "no",
+            "no",
+        ],
+        [
+            "SSP (HW Shadow)",
+            "yes",
+            "no",
+            "no",
+            "none",
+            "no",
+            "yes",
+            "no",
+        ],
+        [
+            "NVOverlay",
+            "yes",
+            "yes",
+            "yes",
+            "none",
+            "yes",
+            "yes",
+            "yes",
+        ],
     ];
     println!(
         "{:<18} {:>11} {:>13} {:>17} {:>17} {:>20} {:>16} {:>21}",

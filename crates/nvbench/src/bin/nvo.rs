@@ -6,9 +6,10 @@
 //! nvo run --trace t.nvtr --scheme PiCL
 //! nvo trace-gen --workload kmeans --out t.nvtr [--scale quick]
 //! nvo snapshots --workload RBTree [--scale quick]
+//! nvo perf [--jobs N] [--scale quick|standard|full] [--out BENCH_perf.json]
 //! ```
 
-use nvbench::{run_scheme, EnvScale, Scheme};
+use nvbench::{default_jobs, gen_traces, run_matrix, run_scheme, EnvScale, Scheme};
 use nvoverlay::system::NvOverlaySystem;
 use nvsim::memsys::Runner;
 use nvsim::trace::Trace;
@@ -18,7 +19,7 @@ use std::process::exit;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  nvo list\n  nvo run --workload <name> --scheme <name> [--scale quick|standard|full] [--json]\n  nvo run --trace <file.nvtr> --scheme <name>\n  nvo trace-gen --workload <name> --out <file.nvtr> [--scale ...]\n  nvo snapshots --workload <name> [--scale ...]\n  nvo diff --workload <name> --from <epoch> --to <epoch> [--scale ...]"
+        "usage:\n  nvo list\n  nvo run --workload <name> --scheme <name> [--scale quick|standard|full] [--json]\n  nvo run --trace <file.nvtr> --scheme <name>\n  nvo trace-gen --workload <name> --out <file.nvtr> [--scale ...]\n  nvo snapshots --workload <name> [--scale ...]\n  nvo diff --workload <name> --from <epoch> --to <epoch> [--scale ...]\n  nvo perf [--jobs N] [--scale ...] [--out BENCH_perf.json]"
     );
     exit(2)
 }
@@ -246,6 +247,132 @@ fn cmd_diff(flags: HashMap<String, String>) {
     }
 }
 
+/// The worker count for a command: `--jobs` beats `NVO_JOBS` beats the
+/// machine's available parallelism.
+fn jobs_of(flags: &HashMap<String, String>) -> usize {
+    match flags.get("jobs") {
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("--jobs must be a positive integer, got {v:?}");
+                exit(2);
+            }
+        },
+        None => default_jobs(),
+    }
+}
+
+/// `nvo perf` — times the parallel experiment engine against the serial
+/// driver on a fixed 6-scheme × 4-workload matrix and writes
+/// `BENCH_perf.json` with the per-phase breakdown.
+fn cmd_perf(flags: HashMap<String, String>) {
+    use std::time::Instant;
+
+    let scale = scale_of(&flags);
+    let jobs = jobs_of(&flags);
+    let out_path = flags
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| "BENCH_perf.json".to_string());
+    let cfg = scale.sim_config();
+    let params = scale.suite_params();
+    let workloads = [
+        Workload::HashTable,
+        Workload::BTree,
+        Workload::Art,
+        Workload::Kmeans,
+    ];
+    let schemes = Scheme::FIGURE;
+
+    println!(
+        "perf: {} schemes x {} workloads (scale {scale:?}), serial vs {jobs} jobs",
+        schemes.len(),
+        workloads.len()
+    );
+
+    // Phase timings for both drivers: trace generation, replay, stats.
+    let mut phases = [[0.0f64; 3]; 2]; // [serial, parallel][gen, replay, stats]
+    let mut totals = [0.0f64; 2];
+    let mut results = Vec::new();
+    for (di, jobs_now) in [1usize, jobs].into_iter().enumerate() {
+        let t0 = Instant::now();
+        let traces = gen_traces(&workloads, &params, jobs_now);
+        let t1 = Instant::now();
+        let rows = run_matrix(&schemes, &cfg, &traces, jobs_now);
+        let t2 = Instant::now();
+        // Stats phase: fold every result into the summary scalars the
+        // figures print.
+        let mut cycles = 0u64;
+        let mut bytes = 0u64;
+        for row in &rows {
+            for r in row {
+                cycles += r.cycles;
+                bytes += r.total_bytes();
+            }
+        }
+        let t3 = Instant::now();
+        phases[di] = [
+            t1.duration_since(t0).as_secs_f64(),
+            t2.duration_since(t1).as_secs_f64(),
+            t3.duration_since(t2).as_secs_f64(),
+        ];
+        totals[di] = t3.duration_since(t0).as_secs_f64();
+        println!(
+            "  {}: trace-gen {:.3}s, replay {:.3}s, stats {:.3}s, total {:.3}s (sum cycles {cycles}, sum NVM bytes {bytes})",
+            if di == 0 { "serial  " } else { "parallel" },
+            phases[di][0],
+            phases[di][1],
+            phases[di][2],
+            totals[di],
+        );
+        results.push(rows);
+    }
+
+    let identical = results[0] == results[1];
+    let speedup = totals[0] / totals[1].max(1e-9);
+    println!(
+        "  parallel output identical to serial: {}",
+        if identical { "yes" } else { "NO — BUG" }
+    );
+    println!(
+        "  speedup: {speedup:.2}x ({jobs} jobs, host parallelism {})",
+        default_host()
+    );
+
+    let json = format!(
+        "{{\n  \"matrix\": {{\"schemes\": {}, \"workloads\": {}, \"scale\": \"{:?}\"}},\n  \"host_parallelism\": {},\n  \"jobs\": {},\n  \"serial\": {{\"trace_gen_s\": {:.6}, \"replay_s\": {:.6}, \"stats_s\": {:.6}, \"total_s\": {:.6}}},\n  \"parallel\": {{\"trace_gen_s\": {:.6}, \"replay_s\": {:.6}, \"stats_s\": {:.6}, \"total_s\": {:.6}}},\n  \"speedup\": {:.4},\n  \"outputs_identical\": {}\n}}\n",
+        schemes.len(),
+        workloads.len(),
+        scale,
+        default_host(),
+        jobs,
+        phases[0][0],
+        phases[0][1],
+        phases[0][2],
+        totals[0],
+        phases[1][0],
+        phases[1][1],
+        phases[1][2],
+        totals[1],
+        speedup,
+        identical,
+    );
+    std::fs::write(&out_path, json).unwrap_or_else(|e| {
+        eprintln!("cannot write {out_path}: {e}");
+        exit(1);
+    });
+    println!("  wrote {out_path}");
+    if !identical {
+        exit(1);
+    }
+}
+
+fn default_host() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -254,6 +381,7 @@ fn main() {
         Some("trace-gen") => cmd_trace_gen(parse_flags(&args[1..])),
         Some("snapshots") => cmd_snapshots(parse_flags(&args[1..])),
         Some("diff") => cmd_diff(parse_flags(&args[1..])),
+        Some("perf") => cmd_perf(parse_flags(&args[1..])),
         _ => usage(),
     }
 }

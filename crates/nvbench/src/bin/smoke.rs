@@ -12,11 +12,29 @@ fn main() {
         .epoch_size_stores(2_000)
         .build()
         .unwrap();
-    let p = SuiteParams { threads: 16, ops: 3_000, warmup_ops: 30_000, seed: 2 };
+    let p = SuiteParams {
+        threads: 16,
+        ops: 3_000,
+        warmup_ops: 30_000,
+        seed: 2,
+    };
     for w in [Workload::BTree, Workload::Kmeans] {
         let trace = generate(w, &p);
-        println!("== {w}: {} accesses, {} stores, {} wlines", trace.access_count(), trace.store_count(), trace.write_footprint());
-        for s in [Scheme::Ideal, Scheme::SwLogging, Scheme::SwShadow, Scheme::HwShadow, Scheme::Picl, Scheme::PiclL2, Scheme::NvOverlay] {
+        println!(
+            "== {w}: {} accesses, {} stores, {} wlines",
+            trace.access_count(),
+            trace.store_count(),
+            trace.write_footprint()
+        );
+        for s in [
+            Scheme::Ideal,
+            Scheme::SwLogging,
+            Scheme::SwShadow,
+            Scheme::HwShadow,
+            Scheme::Picl,
+            Scheme::PiclL2,
+            Scheme::NvOverlay,
+        ] {
             let r = run_scheme(s, &cfg, &trace);
             println!("{:12} cycles={:9} stall={:9} data={:8} log={:8} meta={:7} wr={:6} cap={:5} coh={:5} walk={:5} sev={:5} ep={}",
                 s.name(), r.cycles, r.stall_cycles, r.data_bytes, r.log_bytes, r.meta_bytes, r.data_writes,

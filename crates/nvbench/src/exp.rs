@@ -61,9 +61,12 @@ impl Scheme {
     /// Parses a scheme label (case/punctuation-insensitive).
     pub fn from_name(s: &str) -> Option<Scheme> {
         let k = s.to_ascii_lowercase().replace([' ', '-', '_', '+'], "");
-        Scheme::ALL
-            .into_iter()
-            .find(|x| x.name().to_ascii_lowercase().replace([' ', '-', '_', '+'], "") == k)
+        Scheme::ALL.into_iter().find(|x| {
+            x.name()
+                .to_ascii_lowercase()
+                .replace([' ', '-', '_', '+'], "")
+                == k
+        })
     }
 
     /// Figure label.
@@ -107,7 +110,7 @@ impl fmt::Display for Scheme {
 }
 
 /// The measured outcome of one (scheme, workload) run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ExpResult {
     /// Wall-clock cycles of the run.
     pub cycles: u64,
@@ -177,7 +180,7 @@ pub fn run_scheme(scheme: Scheme, cfg: &SimConfig, trace: &Trace) -> ExpResult {
 }
 
 /// NVOverlay-specific measurements (Fig 13 / Fig 16).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct NvoDetail {
     /// Aggregate Master Mapping Table size in bytes.
     pub master_bytes: u64,

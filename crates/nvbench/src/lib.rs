@@ -3,10 +3,13 @@
 //! One bench target per table/figure of the paper (see DESIGN.md §5 and
 //! `benches/`). This library holds the shared experiment driver:
 //! building each scheme, running a workload trace through it, and
-//! collecting the quantities the figures report.
+//! collecting the quantities the figures report — plus the parallel
+//! engine ([`par`]) the figure drivers fan their run matrices out with.
 
 #![warn(missing_docs)]
 
 pub mod exp;
+pub mod par;
 
 pub use exp::{run_nvoverlay, run_picl_walker, run_scheme, EnvScale, ExpResult, NvoDetail, Scheme};
+pub use par::{default_jobs, gen_traces, run_matrix, run_ordered};

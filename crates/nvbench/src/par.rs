@@ -1,0 +1,155 @@
+//! Parallel experiment engine.
+//!
+//! Every figure and ablation in the suite is a matrix of independent
+//! (scheme, workload, config) simulations. This module fans those runs
+//! out over a work-queue of OS threads (`std::thread::scope`, no
+//! external crates) while keeping the *output byte-identical to the
+//! serial driver*: results are collected by submission index, so
+//! consumers iterate them in exactly the order a `for` loop would have
+//! produced. Each simulation is single-threaded and deterministic;
+//! parallelism only changes wall-clock time, never results.
+//!
+//! Worker count comes from [`default_jobs`]: the `NVO_JOBS` environment
+//! variable if set, otherwise `std::thread::available_parallelism`.
+//! `jobs <= 1` degrades to a plain serial loop on the calling thread —
+//! the determinism regression test (`tests/determinism.rs`) pins the
+//! parallel engine against that path.
+//!
+//! Traces are the expensive shared input: [`gen_traces`] generates each
+//! workload trace once (itself in parallel) and hands out `Arc<Trace>`
+//! clones, so an N-scheme sweep does not regenerate the workload N
+//! times.
+
+use crate::exp::{run_scheme, ExpResult, Scheme};
+use nvsim::trace::Trace;
+use nvsim::SimConfig;
+use nvworkloads::{generate, SuiteParams, Workload};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// The worker count: `NVO_JOBS` if set to a positive integer, else the
+/// machine's available parallelism, else 1.
+pub fn default_jobs() -> usize {
+    if let Ok(v) = std::env::var("NVO_JOBS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs `task(0..n)` across `jobs` worker threads and returns the
+/// results **in index order** — byte-identical to the serial loop
+/// `(0..n).map(task).collect()`.
+///
+/// The queue is a single atomic cursor: workers claim the next index
+/// until the range is exhausted. With `jobs <= 1` (or `n <= 1`) no
+/// threads are spawned at all.
+///
+/// # Panics
+/// Propagates a panic from any task after all workers stop.
+pub fn run_ordered<T, F>(n: usize, jobs: usize, task: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if jobs <= 1 || n <= 1 {
+        return (0..n).map(task).collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..jobs.min(n) {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let out = task(i);
+                *slots[i].lock().expect("result slot") = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("result slot")
+                .expect("every index was claimed and completed")
+        })
+        .collect()
+}
+
+/// Generates one trace per workload (in parallel) and shares each via
+/// `Arc`, in the order given.
+pub fn gen_traces(workloads: &[Workload], params: &SuiteParams, jobs: usize) -> Vec<Arc<Trace>> {
+    run_ordered(workloads.len(), jobs, |i| {
+        Arc::new(generate(workloads[i], params))
+    })
+}
+
+/// Runs every (trace × scheme) pair of the matrix in parallel. The
+/// result is row-per-trace, column-per-scheme, in the given orders —
+/// the same nesting as the serial double loop.
+pub fn run_matrix(
+    schemes: &[Scheme],
+    cfg: &SimConfig,
+    traces: &[Arc<Trace>],
+    jobs: usize,
+) -> Vec<Vec<ExpResult>> {
+    let cols = schemes.len();
+    let flat = run_ordered(traces.len() * cols, jobs, |i| {
+        run_scheme(schemes[i % cols], cfg, &traces[i / cols])
+    });
+    let mut rows = Vec::with_capacity(traces.len());
+    let mut it = flat.into_iter();
+    for _ in 0..traces.len() {
+        rows.push(it.by_ref().take(cols).collect());
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_ordered_preserves_submission_order() {
+        for jobs in [1, 2, 8] {
+            let out = run_ordered(100, jobs, |i| i * 3);
+            assert_eq!(
+                out,
+                (0..100).map(|i| i * 3).collect::<Vec<_>>(),
+                "jobs={jobs}"
+            );
+        }
+    }
+
+    #[test]
+    fn run_ordered_handles_empty_and_single() {
+        assert_eq!(run_ordered(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(run_ordered(1, 4, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn run_ordered_uses_fewer_workers_than_tasks() {
+        let out = run_ordered(3, 64, |i| i);
+        assert_eq!(out, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn jobs_env_overrides_default() {
+        // Serialized via the single-threaded test below only reading —
+        // set and restore around the check.
+        std::env::set_var("NVO_JOBS", "3");
+        assert_eq!(default_jobs(), 3);
+        std::env::set_var("NVO_JOBS", "not-a-number");
+        assert!(default_jobs() >= 1);
+        std::env::remove_var("NVO_JOBS");
+        assert!(default_jobs() >= 1);
+    }
+}

@@ -1,0 +1,85 @@
+//! Regression test: the parallel experiment engine must be
+//! observationally identical to the serial driver — same `ExpResult`
+//! vectors, field for field, whatever the worker count.
+
+use nvbench::{gen_traces, run_matrix, run_ordered, run_scheme, ExpResult, Scheme};
+use nvsim::SimConfig;
+use nvworkloads::{SuiteParams, Workload};
+
+fn small_cfg() -> SimConfig {
+    SimConfig::builder()
+        .cores(8, 2)
+        .l1(4 * 1024, 4, 4)
+        .l2(32 * 1024, 8, 8)
+        .llc(512 * 1024, 8, 30, 2)
+        .epoch_size_stores(1_000)
+        .build()
+        .unwrap()
+}
+
+fn small_params() -> SuiteParams {
+    SuiteParams {
+        threads: 8,
+        ops: 1_200,
+        warmup_ops: 2_000,
+        seed: 0xD15C0,
+    }
+}
+
+#[test]
+fn parallel_matrix_equals_serial_loop() {
+    let cfg = small_cfg();
+    let params = small_params();
+    let workloads = [Workload::HashTable, Workload::BTree, Workload::Kmeans];
+    let schemes = [
+        Scheme::Ideal,
+        Scheme::Picl,
+        Scheme::NvOverlay,
+        Scheme::SwLogging,
+    ];
+
+    // Ground truth: the plain serial double loop, traces generated inline.
+    let mut expect: Vec<Vec<ExpResult>> = Vec::new();
+    for w in workloads {
+        let trace = nvworkloads::generate(w, &params);
+        expect.push(
+            schemes
+                .iter()
+                .map(|&s| run_scheme(s, &cfg, &trace))
+                .collect(),
+        );
+    }
+
+    // The engine at 1 worker (serial fallback path) and at 4 workers
+    // (scoped-thread work queue) must both reproduce it exactly.
+    for jobs in [1usize, 4] {
+        let traces = gen_traces(&workloads, &params, jobs);
+        let got = run_matrix(&schemes, &cfg, &traces, jobs);
+        assert_eq!(got, expect, "jobs={jobs} diverged from the serial driver");
+    }
+}
+
+#[test]
+fn trace_sharing_is_observationally_pure() {
+    // Running the same Arc<Trace> through a scheme twice (as parallel
+    // sweeps do) must give the same result both times — replay takes the
+    // trace immutably.
+    let cfg = small_cfg();
+    let traces = gen_traces(&[Workload::Art], &small_params(), 2);
+    let a = run_scheme(Scheme::NvOverlay, &cfg, &traces[0]);
+    let b = run_scheme(Scheme::NvOverlay, &cfg, &traces[0]);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn run_ordered_is_order_stable_under_contention() {
+    // Tasks with deliberately skewed durations still land in submission
+    // order.
+    let out = run_ordered(64, 8, |i| {
+        if i % 7 == 0 {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        i * i
+    });
+    assert_eq!(out, (0..64).map(|i| i * i).collect::<Vec<_>>());
+}

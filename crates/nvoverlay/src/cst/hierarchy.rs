@@ -195,8 +195,7 @@ impl VersionedHierarchy {
         cfg.validate().expect("invalid SimConfig");
         let vds = cfg.vd_count() as usize;
         let slices = cfg.llc_slices as u64;
-        let slice_sets =
-            cfg.llc_slice_bytes() / (nvsim::addr::LINE_BYTES * cfg.llc.ways as u64);
+        let slice_sets = cfg.llc_slice_bytes() / (nvsim::addr::LINE_BYTES * cfg.llc.ways as u64);
         let initial = cst.initial_epoch.max(1);
         Self {
             cfg: cfg.clone(),
@@ -366,12 +365,10 @@ impl VersionedHierarchy {
             let vd = VdId(vdix as u16);
             // Collect lines where the L2 copy or any L1 copy is tagged in
             // the entering group; flush the whole line out of the VD.
-            let mut stale: Vec<LineAddr> = self.l2s[vdix]
-                .lines_where(|_, m| m.oid.group() == entering_group);
+            let mut stale: Vec<LineAddr> =
+                self.l2s[vdix].lines_where(|_, m| m.oid.group() == entering_group);
             for c in self.local_cores(vd) {
-                for l in self.l1s[c as usize]
-                    .lines_where(|_, m| m.oid.group() == entering_group)
-                {
+                for l in self.l1s[c as usize].lines_where(|_, m| m.oid.group() == entering_group) {
                     if !stale.contains(&l) {
                         stale.push(l);
                     }
@@ -1041,7 +1038,11 @@ impl VersionedHierarchy {
         let l2 = self.l2s[vd.index()].peek_mut(line).expect("resident");
         l2.token = newest_token;
         l2.oid = newest_oid;
-        l2.state = if newest_dirty { MesiState::O } else { MesiState::S };
+        l2.state = if newest_dirty {
+            MesiState::O
+        } else {
+            MesiState::S
+        };
         l2.persisted = if newest_dirty { newest_persisted } else { true };
         let abs = self.abs_of(newest_oid, vd);
         (newest_token, abs)
@@ -1136,8 +1137,8 @@ impl VersionedHierarchy {
         let cur_abs = self.vd_abs[vd.index()];
         let mut out = Vec::new();
 
-        let l2_old: Vec<LineAddr> = self.l2s[vd.index()]
-            .lines_where(|_, m| m.unpersisted_version() && m.oid != cur_tag);
+        let l2_old: Vec<LineAddr> =
+            self.l2s[vd.index()].lines_where(|_, m| m.unpersisted_version() && m.oid != cur_tag);
         for line in l2_old {
             let m = self.l2s[vd.index()].peek_mut(line).expect("listed");
             m.persisted = true;
@@ -1273,17 +1274,36 @@ impl VersionedHierarchy {
         let mut out = String::new();
         for (i, l1) in self.l1s.iter().enumerate() {
             if let Some(m) = l1.peek(line) {
-                let _ = write!(out, "L1[{}]:{}/{}{} ", i, m.state, m.oid.raw(), if m.persisted { "P" } else { "U" });
+                let _ = write!(
+                    out,
+                    "L1[{}]:{}/{}{} ",
+                    i,
+                    m.state,
+                    m.oid.raw(),
+                    if m.persisted { "P" } else { "U" }
+                );
             }
         }
         for (i, l2) in self.l2s.iter().enumerate() {
             if let Some(m) = l2.peek(line) {
-                let _ = write!(out, "L2[{}]:{}/{}{} ", i, m.state, m.oid.raw(), if m.persisted { "P" } else { "U" });
+                let _ = write!(
+                    out,
+                    "L2[{}]:{}/{}{} ",
+                    i,
+                    m.state,
+                    m.oid.raw(),
+                    if m.persisted { "P" } else { "U" }
+                );
             }
         }
         let s = self.slice_of(line);
         if let Some(m) = self.llc[s].peek(line) {
-            let _ = write!(out, "LLC:{}/{} ", m.oid.raw(), if m.dirty { "D" } else { "C" });
+            let _ = write!(
+                out,
+                "LLC:{}/{} ",
+                m.oid.raw(),
+                if m.dirty { "D" } else { "C" }
+            );
         }
         let _ = write!(out, "dram:{}", self.dram.peek(line));
         out
@@ -1506,7 +1526,10 @@ mod tests {
         let mut h = hier();
         h.access(CoreId(0), MemOp::Store, addr(1), 10);
         h.access(CoreId(0), MemOp::Store, addr(1), 11);
-        assert!(versions(&mut h).is_empty(), "same-epoch rewrite is in place");
+        assert!(
+            versions(&mut h).is_empty(),
+            "same-epoch rewrite is in place"
+        );
         assert_eq!(h.newest_token(LineAddr::new(1)), 11);
     }
 
@@ -1629,7 +1652,11 @@ mod tests {
         for i in 0..7 {
             h.access(CoreId(0), MemOp::Store, addr(i), i + 1);
         }
-        assert_eq!(h.epoch_abs(VdId(0)), 3, "two budget advances after 7 stores");
+        assert_eq!(
+            h.epoch_abs(VdId(0)),
+            3,
+            "two budget advances after 7 stores"
+        );
         assert_eq!(h.epoch_abs(VdId(1)), 1, "VD 1 did not store");
     }
 
@@ -1754,7 +1781,8 @@ mod tests {
         h.access(CoreId(2), MemOp::Load, addr(4), 0);
         let v = versions(&mut h);
         assert!(
-            v.iter().all(|x| !(x.line == LineAddr::new(4) && x.abs_epoch == 1)),
+            v.iter()
+                .all(|x| !(x.line == LineAddr::new(4) && x.abs_epoch == 1)),
             "persisted version re-emitted: {v:?}"
         );
     }

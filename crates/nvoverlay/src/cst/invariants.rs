@@ -76,7 +76,10 @@ impl fmt::Display for InvariantViolation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             InvariantViolation::InclusionBroken { core, line } => {
-                write!(f, "inclusion broken: core{core} L1 holds {line} without an L2 copy")
+                write!(
+                    f,
+                    "inclusion broken: core{core} L1 holds {line} without an L2 copy"
+                )
             }
             InvariantViolation::VersionOrderBroken {
                 core,
@@ -126,8 +129,29 @@ impl VersionedHierarchy {
         assert!(
             v.is_empty(),
             "versioned hierarchy invariants violated:\n{}",
-            v.iter().map(|x| format!("  - {x}")).collect::<Vec<_>>().join("\n")
+            v.iter()
+                .map(|x| format!("  - {x}"))
+                .collect::<Vec<_>>()
+                .join("\n")
         );
+    }
+
+    /// Hot-path validation hook, called by `NvOverlaySystem` at quiescent
+    /// points (epoch advances and the final drain).
+    ///
+    /// The checks are O(cache contents) — far too expensive for release
+    /// sweeps, which replay millions of accesses. This compiles to
+    /// nothing unless the build carries `debug_assertions` (every `cargo
+    /// test`) or the `strict-invariants` cargo feature (opt-in release
+    /// validation, forwarded from the workspace root as
+    /// `nvoverlay-suite/strict-invariants`).
+    ///
+    /// # Panics
+    /// As [`VersionedHierarchy::assert_invariants`], when enabled.
+    #[inline]
+    pub fn debug_validate(&self) {
+        #[cfg(any(debug_assertions, feature = "strict-invariants"))]
+        self.assert_invariants();
     }
 }
 
@@ -197,7 +221,12 @@ mod tests {
         };
         let mut h = VersionedHierarchy::new(&cfg, cst);
         for i in 0..800u64 {
-            h.access(CoreId((i % 4) as u16), MemOp::Store, Addr::new((i % 40) * 64), i + 1);
+            h.access(
+                CoreId((i % 4) as u16),
+                MemOp::Store,
+                Addr::new((i % 40) * 64),
+                i + 1,
+            );
             if i % 100 == 99 {
                 h.assert_invariants();
             }

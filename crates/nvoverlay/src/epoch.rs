@@ -184,7 +184,10 @@ mod tests {
                 if got != abs {
                     // Only allowed to differ when abs is outside the window.
                     let d = (abs as i128 - reference as i128).abs();
-                    assert!(d >= HALF_SPACE as i128, "abs {abs} ref {reference} -> {got}");
+                    assert!(
+                        d >= HALF_SPACE as i128,
+                        "abs {abs} ref {reference} -> {got}"
+                    );
                 }
             }
         }

@@ -103,9 +103,7 @@ impl OmcBuffer {
     /// commit) — they must reach their final NVM home so the mapping
     /// tables can be merged.
     pub fn drain_below(&mut self, below_epoch: u64) -> Vec<BufferedVersion> {
-        let lines: Vec<LineAddr> = self
-            .cache
-            .lines_where(|_, s| s.abs_epoch < below_epoch);
+        let lines: Vec<LineAddr> = self.cache.lines_where(|_, s| s.abs_epoch < below_epoch);
         lines
             .into_iter()
             .map(|l| {

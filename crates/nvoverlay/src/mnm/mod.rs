@@ -42,7 +42,7 @@ pub struct Mnm {
     /// Highest epoch ever observed (for compaction targets).
     max_epoch_seen: u64,
     /// Processor context dumps: (vd, epoch) → context blob token.
-    contexts: std::collections::HashMap<(u16, u64), Token>,
+    contexts: nvsim::fastmap::FastHashMap<(u16, u64), Token>,
 }
 
 impl Mnm {
@@ -58,7 +58,7 @@ impl Mnm {
             min_vers: vec![0; vd_count],
             rec_epoch: 0,
             max_epoch_seen: 0,
-            contexts: std::collections::HashMap::new(),
+            contexts: nvsim::fastmap::FastHashMap::default(),
         }
     }
 
@@ -223,7 +223,10 @@ impl Mnm {
 
     /// Aggregate size of all master tables in bytes (Fig 13 numerator).
     pub fn master_size_bytes(&self) -> u64 {
-        self.omcs.iter().map(|o| o.master().tree().size_bytes()).sum()
+        self.omcs
+            .iter()
+            .map(|o| o.master().tree().size_bytes())
+            .sum()
     }
 
     /// Aggregate number of lines mapped by the master tables.

@@ -12,9 +12,10 @@ use super::pool::{NvmLoc, PagePool, SLOTS_PER_PAGE};
 use super::table::{MasterTable, RadixTable};
 use nvsim::addr::{LineAddr, Token};
 use nvsim::clock::Cycle;
+use nvsim::fastmap::FastMap;
 use nvsim::nvm::Nvm;
 use nvsim::stats::NvmWriteKind;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 /// What happens to per-epoch mapping tables after their epoch is merged
 /// into the master table.
@@ -96,10 +97,10 @@ pub struct Omc {
     master: MasterTable,
     merged_through: u64,
     /// Master-referenced version count per data page (Fig 9's "Ref Count").
-    refcount: HashMap<u32, u32>,
+    refcount: FastMap<u32, u32>,
     /// Which lines live in which page slot (page occupancy metadata, used
     /// by GC/compaction).
-    page_contents: HashMap<u32, Vec<(LineAddr, u8)>>,
+    page_contents: FastMap<u32, Vec<(LineAddr, u8)>>,
     buffer: Option<OmcBuffer>,
     stats: OmcStats,
     /// Re-entrancy guard: compaction's own slot allocations must not
@@ -117,8 +118,8 @@ impl Omc {
             epochs: BTreeMap::new(),
             master: MasterTable::new(),
             merged_through: 0,
-            refcount: HashMap::new(),
-            page_contents: HashMap::new(),
+            refcount: FastMap::new(),
+            page_contents: FastMap::new(),
             buffer,
             stats: OmcStats::default(),
             compacting: false,
@@ -226,7 +227,10 @@ impl Omc {
             nvm.write(now, line.raw().wrapping_add(i), NvmWriteKind::Data, 64);
         }
         self.pool.write(loc, token);
-        let st = self.epochs.get_mut(&abs_epoch).expect("created by allocate");
+        let st = self
+            .epochs
+            .get_mut(&abs_epoch)
+            .expect("created by allocate");
         st.table
             .as_mut()
             .expect("unmerged epoch keeps its table")
@@ -324,7 +328,7 @@ impl Omc {
             for (l, loc) in entries {
                 let fx = self.master.merge_in(l, loc);
                 meta_entry_writes += fx.entry_writes;
-                *self.refcount.entry(loc.page).or_insert(0) += 1;
+                *self.refcount.or_default(loc.page) += 1;
                 if let Some(old) = fx.displaced {
                     if old != loc {
                         self.unreference(old);
@@ -390,7 +394,11 @@ impl Omc {
             .map(|(e, _)| *e)
             .collect();
         for e in candidates {
-            let pages = self.epochs.get(&e).map(|s| s.pages.clone()).unwrap_or_default();
+            let pages = self
+                .epochs
+                .get(&e)
+                .map(|s| s.pages.clone())
+                .unwrap_or_default();
             for page in pages {
                 let contents = self.page_contents.get(&page).cloned().unwrap_or_default();
                 let mut moved = Vec::new();
@@ -438,7 +446,7 @@ impl Omc {
                     // Master points at the new home immediately; a later
                     // merge re-inserting the same location is idempotent.
                     let fx = self.master.merge_in(line, new_loc);
-                    *self.refcount.entry(new_loc.page).or_insert(0) += 1;
+                    *self.refcount.or_default(new_loc.page) += 1;
                     if let Some(old) = fx.displaced {
                         let rc = self.refcount.get_mut(&old.page).expect("referenced");
                         *rc -= 1;
@@ -477,7 +485,10 @@ impl Omc {
     /// run first).
     pub fn simulate_reboot(&mut self) {
         if let Some(b) = &self.buffer {
-            assert!(b.is_empty(), "flush the battery-backed buffer before reboot");
+            assert!(
+                b.is_empty(),
+                "flush the battery-backed buffer before reboot"
+            );
         }
         // Volatile state is lost.
         self.epochs.clear();
@@ -486,10 +497,9 @@ impl Omc {
         // Rebuild refcounts (and page occupancy) from the master table.
         let entries: Vec<(LineAddr, NvmLoc)> = self.master.tree().iter().collect();
         for (line, loc) in entries {
-            *self.refcount.entry(loc.page).or_insert(0) += 1;
+            *self.refcount.or_default(loc.page) += 1;
             self.page_contents
-                .entry(loc.page)
-                .or_default()
+                .or_default(loc.page)
                 .push((line, loc.slot));
         }
     }
@@ -555,7 +565,10 @@ impl Omc {
             return None;
         }
         let t = st.table.as_ref()?;
-        Some(t.iter().filter_map(|(l, loc)| self.pool.read(loc).map(|tok| (l, tok))))
+        Some(
+            t.iter()
+                .filter_map(|(l, loc)| self.pool.read(loc).map(|tok| (l, tok))),
+        )
     }
 
     /// Iterates the master image `(line, token)`.
@@ -668,7 +681,11 @@ mod tests {
         assert_eq!(o.stats().buffer_hits, 2);
         assert_eq!(n.stats().writes(NvmWriteKind::Data), 0, "all buffered");
         o.merge_through(&mut n, 0, 1);
-        assert_eq!(n.stats().writes(NvmWriteKind::Data), 1, "one spill at merge");
+        assert_eq!(
+            n.stats().writes(NvmWriteKind::Data),
+            1,
+            "one spill at merge"
+        );
         assert_eq!(o.read_master(line(1)), Some(13));
     }
 

@@ -108,7 +108,10 @@ impl PagePool {
         let idx = page as usize;
         assert!(idx < self.total, "page index out of range");
         let (w, b) = (idx / 64, idx % 64);
-        assert!(self.bitmap[w] & (1u64 << b) != 0, "double free of page {page}");
+        assert!(
+            self.bitmap[w] & (1u64 << b) != 0,
+            "double free of page {page}"
+        );
         self.bitmap[w] &= !(1u64 << b);
         self.pages[idx] = None;
         self.allocated -= 1;

@@ -160,10 +160,18 @@ impl RadixTable {
     /// entry was removed.
     pub fn remove_if(&mut self, line: LineAddr, loc: NvmLoc) -> bool {
         let [i1, i2, i3, i4, i5] = split(line);
-        let Some(l2) = self.root.children[i1].as_mut() else { return false };
-        let Some(l3) = l2.children[i2].as_mut() else { return false };
-        let Some(l4) = l3.children[i3].as_mut() else { return false };
-        let Some(leaf) = l4.children[i4].as_mut() else { return false };
+        let Some(l2) = self.root.children[i1].as_mut() else {
+            return false;
+        };
+        let Some(l3) = l2.children[i2].as_mut() else {
+            return false;
+        };
+        let Some(l4) = l3.children[i3].as_mut() else {
+            return false;
+        };
+        let Some(leaf) = l4.children[i4].as_mut() else {
+            return false;
+        };
         if leaf.lines[i5] == Some(loc) {
             leaf.lines[i5] = None;
             leaf.used -= 1;
@@ -177,9 +185,7 @@ impl RadixTable {
     /// Looks up the mapping for `line`.
     pub fn get(&self, line: LineAddr) -> Option<NvmLoc> {
         let [i1, i2, i3, i4, i5] = split(line);
-        self.root.children[i1]
-            .as_ref()?
-            .children[i2]
+        self.root.children[i1].as_ref()?.children[i2]
             .as_ref()?
             .children[i3]
             .as_ref()?

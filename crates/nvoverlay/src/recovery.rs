@@ -8,7 +8,7 @@
 
 use crate::mnm::Mnm;
 use nvsim::addr::{LineAddr, Token};
-use std::collections::HashMap;
+use nvsim::fastmap::FastHashMap;
 use std::fmt;
 
 /// Why recovery could not produce an image.
@@ -34,7 +34,7 @@ impl std::error::Error for RecoveryError {}
 #[derive(Clone, Debug, Default)]
 pub struct RecoveredImage {
     epoch: u64,
-    lines: HashMap<LineAddr, Token>,
+    lines: FastHashMap<LineAddr, Token>,
 }
 
 impl RecoveredImage {
@@ -85,10 +85,14 @@ pub fn recover(mnm: &Mnm) -> Result<RecoveredImage, RecoveryError> {
 /// (time-travel/debugging reads, §V-E). Requires
 /// [`crate::mnm::SnapshotRetention::KeepAll`]; lines whose covering epochs
 /// were reclaimed or compacted read as `None`.
-pub fn snapshot_at(mnm: &Mnm, epoch: u64, lines: impl IntoIterator<Item = LineAddr>) -> RecoveredImage {
+pub fn snapshot_at(
+    mnm: &Mnm,
+    epoch: u64,
+    lines: impl IntoIterator<Item = LineAddr>,
+) -> RecoveredImage {
     let mut img = RecoveredImage {
         epoch,
-        lines: HashMap::new(),
+        lines: FastHashMap::default(),
     };
     for line in lines {
         if let Some(t) = mnm.time_travel(line, epoch) {

@@ -8,7 +8,7 @@
 
 use crate::mnm::Mnm;
 use nvsim::addr::{LineAddr, Token, VdId};
-use std::collections::HashMap;
+use nvsim::fastmap::FastHashMap;
 
 /// One line's change between two epochs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -66,7 +66,7 @@ impl<'a> SnapshotStore<'a> {
     pub fn diff(&self, from: u64, to: u64) -> Option<Vec<LineChange>> {
         assert!(from < to, "diff requires from < to");
         // Lines that could have changed = union of the deltas in (from, to].
-        let mut candidates: HashMap<LineAddr, ()> = HashMap::new();
+        let mut candidates: FastHashMap<LineAddr, ()> = FastHashMap::default();
         for (e, _) in self.epochs() {
             if e > from && e <= to {
                 for (l, _) in self.delta(e)? {

@@ -167,6 +167,8 @@ impl NvOverlaySystem {
             }
             self.mnm.report_min_ver(&mut self.nvm, now, vd, min_ver);
         }
+        // O(cache) invariant sweep — debug/`strict-invariants` builds only.
+        self.hier.debug_validate();
     }
 
     /// Drains frontend events; returns extra access-path stall.
@@ -261,7 +263,12 @@ impl MemorySystem for NvOverlaySystem {
                     self.mnm
                         .receive_version(&mut self.nvm, now, v.line, v.token, v.abs_epoch);
                 }
-                CstEvent::EpochAdvanced { vd, from_abs, to_abs, .. } => {
+                CstEvent::EpochAdvanced {
+                    vd,
+                    from_abs,
+                    to_abs,
+                    ..
+                } => {
                     self.stats.epochs_completed += 1;
                     let cores = self.hier.config().cores_per_vd as u64;
                     let bytes = self.hier.cst_config().context_bytes_per_core;

@@ -176,7 +176,10 @@ impl PageAddr {
     /// Panics if `idx >= 64`.
     #[inline]
     pub fn line(self, idx: usize) -> LineAddr {
-        assert!(idx < LINES_PER_PAGE as usize, "line index {idx} out of page");
+        assert!(
+            idx < LINES_PER_PAGE as usize,
+            "line index {idx} out of page"
+        );
         LineAddr((self.0 << (PAGE_SHIFT - LINE_SHIFT)) | idx as u64)
     }
 }

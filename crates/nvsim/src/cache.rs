@@ -61,7 +61,9 @@ impl<T> CacheArray<T> {
         assert!(ways > 0, "associativity must be positive");
         assert!(index_stride > 0, "index stride must be positive");
         Self {
-            sets: (0..sets).map(|_| Vec::with_capacity(ways as usize)).collect(),
+            sets: (0..sets)
+                .map(|_| Vec::with_capacity(ways as usize))
+                .collect(),
             set_mask: sets - 1,
             index_stride,
             ways: ways as usize,
@@ -87,7 +89,10 @@ impl<T> CacheArray<T> {
     /// Looks up a line without touching LRU state.
     pub fn peek(&self, line: LineAddr) -> Option<&T> {
         let s = self.set_of(line);
-        self.sets[s].iter().find(|e| e.line == line).map(|e| &e.meta)
+        self.sets[s]
+            .iter()
+            .find(|e| e.line == line)
+            .map(|e| &e.meta)
     }
 
     /// Looks up a line, promoting it to MRU on hit.
@@ -95,12 +100,15 @@ impl<T> CacheArray<T> {
         self.get_mut(line).map(|m| &*m)
     }
 
-    /// Mutable lookup, promoting the line to MRU on hit.
+    /// Mutable lookup, promoting the line to MRU on hit. Misses consume
+    /// no LRU tick, so a miss-heavy probe stream cannot skew the victim
+    /// ordering of later inserts.
     pub fn get_mut(&mut self, line: LineAddr) -> Option<&mut T> {
-        let tick = self.next_tick();
         let s = self.set_of(line);
-        let e = self.sets[s].iter_mut().find(|e| e.line == line)?;
-        e.lru = tick;
+        let i = self.sets[s].iter().position(|e| e.line == line)?;
+        self.tick += 1;
+        let e = &mut self.sets[s][i];
+        e.lru = self.tick;
         Some(&mut e.meta)
     }
 
@@ -130,22 +138,32 @@ impl<T> CacheArray<T> {
         let tick = self.next_tick();
         let s = self.set_of(line);
         let set = &mut self.sets[s];
-        assert!(
-            !set.iter().any(|e| e.line == line),
-            "line {line} already resident; update in place instead"
-        );
+        // One pass over the set: duplicate detection and LRU-victim
+        // selection together (ties keep the earliest slot, matching the
+        // old `min_by_key` scan).
+        let mut victim_idx = 0;
+        let mut victim_lru = u64::MAX;
+        for (i, e) in set.iter().enumerate() {
+            assert!(
+                e.line != line,
+                "line {line} already resident; update in place instead"
+            );
+            if e.lru < victim_lru {
+                victim_lru = e.lru;
+                victim_idx = i;
+            }
+        }
         let victim = if set.len() == self.ways {
-            let (vi, _) = set
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, e)| e.lru)
-                .expect("full set is non-empty");
-            let v = set.swap_remove(vi);
+            let v = set.swap_remove(victim_idx);
             Some((v.line, v.meta))
         } else {
             None
         };
-        set.push(Entry { line, lru: tick, meta });
+        set.push(Entry {
+            line,
+            lru: tick,
+            meta,
+        });
         victim
     }
 
@@ -176,7 +194,10 @@ impl<T> CacheArray<T> {
 
     /// Mutable iteration over all resident lines.
     pub fn iter_mut(&mut self) -> impl Iterator<Item = (LineAddr, &mut T)> {
-        self.sets.iter_mut().flatten().map(|e| (e.line, &mut e.meta))
+        self.sets
+            .iter_mut()
+            .flatten()
+            .map(|e| (e.line, &mut e.meta))
     }
 
     /// Number of resident lines.
@@ -271,7 +292,10 @@ mod tests {
         // 2 sets, stride 4: lines 0,4 map to set 0/1 respectively.
         let mut c: CacheArray<u8> = CacheArray::with_stride(2, 1, 4);
         c.insert(line(0), 0);
-        assert!(c.insert(line(4), 1).is_none(), "different sets under stride");
+        assert!(
+            c.insert(line(4), 1).is_none(),
+            "different sets under stride"
+        );
         // line 8 shares set 0 with line 0 (8/4 = 2, even).
         let (v, _) = c.insert(line(8), 2).unwrap();
         assert_eq!(v, line(0));

@@ -67,7 +67,10 @@ impl fmt::Display for ConfigError {
                 write!(f, "cache geometry for {level} is not realizable")
             }
             ConfigError::BadTopology => {
-                write!(f, "core count must be positive and divisible by cores per VD")
+                write!(
+                    f,
+                    "core count must be positive and divisible by cores per VD"
+                )
             }
             ConfigError::ZeroParameter { name } => {
                 write!(f, "parameter {name} must be positive")
@@ -196,7 +199,10 @@ impl SimConfig {
     /// # Errors
     /// Returns a [`ConfigError`] describing the first violated constraint.
     pub fn validate(&self) -> Result<(), ConfigError> {
-        if self.cores == 0 || self.cores_per_vd == 0 || !self.cores.is_multiple_of(self.cores_per_vd) {
+        if self.cores == 0
+            || self.cores_per_vd == 0
+            || !self.cores.is_multiple_of(self.cores_per_vd)
+        {
             return Err(ConfigError::BadTopology);
         }
         for (level, p, slices) in [
@@ -393,7 +399,10 @@ mod tests {
 
     #[test]
     fn zero_epoch_rejected() {
-        let err = SimConfig::builder().epoch_size_stores(0).build().unwrap_err();
+        let err = SimConfig::builder()
+            .epoch_size_stores(0)
+            .build()
+            .unwrap_err();
         assert!(matches!(
             err,
             ConfigError::ZeroParameter {

@@ -10,7 +10,7 @@
 //! (single-writer / multi-reader).
 
 use crate::addr::LineAddr;
-use std::collections::HashMap;
+use crate::fastmap::FastMap;
 
 /// Maximum number of directory nodes (VDs) supported by the bitmask.
 pub const MAX_NODES: u16 = 64;
@@ -65,7 +65,7 @@ impl DirEntry {
 /// A sparse directory over up to [`MAX_NODES`] nodes.
 #[derive(Clone, Debug, Default)]
 pub struct Directory {
-    entries: HashMap<LineAddr, DirEntry>,
+    entries: FastMap<LineAddr, DirEntry>,
 }
 
 impl Directory {
@@ -87,7 +87,7 @@ impl Directory {
     /// [`Directory::add_sharer_keep_owner`] (MOESI).
     pub fn add_sharer(&mut self, line: LineAddr, node: u16) {
         assert!(node < MAX_NODES, "node index out of range");
-        let e = self.entries.entry(line).or_default();
+        let e = self.entries.or_default(line);
         debug_assert!(
             e.owner.is_none() || e.owner == Some(node),
             "add_sharer with a live foreign owner"
@@ -104,7 +104,7 @@ impl Directory {
     /// keeps Owned (dirty-shared) responsibility — the MOESI downgrade.
     pub fn add_sharer_keep_owner(&mut self, line: LineAddr, node: u16) {
         assert!(node < MAX_NODES, "node index out of range");
-        let e = self.entries.entry(line).or_default();
+        let e = self.entries.or_default(line);
         e.sharers |= 1u64 << node;
         e.check();
     }
@@ -113,7 +113,7 @@ impl Directory {
     /// sharers must already have been invalidated by the caller.
     pub fn set_owner(&mut self, line: LineAddr, node: u16) {
         assert!(node < MAX_NODES, "node index out of range");
-        let e = self.entries.entry(line).or_default();
+        let e = self.entries.or_default(line);
         debug_assert!(
             e.sharers & !(1u64 << node) == 0,
             "set_owner with other sharers still present"

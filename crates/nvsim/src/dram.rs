@@ -9,14 +9,14 @@
 
 use crate::addr::{LineAddr, Token};
 use crate::clock::Cycle;
-use std::collections::HashMap;
+use crate::fastmap::FastMap;
 
 /// DRAM device: constant-latency, token-addressable working memory.
 #[derive(Clone, Debug)]
 pub struct Dram {
     latency: Cycle,
-    contents: HashMap<LineAddr, Token>,
-    oid_tags: HashMap<u64, u16>,
+    contents: FastMap<LineAddr, Token>,
+    oid_tags: FastMap<u64, u16>,
     superblock_lines: u64,
     reads: u64,
     writes: u64,
@@ -32,8 +32,8 @@ impl Dram {
         assert!(superblock_lines > 0, "super-block size must be positive");
         Self {
             latency,
-            contents: HashMap::new(),
-            oid_tags: HashMap::new(),
+            contents: FastMap::new(),
+            oid_tags: FastMap::new(),
             superblock_lines: superblock_lines as u64,
             reads: 0,
             writes: 0,

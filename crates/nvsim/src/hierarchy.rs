@@ -277,8 +277,7 @@ impl Hierarchy {
                 .any(|c| c != core.0 && self.l1s[c as usize].contains(line));
 
         // Fill or upgrade the L1.
-        let l2_meta = *self
-            .l2s[vd.index()]
+        let l2_meta = *self.l2s[vd.index()]
             .peek(line)
             .expect("L2 must hold the line after ensure_l2 (inclusion)");
         let fill_state = match op {
@@ -422,10 +421,7 @@ impl Hierarchy {
                 }
             }
             None => {
-                let victim = self.l2s[vd.index()].insert(
-                    line,
-                    L2Line { state, token, oid },
-                );
+                let victim = self.l2s[vd.index()].insert(line, L2Line { state, token, oid });
                 if let Some((vline, vmeta)) = victim {
                     self.evict_l2_line(vd, vline, vmeta, EvictReason::CapacityMiss);
                 }
@@ -436,7 +432,12 @@ impl Hierarchy {
 
     /// Directory GETX: acquire exclusive ownership for `vd`.
     /// Returns (token, oid, new L2 state, whether data is dirty w.r.t. memory).
-    fn dir_getx(&mut self, vd: VdId, line: LineAddr, lat: &mut Cycle) -> (Token, EpochId, MesiState, bool) {
+    fn dir_getx(
+        &mut self,
+        vd: VdId,
+        line: LineAddr,
+        lat: &mut Cycle,
+    ) -> (Token, EpochId, MesiState, bool) {
         let entry = self.dir.entry(line).copied();
         if let Some(e) = entry {
             if let Some(owner) = e.owner() {
@@ -529,7 +530,12 @@ impl Hierarchy {
     }
 
     /// Directory GETS: acquire a readable copy for `vd`.
-    fn dir_gets(&mut self, vd: VdId, line: LineAddr, lat: &mut Cycle) -> (Token, EpochId, MesiState, bool) {
+    fn dir_gets(
+        &mut self,
+        vd: VdId,
+        line: LineAddr,
+        lat: &mut Cycle,
+    ) -> (Token, EpochId, MesiState, bool) {
         let entry = self.dir.entry(line).copied();
         if let Some(e) = entry {
             if let Some(owner) = e.owner() {
@@ -549,7 +555,15 @@ impl Hierarchy {
                 let (token, oid, dirty) = self.downgrade_vd(VdId(owner), line);
                 *lat += self.noc.send(MsgKind::Data);
                 if dirty {
-                    self.llc_install(line, LlcLine { dirty: true, token, oid }, EvictReason::CapacityMiss);
+                    self.llc_install(
+                        line,
+                        LlcLine {
+                            dirty: true,
+                            token,
+                            oid,
+                        },
+                        EvictReason::CapacityMiss,
+                    );
                     self.events.push(HierarchyEvent::L2Writeback {
                         vd: VdId(owner),
                         line,
@@ -750,7 +764,10 @@ impl Hierarchy {
     // ---- Scheme-facing maintenance operations -------------------------
 
     /// All dirty LLC lines matching `pred` (tag-walk read phase).
-    pub fn dirty_llc_lines(&self, mut pred: impl FnMut(LineAddr, EpochId) -> bool) -> Vec<DirtyLine> {
+    pub fn dirty_llc_lines(
+        &self,
+        mut pred: impl FnMut(LineAddr, EpochId) -> bool,
+    ) -> Vec<DirtyLine> {
         let mut out = Vec::new();
         for slice in &self.llc {
             for (l, m) in slice.iter() {
@@ -994,10 +1011,21 @@ impl Hierarchy {
         }
         let s = self.slice_of(line);
         if let Some(m) = self.llc[s].peek(line) {
-            let _ = write!(out, "LLC:{}/e{}/t{} ", if m.dirty { "D" } else { "C" }, m.oid, m.token);
+            let _ = write!(
+                out,
+                "LLC:{}/e{}/t{} ",
+                if m.dirty { "D" } else { "C" },
+                m.oid,
+                m.token
+            );
         }
         if let Some(e) = self.dir.entry(line) {
-            let _ = write!(out, "dir[own={:?},sh={:?}] ", e.owner(), e.sharers().collect::<Vec<_>>());
+            let _ = write!(
+                out,
+                "dir[own={:?},sh={:?}] ",
+                e.owner(),
+                e.sharers().collect::<Vec<_>>()
+            );
         }
         let _ = write!(out, "dram:t{}", self.dram.peek(line));
         out
@@ -1081,10 +1109,14 @@ mod tests {
         h.access(CoreId(2), MemOp::Load, addr(5), 0);
         // The downgrade deposited dirty data into the LLC and produced a
         // writeback event.
-        assert!(h
-            .events()
-            .iter()
-            .any(|e| matches!(e, HierarchyEvent::L2Writeback { reason: EvictReason::CoherenceDowngrade, token: 77, .. })));
+        assert!(h.events().iter().any(|e| matches!(
+            e,
+            HierarchyEvent::L2Writeback {
+                reason: EvictReason::CoherenceDowngrade,
+                token: 77,
+                ..
+            }
+        )));
         assert_eq!(h.newest_token(LineAddr::new(5)), 77);
         // Both VDs can now read it cheaply, and see the stored value.
         let (lat, v) = h.access(CoreId(0), MemOp::Load, addr(5), 0);

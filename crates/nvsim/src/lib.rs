@@ -25,6 +25,10 @@
 //!   `nvoverlay` crate and reuses the low-level blocks from here.
 //! * [`memsys`] — the [`memsys::MemorySystem`] trait every snapshotting
 //!   scheme implements, and the deterministic run loop.
+//! * [`fastmap`] — open-addressing maps and an Fx-style hasher for the
+//!   simulator's hot paths (directory entries, device contents, golden
+//!   images).
+//! * [`rng`] — deterministic xoshiro256++ randomness (no external crates).
 //!
 //! ## Example
 //!
@@ -44,11 +48,13 @@ pub mod clock;
 pub mod config;
 pub mod directory;
 pub mod dram;
+pub mod fastmap;
 pub mod hierarchy;
 pub mod memsys;
 pub mod mesi;
 pub mod noc;
 pub mod nvm;
+pub mod rng;
 pub mod stats;
 pub mod trace;
 pub mod trace_io;

@@ -9,10 +9,11 @@
 
 use crate::addr::{Addr, CoreId, LineAddr, ThreadId, Token};
 use crate::clock::{CoreClock, Cycle};
+use crate::fastmap::FastHashMap;
 use crate::stats::SystemStats;
 use crate::trace::{Trace, TraceEvent};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 
 /// A memory operation.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -44,8 +45,14 @@ pub trait MemorySystem {
     fn name(&self) -> &'static str;
 
     /// Performs one memory access issued by `core` at time `now`.
-    fn access(&mut self, core: CoreId, op: MemOp, addr: Addr, token: Token, now: Cycle)
-        -> AccessOutcome;
+    fn access(
+        &mut self,
+        core: CoreId,
+        op: MemOp,
+        addr: Addr,
+        token: Token,
+        now: Cycle,
+    ) -> AccessOutcome;
 
     /// Handles an explicit epoch boundary requested by `core`'s thread.
     /// Returns any stall the boundary imposes on the requesting core.
@@ -80,7 +87,7 @@ pub struct RunReport {
     /// The final logical memory image (line → last token stored, in the
     /// executed interleaving order). Used as the golden image for recovery
     /// verification.
-    pub golden_image: HashMap<LineAddr, Token>,
+    pub golden_image: FastHashMap<LineAddr, Token>,
 }
 
 /// Deterministic trace runner.
@@ -123,7 +130,7 @@ impl Runner {
         let n = trace.thread_count();
         let mut clocks: Vec<CoreClock> = (0..n).map(|_| CoreClock::new()).collect();
         let mut cursors = vec![0usize; n];
-        let mut golden: HashMap<LineAddr, Token> = HashMap::new();
+        let mut golden: FastHashMap<LineAddr, Token> = FastHashMap::default();
         let mut accesses = 0u64;
         let mut load_value_mismatches = 0u64;
 

@@ -13,8 +13,8 @@
 //! [`BandwidthSeries`] for Fig 17.
 
 use crate::clock::Cycle;
+use crate::fastmap::FastMap;
 use crate::stats::{BandwidthSeries, NvmBytes, NvmWriteKind};
-use std::collections::HashMap;
 
 /// Endurance summary — NVM cells wear out after a bounded number of
 /// Program/Erase cycles (§II-B), so write distribution matters as much as
@@ -67,7 +67,7 @@ pub struct Nvm {
     stats: NvmBytes,
     series: BandwidthSeries,
     reads: u64,
-    wear: HashMap<u64, u64>,
+    wear: FastMap<u64, u64>,
 }
 
 impl Nvm {
@@ -95,7 +95,7 @@ impl Nvm {
             stats: NvmBytes::new(),
             series: BandwidthSeries::new(bucket_cycles),
             reads: 0,
-            wear: HashMap::new(),
+            wear: FastMap::new(),
         }
     }
 
@@ -124,7 +124,7 @@ impl Nvm {
         self.stats.record(kind, bytes);
         self.series.record(completion, bytes);
         if kind == NvmWriteKind::Data {
-            *self.wear.entry(key).or_insert(0) += 1;
+            *self.wear.or_default(key) += 1;
         }
         WriteTicket {
             accept_time,

@@ -64,7 +64,15 @@ impl Trace {
         self.threads
             .iter()
             .flatten()
-            .filter(|e| matches!(e, TraceEvent::Access { op: MemOp::Store, .. }))
+            .filter(|e| {
+                matches!(
+                    e,
+                    TraceEvent::Access {
+                        op: MemOp::Store,
+                        ..
+                    }
+                )
+            })
             .count() as u64
     }
 

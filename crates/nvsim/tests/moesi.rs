@@ -54,7 +54,7 @@ fn moesi_owner_upgrade_invalidates_sharers() {
     h.access(CoreId(0), MemOp::Store, addr(9), 1); // VD0 owns M
     h.access(CoreId(2), MemOp::Load, addr(9), 0); // VD1 shares; VD0 -> O
     h.access(CoreId(4), MemOp::Load, addr(9), 0); // VD2 shares too
-    // Owner stores again: O -> M upgrade must invalidate VD1 and VD2.
+                                                  // Owner stores again: O -> M upgrade must invalidate VD1 and VD2.
     h.access(CoreId(0), MemOp::Store, addr(9), 2);
     let (_, v1) = h.access(CoreId(2), MemOp::Load, addr(9), 0);
     let (_, v2) = h.access(CoreId(4), MemOp::Load, addr(9), 0);
@@ -79,7 +79,7 @@ fn moesi_o_eviction_lands_in_llc_dirty() {
     let mut h = Hierarchy::new(&cfg(Protocol::Moesi));
     h.access(CoreId(0), MemOp::Store, addr(7), 70);
     h.access(CoreId(2), MemOp::Load, addr(7), 0); // VD0 now O
-    // Thrash VD0's L2 so the O line gets evicted (64-line L2).
+                                                  // Thrash VD0's L2 so the O line gets evicted (64-line L2).
     for i in 100..300u64 {
         h.access(CoreId(0), MemOp::Load, addr(i), 0);
     }
@@ -95,7 +95,9 @@ fn moesi_functional_correctness_random_mix() {
     let mut model: HashMap<u64, u64> = HashMap::new();
     let mut x = 12345u64;
     for i in 0..30_000u64 {
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let core = CoreId((x >> 33) as u16 % 8);
         let line = (x >> 40) % 150;
         if x.is_multiple_of(3) {

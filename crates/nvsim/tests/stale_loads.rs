@@ -4,9 +4,8 @@ fn plain_hierarchy_loads_match_model() {
     use nvsim::config::SimConfig;
     use nvsim::hierarchy::Hierarchy;
     use nvsim::memsys::MemOp;
+    use nvsim::rng::Rng64;
     use std::collections::HashMap;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
 
     let cfg = SimConfig::builder()
         .cores(16, 2)
@@ -19,7 +18,7 @@ fn plain_hierarchy_loads_match_model() {
     for seed in 0..20u64 {
         let mut h = Hierarchy::new(&cfg);
         let mut model: HashMap<u64, u64> = HashMap::new();
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng64::seed_from_u64(seed);
         for i in 0..20_000u64 {
             let core = CoreId(rng.gen_range(0..16));
             let line = rng.gen_range(0..200u64);
@@ -29,7 +28,10 @@ fn plain_hierarchy_loads_match_model() {
             } else {
                 let (_, v) = h.access(core, MemOp::Load, Addr::new(line * 64), 0);
                 let expect = model.get(&line).copied().unwrap_or(0);
-                assert_eq!(v, expect, "seed {seed} step {i}: stale load of line {line} by {core:?}");
+                assert_eq!(
+                    v, expect,
+                    "seed {seed} step {i}: stale load of line {line} by {core:?}"
+                );
             }
         }
     }

@@ -203,7 +203,14 @@ impl Art {
     }
 
     /// Adds a child under `byte`, growing the node when full.
-    fn link(&mut self, n: usize, byte: u8, child: usize, rec: &mut Recorder, heap: &mut ShadowHeap) {
+    fn link(
+        &mut self,
+        n: usize,
+        byte: u8,
+        child: usize,
+        rec: &mut Recorder,
+        heap: &mut ShadowHeap,
+    ) {
         // Grow first if needed.
         let (full, cap) = match &self.nodes[n].kind {
             Kind::Inner { slots, capacity } => (slots.len() >= *capacity, *capacity),

@@ -95,10 +95,12 @@ impl BPlusTree {
         let mut n = self.root;
         loop {
             match self.search(n, key, rec) {
-                Ok(_) => return self.nodes[n].leaf || {
-                    // Equal key in an inner node: continue right.
-                    true
-                },
+                Ok(_) => {
+                    return self.nodes[n].leaf || {
+                        // Equal key in an inner node: continue right.
+                        true
+                    };
+                }
                 Err(pos) => {
                     if self.nodes[n].leaf {
                         return false;

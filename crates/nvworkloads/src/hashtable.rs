@@ -36,7 +36,10 @@ impl HashTable {
     /// # Panics
     /// Panics if `initial_buckets` is not a power of two.
     pub fn new(initial_buckets: usize, heap: &mut ShadowHeap) -> Self {
-        assert!(initial_buckets.is_power_of_two(), "bucket count must be a power of two");
+        assert!(
+            initial_buckets.is_power_of_two(),
+            "bucket count must be a power of two"
+        );
         Self {
             buckets: vec![None; initial_buckets],
             bucket_base: heap.alloc(initial_buckets as u64 * 8, 64),

@@ -257,7 +257,9 @@ mod tests {
     #[test]
     fn insert_lookup_and_invariants() {
         let (mut t, mut rec, mut heap) = setup();
-        let keys: Vec<u64> = (0..2000u64).map(|i| i.wrapping_mul(48271) % 100_000).collect();
+        let keys: Vec<u64> = (0..2000u64)
+            .map(|i| i.wrapping_mul(48271) % 100_000)
+            .collect();
         for &k in &keys {
             t.insert(k, &mut rec, &mut heap);
             debug_assert!(t.check_invariants().is_some());

@@ -9,8 +9,7 @@
 
 use crate::record::{Recorder, ShadowHeap};
 use nvsim::addr::{Addr, ThreadId, LINE_BYTES};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use nvsim::rng::Rng64;
 
 /// Parameters shared by every kernel.
 #[derive(Clone, Debug)]
@@ -25,8 +24,8 @@ pub struct KernelParams {
 }
 
 impl KernelParams {
-    fn rng(&self, salt: u64) -> StdRng {
-        StdRng::seed_from_u64(self.seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    fn rng(&self, salt: u64) -> Rng64 {
+        Rng64::seed_from_u64(self.seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15))
     }
 
     fn thread_of(&self, op: u64) -> ThreadId {
@@ -199,7 +198,7 @@ pub fn yada(p: &KernelParams, rec: &mut Recorder, heap: &mut ShadowHeap) {
     // nodes map only ~3.5 % of their slots (Fig 13's 19.7 % outlier).
     let mut region = heap.alloc_sparse(64, 32);
     let mut region_used = 0u64;
-    let mut alloc_element = |heap: &mut ShadowHeap, rng: &mut StdRng| -> Addr {
+    let mut alloc_element = |heap: &mut ShadowHeap, rng: &mut Rng64| -> Addr {
         if region_used >= 60 {
             region = heap.alloc_sparse(64, rng.gen_range(24..40));
             region_used = 0;
@@ -410,9 +409,15 @@ mod tests {
     #[test]
     fn kernels_are_read_dominated_like_their_originals() {
         let (gl, gs, _) = run(genome);
-        assert!(gl > 3 * gs, "genome reads dominate: {gl} loads, {gs} stores");
+        assert!(
+            gl > 3 * gs,
+            "genome reads dominate: {gl} loads, {gs} stores"
+        );
         let (kl, ks, _) = run(kmeans);
-        assert!(kl > 3 * ks, "kmeans distance phase reads dominate: {kl}/{ks}");
+        assert!(
+            kl > 3 * ks,
+            "kmeans distance phase reads dominate: {kl}/{ks}"
+        );
         assert!(ks > 0);
     }
 

@@ -13,9 +13,8 @@ use crate::rbtree::RbTree;
 use crate::record::{Recorder, ShadowHeap};
 use crate::stamp::{self, KernelParams};
 use nvsim::addr::ThreadId;
+use nvsim::rng::Rng64;
 use nvsim::trace::Trace;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::fmt;
 
 /// The twelve workloads of the paper's evaluation.
@@ -85,9 +84,12 @@ impl Workload {
     /// Parses a figure label or identifier.
     pub fn from_name(s: &str) -> Option<Workload> {
         let k = s.to_ascii_lowercase().replace(['+', ' ', '-', '_'], "");
-        Workload::ALL
-            .into_iter()
-            .find(|w| w.name().to_ascii_lowercase().replace(['+', ' ', '-', '_'], "") == k)
+        Workload::ALL.into_iter().find(|w| {
+            w.name()
+                .to_ascii_lowercase()
+                .replace(['+', ' ', '-', '_'], "")
+                == k
+        })
     }
 }
 
@@ -171,54 +173,54 @@ fn kernel_params(p: &SuiteParams) -> KernelParams {
 pub fn generate(w: Workload, p: &SuiteParams) -> Trace {
     let mut rec = Recorder::new(p.threads);
     let mut heap = ShadowHeap::new();
-    let mut rng = StdRng::seed_from_u64(p.seed ^ w.name().len() as u64);
+    let mut rng = Rng64::seed_from_u64(p.seed ^ w.name().len() as u64);
     match w {
         Workload::HashTable => {
             let mut t = HashTable::new(1024, &mut heap);
             rec.set_muted(true);
             for _ in 0..p.warmup_ops {
-                t.insert(rng.gen::<u64>(), &mut rec, &mut heap);
+                t.insert(rng.gen_u64(), &mut rec, &mut heap);
             }
             rec.set_muted(false);
             for i in 0..p.ops {
                 rec.set_thread(p.thread_of(i));
-                t.insert(rng.gen::<u64>(), &mut rec, &mut heap);
+                t.insert(rng.gen_u64(), &mut rec, &mut heap);
             }
         }
         Workload::BTree => {
             let mut t = BPlusTree::new(&mut heap);
             rec.set_muted(true);
             for _ in 0..p.warmup_ops {
-                t.insert(rng.gen::<u64>(), &mut rec, &mut heap);
+                t.insert(rng.gen_u64(), &mut rec, &mut heap);
             }
             rec.set_muted(false);
             for i in 0..p.ops {
                 rec.set_thread(p.thread_of(i));
-                t.insert(rng.gen::<u64>(), &mut rec, &mut heap);
+                t.insert(rng.gen_u64(), &mut rec, &mut heap);
             }
         }
         Workload::Art => {
             let mut t = Art::new();
             rec.set_muted(true);
             for _ in 0..p.warmup_ops {
-                t.insert(rng.gen::<u64>(), &mut rec, &mut heap);
+                t.insert(rng.gen_u64(), &mut rec, &mut heap);
             }
             rec.set_muted(false);
             for i in 0..p.ops {
                 rec.set_thread(p.thread_of(i));
-                t.insert(rng.gen::<u64>(), &mut rec, &mut heap);
+                t.insert(rng.gen_u64(), &mut rec, &mut heap);
             }
         }
         Workload::RbTree => {
             let mut t = RbTree::new();
             rec.set_muted(true);
             for _ in 0..p.warmup_ops {
-                t.insert(rng.gen::<u64>(), &mut rec, &mut heap);
+                t.insert(rng.gen_u64(), &mut rec, &mut heap);
             }
             rec.set_muted(false);
             for i in 0..p.ops {
                 rec.set_thread(p.thread_of(i));
-                t.insert(rng.gen::<u64>(), &mut rec, &mut heap);
+                t.insert(rng.gen_u64(), &mut rec, &mut heap);
             }
         }
         Workload::Labyrinth => stamp::labyrinth(&kernel_params(p), &mut rec, &mut heap),
@@ -252,17 +254,17 @@ pub struct Burst {
 pub fn generate_btree_bursty(p: &SuiteParams, bursts: &[Burst]) -> Trace {
     let mut rec = Recorder::new(p.threads);
     let mut heap = ShadowHeap::new();
-    let mut rng = StdRng::seed_from_u64(p.seed);
+    let mut rng = Rng64::seed_from_u64(p.seed);
     let mut t = BPlusTree::new(&mut heap);
     rec.set_muted(true);
     for _ in 0..p.warmup_ops {
-        t.insert(rng.gen::<u64>(), &mut rec, &mut heap);
+        t.insert(rng.gen_u64(), &mut rec, &mut heap);
     }
     rec.set_muted(false);
     let mut last_mark_stores = 0u64;
     for i in 0..p.ops {
         rec.set_thread(p.thread_of(i));
-        t.insert(rng.gen::<u64>(), &mut rec, &mut heap);
+        t.insert(rng.gen_u64(), &mut rec, &mut heap);
         let frac = i as f64 / p.ops as f64;
         if let Some(b) = bursts
             .iter()
@@ -286,7 +288,11 @@ mod tests {
         let p = SuiteParams::quick();
         for w in Workload::ALL {
             let t = generate(w, &p);
-            assert!(t.access_count() > 1000, "{w} too small: {}", t.access_count());
+            assert!(
+                t.access_count() > 1000,
+                "{w} too small: {}",
+                t.access_count()
+            );
             assert!(t.store_count() > 0, "{w} writes nothing");
             assert_eq!(t.thread_count(), p.threads);
         }

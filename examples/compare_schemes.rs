@@ -14,7 +14,9 @@ use nvoverlay_suite::sim::SimConfig;
 use nvoverlay_suite::workloads::{generate, SuiteParams, Workload};
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "B+Tree".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "B+Tree".to_string());
     let workload = Workload::from_name(&name).unwrap_or_else(|| {
         eprintln!("unknown workload {name:?}; one of:");
         for w in Workload::ALL {

@@ -45,10 +45,21 @@ fn main() {
     println!();
     println!("NVOverlay:");
     println!("  cycles:            {:>12}", r1.cycles);
-    println!("  persist stalls:    {:>12} (across 16 cores)", r1.stall_cycles);
-    println!("  NVM bytes:         {:>12} (log bytes: {})", s1.nvm.total_bytes(), s1.nvm.bytes(NvmWriteKind::Log));
+    println!(
+        "  persist stalls:    {:>12} (across 16 cores)",
+        r1.stall_cycles
+    );
+    println!(
+        "  NVM bytes:         {:>12} (log bytes: {})",
+        s1.nvm.total_bytes(),
+        s1.nvm.bytes(NvmWriteKind::Log)
+    );
     println!("  snapshots:         {:>12}", s1.epochs_completed);
-    println!("  recovered image:   {:>12} lines at epoch {}", image.len(), image.epoch());
+    println!(
+        "  recovered image:   {:>12} lines at epoch {}",
+        image.len(),
+        image.epoch()
+    );
 
     // --- SW undo logging ---------------------------------------------
     let mut swl = SwUndoLogging::new(&cfg);
@@ -63,12 +74,18 @@ fn main() {
     let s2 = swl.stats();
     println!();
     println!("SW undo logging:");
-    println!("  cycles:            {:>12}  ({:.1}x NVOverlay)", r2.cycles, r2.cycles as f64 / r1.cycles as f64);
+    println!(
+        "  cycles:            {:>12}  ({:.1}x NVOverlay)",
+        r2.cycles,
+        r2.cycles as f64 / r1.cycles as f64
+    );
     println!("  persist stalls:    {:>12}", r2.stall_cycles);
-    println!("  NVM bytes:         {:>12}  ({:.2}x NVOverlay, {} log bytes)",
+    println!(
+        "  NVM bytes:         {:>12}  ({:.2}x NVOverlay, {} log bytes)",
         s2.nvm.total_bytes(),
         s2.nvm.total_bytes() as f64 / s1.nvm.total_bytes() as f64,
-        s2.nvm.bytes(NvmWriteKind::Log));
+        s2.nvm.bytes(NvmWriteKind::Log)
+    );
     println!("  epochs committed:  {:>12}", swl.epochs_committed());
 
     println!();

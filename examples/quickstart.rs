@@ -44,8 +44,14 @@ fn main() {
     );
     println!(
         "NVM traffic: {} KiB data + {} KiB mapping metadata, zero log bytes",
-        stats.nvm.bytes(nvoverlay_suite::sim::stats::NvmWriteKind::Data) / 1024,
-        stats.nvm.bytes(nvoverlay_suite::sim::stats::NvmWriteKind::MapMetadata) / 1024,
+        stats
+            .nvm
+            .bytes(nvoverlay_suite::sim::stats::NvmWriteKind::Data)
+            / 1024,
+        stats
+            .nvm
+            .bytes(nvoverlay_suite::sim::stats::NvmWriteKind::MapMetadata)
+            / 1024,
     );
     println!("recoverable epoch: {}", system.rec_epoch());
 

@@ -97,15 +97,26 @@ fn main() {
         // Consistency check after each shipped epoch.
         let expect = snapshot_at(primary.mnm(), d.epoch, written.iter().copied());
         for (l, t) in expect.iter() {
-            assert_eq!(replica.get(&l), Some(&t), "replica diverged at epoch {}", d.epoch);
+            assert_eq!(
+                replica.get(&l),
+                Some(&t),
+                "replica diverged at epoch {}",
+                d.epoch
+            );
         }
     }
-    println!("replica verified consistent after every one of {} epochs", deltas.len());
+    println!(
+        "replica verified consistent after every one of {} epochs",
+        deltas.len()
+    );
 
     // And the final replica equals the primary's crash-recovery image.
     let final_img = primary.recover().expect("recoverable");
     for (l, t) in final_img.iter() {
         assert_eq!(replica.get(&l), Some(&t), "final replica diverged at {l}");
     }
-    println!("final replica == primary recovery image ({} lines)", final_img.len());
+    println!(
+        "final replica == primary recovery image ({} lines)",
+        final_img.len()
+    );
 }

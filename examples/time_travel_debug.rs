@@ -38,7 +38,10 @@ fn main() {
         }
         // Unrelated traffic.
         for i in 0..200u64 {
-            tb.store(ThreadId((1 + i % 3) as u16), Addr::new((0x2000 + epoch * 64 + i) * 64));
+            tb.store(
+                ThreadId((1 + i % 3) as u16),
+                Addr::new((0x2000 + epoch * 64 + i) * 64),
+            );
         }
         // The programmer's watch-point: snapshot at every epoch boundary.
         tb.epoch_mark(ThreadId(0));

@@ -57,10 +57,7 @@ fn every_scheme_returns_coherent_load_values_under_both_protocols() {
         nvoverlay_suite::sim::config::Protocol::Mesi,
         nvoverlay_suite::sim::config::Protocol::Moesi,
     ] {
-        let cfg = SimConfig {
-            protocol,
-            ..cfg()
-        };
+        let cfg = SimConfig { protocol, ..cfg() };
         every_scheme_coherent(&cfg);
     }
 }
@@ -145,7 +142,12 @@ fn paper_orderings_hold_across_the_suite() {
     // index workloads (Fig 12's 29%–47% reduction claim); (3) software
     // schemes stall, hardware schemes stall less.
     let cfg = cfg();
-    for w in [Workload::HashTable, Workload::BTree, Workload::Art, Workload::RbTree] {
+    for w in [
+        Workload::HashTable,
+        Workload::BTree,
+        Workload::Art,
+        Workload::RbTree,
+    ] {
         let trace = generate(w, &params());
         let mut nvo = NvOverlaySystem::new(&cfg);
         let rn = Runner::new().run(&mut nvo, &trace);
