@@ -22,6 +22,7 @@ use nvsim::config::SimConfig;
 use nvsim::fastmap::{FastHashMap, FastHashSet};
 use nvsim::hierarchy::{EpochId, HierarchyEvent};
 use nvsim::memsys::{AccessOutcome, MemOp, MemorySystem};
+use nvsim::nvtrace::{EventKind, TraceScope, Track};
 use nvsim::stats::{EvictReason, NvmWriteKind, SystemStats};
 
 /// Where PiCL's version tracking and tag walks live.
@@ -126,6 +127,7 @@ impl Picl {
             .nvm
             .write(now, line.raw() ^ 0x7777, NvmWriteKind::Log, LOG_ENTRY_BYTES);
         self.core.stats.evictions.record(EvictReason::LogWrite);
+        TraceScope::new(Track::Scheme).emit(EventKind::LogWrite, now, line.raw(), LOG_ENTRY_BYTES);
         self.undo.push((epoch, line, old));
         t.backpressure_stall(now)
     }
@@ -144,6 +146,9 @@ impl Picl {
             return;
         }
         // Tag walk: write back dirty lines of epochs <= ending.
+        let walker = TraceScope::new(Track::Scheme);
+        walker.emit(EventKind::TagWalkStart, now, ending, 0);
+        let walk_writes_before = self.walk_writes;
         match self.level {
             PiclLevel::Llc => {
                 // Inclusive-LLC walk: covers the LLC and (since our
@@ -177,6 +182,12 @@ impl Picl {
                 }
             }
         }
+        walker.emit(
+            EventKind::TagWalkEnd,
+            now,
+            ending,
+            self.walk_writes - walk_writes_before,
+        );
         // Everything of `ending` is now home: the epoch commits and its
         // undo entries can be dropped.
         self.committed_epoch = ending;

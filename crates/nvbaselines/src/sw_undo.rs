@@ -17,6 +17,7 @@ use nvsim::config::SimConfig;
 use nvsim::fastmap::FastHashMap;
 use nvsim::hierarchy::HierarchyEvent;
 use nvsim::memsys::{AccessOutcome, MemOp, MemorySystem};
+use nvsim::nvtrace::{EventKind, TraceScope, Track};
 use nvsim::stats::{EvictReason, NvmWriteKind, SystemStats};
 
 /// The software undo-logging scheme.
@@ -64,6 +65,12 @@ impl SwUndoLogging {
     fn commit_epoch(&mut self, now: Cycle) -> Cycle {
         let mut done = now;
         let lines = std::mem::take(&mut self.write_set);
+        TraceScope::new(Track::Scheme).emit(
+            EventKind::EpochFlush,
+            now,
+            self.epochs_committed,
+            lines.len() as u64,
+        );
         self.in_set.clear();
         for line in lines {
             let (token, _dirty) = self.core.hier.clwb(line);
@@ -104,6 +111,12 @@ impl SwUndoLogging {
                             LOG_ENTRY_BYTES,
                         );
                         self.core.stats.evictions.record(EvictReason::LogWrite);
+                        TraceScope::new(Track::Scheme).emit(
+                            EventKind::LogWrite,
+                            now,
+                            line.raw(),
+                            LOG_ENTRY_BYTES,
+                        );
                         stall += t.sync_stall(now);
                         self.undo_log.push((line, old_token));
                     }

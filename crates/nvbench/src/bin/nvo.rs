@@ -2,16 +2,25 @@
 //!
 //! ```text
 //! nvo list
-//! nvo run --workload B+Tree --scheme NVOverlay [--scale quick|standard|full] [--json]
+//! nvo run --workload B+Tree --scheme NVOverlay [--scale quick|standard|full] [--json] [--stats-out s.json]
 //! nvo run --trace t.nvtr --scheme PiCL
 //! nvo trace-gen --workload kmeans --out t.nvtr [--scale quick]
+//! nvo trace B+Tree --scheme NVOverlay [--scale quick] [--trace-out t.json] [--stats-out s.json]
 //! nvo snapshots --workload RBTree [--scale quick]
 //! nvo perf [--jobs N] [--scale quick|standard|full] [--out BENCH_perf.json]
 //! ```
+//!
+//! `nvo trace` needs the `trace` cargo feature
+//! (`cargo build --release -p nvbench --features trace`); the stock
+//! build compiles the tracer out entirely.
 
-use nvbench::{default_jobs, gen_traces, run_matrix, run_scheme, EnvScale, Scheme};
+use nvbench::{
+    chrome_trace_json, default_jobs, gen_traces, registry_json, run_matrix_stats, run_scheme_stats,
+    ChromeMeta, EnvScale, Scheme, Spans,
+};
 use nvoverlay::system::NvOverlaySystem;
 use nvsim::memsys::Runner;
+use nvsim::stats::{NvmWriteKind, SystemStats};
 use nvsim::trace::Trace;
 use nvworkloads::{generate, Workload};
 use std::collections::HashMap;
@@ -19,7 +28,7 @@ use std::process::exit;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  nvo list\n  nvo run --workload <name> --scheme <name> [--scale quick|standard|full] [--json]\n  nvo run --trace <file.nvtr> --scheme <name>\n  nvo trace-gen --workload <name> --out <file.nvtr> [--scale ...]\n  nvo snapshots --workload <name> [--scale ...]\n  nvo diff --workload <name> --from <epoch> --to <epoch> [--scale ...]\n  nvo perf [--jobs N] [--scale ...] [--out BENCH_perf.json]"
+        "usage:\n  nvo list\n  nvo run --workload <name> --scheme <name> [--scale quick|standard|full] [--json] [--stats-out <file>]\n  nvo run --trace <file.nvtr> --scheme <name>\n  nvo trace-gen --workload <name> --out <file.nvtr> [--scale ...]\n  nvo trace <workload> --scheme <name> [--scale ...] [--trace-out <file>] [--stats-out <file>] [--buffer-cap N] [--sample N]\n  nvo snapshots --workload <name> [--scale ...]\n  nvo diff --workload <name> --from <epoch> --to <epoch> [--scale ...]\n  nvo perf [--jobs N] [--scale ...] [--out BENCH_perf.json]"
     );
     exit(2)
 }
@@ -105,7 +114,15 @@ fn cmd_run(flags: HashMap<String, String>) {
         exit(2);
     };
     let cfg = scale.sim_config();
-    let r = run_scheme(scheme, &cfg, &trace);
+    let (r, _stats, reg) = run_scheme_stats(scheme, &cfg, &trace);
+    if let Some(path) = flags.get("stats-out") {
+        let wname = flags.get("workload").map(String::as_str).unwrap_or("-");
+        let json = registry_json(&reg, &[("scheme", scheme.name()), ("workload", wname)]);
+        std::fs::write(path, json).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            exit(1);
+        });
+    }
     if flags.contains_key("json") {
         println!(
             "{{\"scheme\":\"{}\",\"cycles\":{},\"stall_cycles\":{},\"data_bytes\":{},\"log_bytes\":{},\"meta_bytes\":{},\"context_bytes\":{},\"data_writes\":{},\"epochs\":{},\"evict\":{{\"capacity\":{},\"coherence_log\":{},\"tag_walk\":{},\"store_evict\":{}}}}}",
@@ -166,6 +183,91 @@ fn cmd_trace_gen(flags: HashMap<String, String>) {
         trace.access_count(),
         trace.store_count()
     );
+}
+
+/// `nvo trace` — one instrumented run with the structured-event tracer
+/// on, exporting a Perfetto-loadable Chrome trace and (optionally) the
+/// flat metrics registry.
+fn cmd_trace(flags: HashMap<String, String>) {
+    if !nvsim::nvtrace::compiled_in() {
+        eprintln!(
+            "nvo trace requires the `trace` feature; rebuild with\n  cargo build --release -p nvbench --features trace"
+        );
+        exit(2);
+    }
+    let scale = scale_of(&flags);
+    let trace = load_workload(&flags, scale);
+    let sname = flags
+        .get("scheme")
+        .map(String::as_str)
+        .unwrap_or("NVOverlay");
+    let Some(scheme) = Scheme::from_name(sname) else {
+        eprintln!("unknown scheme {sname:?} (see `nvo list`)");
+        exit(2);
+    };
+    let mut tcfg = nvsim::nvtrace::TraceConfig::default();
+    if let Some(v) = flags.get("buffer-cap") {
+        match v.parse::<usize>() {
+            Ok(n) if n >= 1 => tcfg.capacity = n,
+            _ => {
+                eprintln!("--buffer-cap must be a positive integer, got {v:?}");
+                exit(2);
+            }
+        }
+    }
+    if let Some(v) = flags.get("sample") {
+        match v.parse::<u32>() {
+            Ok(n) if n >= 1 => tcfg.sample_every = n,
+            _ => {
+                eprintln!("--sample must be a positive integer, got {v:?}");
+                exit(2);
+            }
+        }
+    }
+    let cfg = scale.sim_config();
+    nvsim::nvtrace::install(tcfg);
+    let (res, _stats, reg) = run_scheme_stats(scheme, &cfg, &trace);
+    let log = nvsim::nvtrace::take().expect("tracer was installed");
+
+    let wname = flags.get("workload").map(String::as_str).unwrap_or("-");
+    println!(
+        "traced {} on {}: {} cycles, {} events kept ({} accepted, {} overwritten, {} sampled out)",
+        scheme.name(),
+        wname,
+        res.cycles,
+        log.events.len(),
+        log.accepted,
+        log.overwritten,
+        log.total_sampled_out()
+    );
+    for kind in nvsim::nvtrace::EventKind::ALL {
+        let n = log.count(kind);
+        if n > 0 {
+            println!("  {:>8} {}", n, kind.name());
+        }
+    }
+
+    let trace_out = flags
+        .get("trace-out")
+        .cloned()
+        .unwrap_or_else(|| "nvo_trace.json".to_string());
+    let meta = ChromeMeta {
+        scheme: scheme.name().to_string(),
+        workload: wname.to_string(),
+    };
+    std::fs::write(&trace_out, chrome_trace_json(&log, &meta)).unwrap_or_else(|e| {
+        eprintln!("cannot write {trace_out}: {e}");
+        exit(1);
+    });
+    println!("  wrote {trace_out} (load it at ui.perfetto.dev)");
+    if let Some(path) = flags.get("stats-out") {
+        let json = registry_json(&reg, &[("scheme", scheme.name()), ("workload", wname)]);
+        std::fs::write(path, json).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            exit(1);
+        });
+        println!("  wrote {path}");
+    }
 }
 
 fn cmd_snapshots(flags: HashMap<String, String>) {
@@ -266,8 +368,6 @@ fn jobs_of(flags: &HashMap<String, String>) -> usize {
 /// driver on a fixed 6-scheme × 4-workload matrix and writes
 /// `BENCH_perf.json` with the per-phase breakdown.
 fn cmd_perf(flags: HashMap<String, String>) {
-    use std::time::Instant;
-
     let scale = scale_of(&flags);
     let jobs = jobs_of(&flags);
     let out_path = flags
@@ -291,70 +391,75 @@ fn cmd_perf(flags: HashMap<String, String>) {
     );
 
     // Phase timings for both drivers: trace generation, replay, stats.
-    let mut phases = [[0.0f64; 3]; 2]; // [serial, parallel][gen, replay, stats]
-    let mut totals = [0.0f64; 2];
+    let mut timing = [Spans::new(), Spans::new()]; // [serial, parallel]
     let mut results = Vec::new();
     for (di, jobs_now) in [1usize, jobs].into_iter().enumerate() {
-        let t0 = Instant::now();
-        let traces = gen_traces(&workloads, &params, jobs_now);
-        let t1 = Instant::now();
-        let rows = run_matrix(&schemes, &cfg, &traces, jobs_now);
-        let t2 = Instant::now();
-        // Stats phase: fold every result into the summary scalars the
-        // figures print.
-        let mut cycles = 0u64;
-        let mut bytes = 0u64;
-        for row in &rows {
-            for r in row {
+        let spans = &mut timing[di];
+        let traces = spans.time("trace_gen", || gen_traces(&workloads, &params, jobs_now));
+        let rows = spans.time("replay", || {
+            run_matrix_stats(&schemes, &cfg, &traces, jobs_now)
+        });
+        // Stats phase: merge every run's stats block into one aggregate
+        // (the same `SystemStats::merge` the figure drivers use) and
+        // derive the summary scalars from it.
+        let (cycles, merged) = spans.time("stats", || {
+            let mut merged = SystemStats::default();
+            let mut cycles = 0u64;
+            for (r, s) in rows.iter().flat_map(|row| row.iter()) {
                 cycles += r.cycles;
-                bytes += r.total_bytes();
+                merged.merge(s);
             }
-        }
-        let t3 = Instant::now();
-        phases[di] = [
-            t1.duration_since(t0).as_secs_f64(),
-            t2.duration_since(t1).as_secs_f64(),
-            t3.duration_since(t2).as_secs_f64(),
-        ];
-        totals[di] = t3.duration_since(t0).as_secs_f64();
+            (cycles, merged)
+        });
+        let bytes: u64 = NvmWriteKind::ALL.iter().map(|k| merged.nvm.bytes(*k)).sum();
         println!(
             "  {}: trace-gen {:.3}s, replay {:.3}s, stats {:.3}s, total {:.3}s (sum cycles {cycles}, sum NVM bytes {bytes})",
             if di == 0 { "serial  " } else { "parallel" },
-            phases[di][0],
-            phases[di][1],
-            phases[di][2],
-            totals[di],
+            spans.secs("trace_gen"),
+            spans.secs("replay"),
+            spans.secs("stats"),
+            spans.total_secs(),
         );
         results.push(rows);
     }
 
     let identical = results[0] == results[1];
+    let totals = [timing[0].total_secs(), timing[1].total_secs()];
     let speedup = totals[0] / totals[1].max(1e-9);
+    // A 1-CPU host (or a single-job invocation) cannot show a parallel
+    // speedup; annotate the report and skip the speedup gate there.
+    let meaningful = default_host() > 1 && jobs > 1;
     println!(
         "  parallel output identical to serial: {}",
         if identical { "yes" } else { "NO — BUG" }
     );
     println!(
-        "  speedup: {speedup:.2}x ({jobs} jobs, host parallelism {})",
-        default_host()
+        "  speedup: {speedup:.2}x ({jobs} jobs, host parallelism {}){}",
+        default_host(),
+        if meaningful {
+            ""
+        } else {
+            " — not meaningful on this host, gate skipped"
+        }
     );
 
     let json = format!(
-        "{{\n  \"matrix\": {{\"schemes\": {}, \"workloads\": {}, \"scale\": \"{:?}\"}},\n  \"host_parallelism\": {},\n  \"jobs\": {},\n  \"serial\": {{\"trace_gen_s\": {:.6}, \"replay_s\": {:.6}, \"stats_s\": {:.6}, \"total_s\": {:.6}}},\n  \"parallel\": {{\"trace_gen_s\": {:.6}, \"replay_s\": {:.6}, \"stats_s\": {:.6}, \"total_s\": {:.6}}},\n  \"speedup\": {:.4},\n  \"outputs_identical\": {}\n}}\n",
+        "{{\n  \"matrix\": {{\"schemes\": {}, \"workloads\": {}, \"scale\": \"{:?}\"}},\n  \"host_parallelism\": {},\n  \"jobs\": {},\n  \"serial\": {{\"trace_gen_s\": {:.6}, \"replay_s\": {:.6}, \"stats_s\": {:.6}, \"total_s\": {:.6}}},\n  \"parallel\": {{\"trace_gen_s\": {:.6}, \"replay_s\": {:.6}, \"stats_s\": {:.6}, \"total_s\": {:.6}}},\n  \"speedup\": {:.4},\n  \"speedup_meaningful\": {},\n  \"outputs_identical\": {}\n}}\n",
         schemes.len(),
         workloads.len(),
         scale,
         default_host(),
         jobs,
-        phases[0][0],
-        phases[0][1],
-        phases[0][2],
+        timing[0].secs("trace_gen"),
+        timing[0].secs("replay"),
+        timing[0].secs("stats"),
         totals[0],
-        phases[1][0],
-        phases[1][1],
-        phases[1][2],
+        timing[1].secs("trace_gen"),
+        timing[1].secs("replay"),
+        timing[1].secs("stats"),
         totals[1],
         speedup,
+        meaningful,
         identical,
     );
     std::fs::write(&out_path, json).unwrap_or_else(|e| {
@@ -363,6 +468,10 @@ fn cmd_perf(flags: HashMap<String, String>) {
     });
     println!("  wrote {out_path}");
     if !identical {
+        exit(1);
+    }
+    if meaningful && speedup < 1.0 {
+        eprintln!("parallel driver slower than serial on a multi-core host");
         exit(1);
     }
 }
@@ -379,6 +488,20 @@ fn main() {
         Some("list") => cmd_list(),
         Some("run") => cmd_run(parse_flags(&args[1..])),
         Some("trace-gen") => cmd_trace_gen(parse_flags(&args[1..])),
+        Some("trace") => {
+            // `nvo trace <workload> ...`: an optional positional
+            // workload name before the flags.
+            let rest = &args[1..];
+            let (positional, rest) = match rest.first() {
+                Some(a) if !a.starts_with("--") => (Some(a.clone()), &rest[1..]),
+                _ => (None, rest),
+            };
+            let mut flags = parse_flags(rest);
+            if let Some(w) = positional {
+                flags.entry("workload".to_string()).or_insert(w);
+            }
+            cmd_trace(flags)
+        }
         Some("snapshots") => cmd_snapshots(parse_flags(&args[1..])),
         Some("diff") => cmd_diff(parse_flags(&args[1..])),
         Some("perf") => cmd_perf(parse_flags(&args[1..])),

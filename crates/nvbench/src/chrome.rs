@@ -1,0 +1,227 @@
+//! Chrome trace-event export for [`nvsim::nvtrace`] logs.
+//!
+//! Converts a [`TraceLog`] into the Chrome/Perfetto trace-event JSON
+//! format (load the file at `ui.perfetto.dev` or `chrome://tracing`):
+//!
+//! * every distinct [`Track`] becomes a named thread row (`tid` = the
+//!   track's 16-bit encoding, labeled via `thread_name` metadata);
+//! * `EpochAdvance` events become **async spans** (`"b"`/`"e"` pairs,
+//!   one per epoch id), so each VD row shows its epoch timeline;
+//! * `TagWalkStart`/`TagWalkEnd` become **duration spans**
+//!   (`"B"`/`"E"`), nesting under the VD row;
+//! * all other kinds become **instant events** (`"i"`) carrying their
+//!   two kind-specific arguments.
+//!
+//! Timestamps: the simulator's cycle count is written directly as the
+//! microsecond field (`ts`), i.e. one trace microsecond == one
+//! simulated cycle.
+
+use crate::json::escape;
+use nvsim::nvtrace::{Event, EventKind, TraceLog};
+use std::fmt::Write as _;
+
+/// Run identification stamped into the trace metadata.
+#[derive(Clone, Debug, Default)]
+pub struct ChromeMeta {
+    /// Scheme name (e.g. `"NVOverlay"`).
+    pub scheme: String,
+    /// Workload name (e.g. `"B+Tree"`).
+    pub workload: String,
+}
+
+const PID: u32 = 1;
+
+fn push_common(out: &mut String, name: &str, ph: &str, ts: u64, tid: u16) {
+    let _ = write!(
+        out,
+        "{{\"name\":\"{}\",\"ph\":\"{}\",\"ts\":{},\"pid\":{},\"tid\":{}",
+        escape(name),
+        ph,
+        ts,
+        PID,
+        tid
+    );
+}
+
+fn push_instant(out: &mut String, e: &Event) {
+    push_common(out, e.kind.name(), "i", e.time, e.track);
+    let _ = write!(
+        out,
+        ",\"s\":\"t\",\"args\":{{\"a\":{},\"b\":{}}}}}",
+        e.a, e.b
+    );
+}
+
+/// Renders `log` as a Chrome trace-event JSON document.
+pub fn chrome_trace_json(log: &TraceLog, meta: &ChromeMeta) -> String {
+    let mut out = String::with_capacity(128 + log.events.len() * 96);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    let mut sep = |out: &mut String| {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push('\n');
+    };
+
+    // Process metadata: name the process and every track row that
+    // appears in the log (sorted by encoding for determinism).
+    sep(&mut out);
+    let _ = write!(
+        out,
+        "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{},\"args\":{{\"name\":\"{} / {}\"}}}}",
+        PID,
+        escape(&meta.scheme),
+        escape(&meta.workload)
+    );
+    let mut tracks: Vec<u16> = log.events.iter().map(|e| e.track).collect();
+    tracks.sort_unstable();
+    tracks.dedup();
+    for t in &tracks {
+        sep(&mut out);
+        let _ = write!(
+            out,
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{},\"tid\":{},\"args\":{{\"name\":\"{}\"}}}}",
+            PID,
+            t,
+            escape(&nvsim::nvtrace::Track::decode(*t).label())
+        );
+    }
+
+    // Per-track time of the previous epoch advance: the epoch that just
+    // ended spans from that time to this event's time.
+    let mut epoch_open: Vec<(u16, u64)> = Vec::new();
+    for e in &log.events {
+        match e.kind {
+            EventKind::EpochAdvance => {
+                let start = match epoch_open.iter_mut().find(|(t, _)| *t == e.track) {
+                    Some(slot) => std::mem::replace(&mut slot.1, e.time),
+                    None => {
+                        epoch_open.push((e.track, e.time));
+                        0
+                    }
+                };
+                let name = format!("epoch {}", e.a);
+                sep(&mut out);
+                push_common(&mut out, &name, "b", start, e.track);
+                let _ = write!(out, ",\"cat\":\"epoch\",\"id\":{}}}", e.a);
+                sep(&mut out);
+                push_common(&mut out, &name, "e", e.time, e.track);
+                let _ = write!(out, ",\"cat\":\"epoch\",\"id\":{}}}", e.a);
+            }
+            EventKind::TagWalkStart => {
+                sep(&mut out);
+                push_common(&mut out, "tag walk", "B", e.time, e.track);
+                let _ = write!(out, ",\"args\":{{\"epoch\":{}}}}}", e.a);
+            }
+            EventKind::TagWalkEnd => {
+                sep(&mut out);
+                push_common(&mut out, "tag walk", "E", e.time, e.track);
+                let _ = write!(
+                    out,
+                    ",\"args\":{{\"min_ver\":{},\"versions\":{}}}}}",
+                    e.a, e.b
+                );
+            }
+            _ => {
+                sep(&mut out);
+                push_instant(&mut out, e);
+            }
+        }
+    }
+    let _ = write!(
+        out,
+        "\n],\"otherData\":{{\"accepted\":{},\"overwritten\":{},\"sampled_out\":{},\"sample_every\":{}}}}}\n",
+        log.accepted,
+        log.overwritten,
+        log.total_sampled_out(),
+        log.sample_every
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{parse, JsonValue};
+    use nvsim::nvtrace::{TraceBuffer, TraceConfig, Track};
+
+    fn sample_log() -> TraceLog {
+        let mut buf = TraceBuffer::new(TraceConfig::default());
+        let vd = Track::Vd(0).encode();
+        buf.push(Event {
+            time: 100,
+            kind: EventKind::EpochAdvance,
+            track: vd,
+            a: 1,
+            b: 2,
+        });
+        buf.push(Event {
+            time: 100,
+            kind: EventKind::TagWalkStart,
+            track: vd,
+            a: 2,
+            b: 0,
+        });
+        buf.push(Event {
+            time: 140,
+            kind: EventKind::TagWalkEnd,
+            track: vd,
+            a: 1,
+            b: 7,
+        });
+        buf.push(Event {
+            time: 150,
+            kind: EventKind::OmcFlush,
+            track: Track::Omc(0).encode(),
+            a: 1,
+            b: 7,
+        });
+        buf.into_log()
+    }
+
+    #[test]
+    fn export_is_valid_json_with_expected_phases() {
+        let json = chrome_trace_json(
+            &sample_log(),
+            &ChromeMeta {
+                scheme: "NVOverlay".into(),
+                workload: "B+Tree \"quoted\"".into(),
+            },
+        );
+        let doc = parse(&json).expect("chrome export must parse");
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        let phases: Vec<&str> = events
+            .iter()
+            .map(|e| e.get("ph").unwrap().as_str().unwrap())
+            .collect();
+        // 2 metadata tracks + process name, one b/e pair, one B/E pair,
+        // one instant.
+        assert_eq!(phases.iter().filter(|p| **p == "M").count(), 3);
+        assert_eq!(phases.iter().filter(|p| **p == "b").count(), 1);
+        assert_eq!(phases.iter().filter(|p| **p == "e").count(), 1);
+        assert_eq!(phases.iter().filter(|p| **p == "B").count(), 1);
+        assert_eq!(phases.iter().filter(|p| **p == "E").count(), 1);
+        assert_eq!(phases.iter().filter(|p| **p == "i").count(), 1);
+        // The epoch span is on the VD track and carries its id.
+        let b = events
+            .iter()
+            .find(|e| e.get("ph").unwrap().as_str() == Some("b"))
+            .unwrap();
+        assert_eq!(b.get("id").unwrap().as_u64(), Some(1));
+        assert_eq!(
+            b.get("tid").unwrap().as_u64(),
+            Some(Track::Vd(0).encode() as u64)
+        );
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let meta = ChromeMeta::default();
+        let a = chrome_trace_json(&sample_log(), &meta);
+        let b = chrome_trace_json(&sample_log(), &meta);
+        assert_eq!(a, b);
+        assert!(matches!(parse(&a), Ok(JsonValue::Object(_))));
+    }
+}

@@ -179,6 +179,20 @@ pub fn run_scheme(scheme: Scheme, cfg: &SimConfig, trace: &Trace) -> ExpResult {
     ExpResult::from_stats(sys.stats(), report.cycles, report.stall_cycles)
 }
 
+/// Like [`run_scheme`], but also returns the scheme's full stats block
+/// (for [`SystemStats::merge`]-based aggregation) and its hierarchical
+/// metrics registry (for the flat exporters).
+pub fn run_scheme_stats(
+    scheme: Scheme,
+    cfg: &SimConfig,
+    trace: &Trace,
+) -> (ExpResult, SystemStats, nvsim::metrics::Registry) {
+    let mut sys = scheme.build(cfg);
+    let report = Runner::new().run(sys.as_mut(), trace);
+    let res = ExpResult::from_stats(sys.stats(), report.cycles, report.stall_cycles);
+    (res, sys.stats().clone(), sys.metrics())
+}
+
 /// NVOverlay-specific measurements (Fig 13 / Fig 16).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct NvoDetail {

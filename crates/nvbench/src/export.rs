@@ -1,0 +1,131 @@
+//! Flat stats exporters: metrics registry → JSON / TSV.
+//!
+//! The registry iterates in name order (BTreeMap), so both formats are
+//! deterministic for a given run — the observability tests compare
+//! serial and parallel exports byte-for-byte.
+
+use crate::json::escape;
+use nvsim::metrics::{MetricValue, Registry};
+use std::fmt::Write as _;
+
+fn fmt_gauge(g: f64) -> String {
+    // Round-trippable and stable: integers print without a fraction.
+    if g.fract() == 0.0 && g.abs() < 1e15 {
+        format!("{}", g as i64)
+    } else {
+        format!("{g}")
+    }
+}
+
+/// Renders a frozen registry as a flat JSON object, one key per metric
+/// in name order. Histograms become
+/// `{"count":N,"sum":S,"max":M,"buckets":[[floor,count],...]}`.
+pub fn registry_json(reg: &Registry, run_meta: &[(&str, &str)]) -> String {
+    let mut out = String::from("{\n");
+    let mut first = true;
+    for (k, v) in run_meta {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        let _ = write!(out, "  \"{}\": \"{}\"", escape(k), escape(v));
+    }
+    for (name, value) in reg.iter() {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        let _ = write!(out, "  \"{}\": ", escape(name));
+        match value {
+            MetricValue::Counter(c) => {
+                let _ = write!(out, "{c}");
+            }
+            MetricValue::Gauge(g) => {
+                let _ = write!(out, "{}", fmt_gauge(*g));
+            }
+            MetricValue::Histogram(h) => {
+                let _ = write!(
+                    out,
+                    "{{\"count\":{},\"sum\":{},\"max\":{},\"buckets\":[",
+                    h.count(),
+                    h.sum(),
+                    h.max()
+                );
+                for (i, (floor, n)) in h.buckets().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "[{floor},{n}]");
+                }
+                out.push_str("]}");
+            }
+        }
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+/// Renders a frozen registry as `name\tvalue` lines in name order.
+/// Histograms collapse to `count/sum/max`.
+pub fn registry_tsv(reg: &Registry) -> String {
+    let mut out = String::new();
+    for (name, value) in reg.iter() {
+        match value {
+            MetricValue::Counter(c) => {
+                let _ = writeln!(out, "{name}\t{c}");
+            }
+            MetricValue::Gauge(g) => {
+                let _ = writeln!(out, "{name}\t{}", fmt_gauge(*g));
+            }
+            MetricValue::Histogram(h) => {
+                let _ = writeln!(out, "{name}\t{}/{}/{}", h.count(), h.sum(), h.max());
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+    use nvsim::metrics::Hist;
+
+    fn sample() -> Registry {
+        let mut reg = Registry::new();
+        reg.set_counter("omc.0.buffer_hits", 42);
+        reg.set_gauge("omc.0.pool.utilization", 0.5);
+        let mut h = Hist::new();
+        h.record(3);
+        h.record(300);
+        reg.record_hist("nvm.queue_delay", h);
+        reg
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let json = registry_json(&sample(), &[("scheme", "NVOverlay")]);
+        let doc = parse(&json).expect("must parse");
+        assert_eq!(doc.get("scheme").unwrap().as_str(), Some("NVOverlay"));
+        assert_eq!(doc.get("omc.0.buffer_hits").unwrap().as_u64(), Some(42));
+        assert_eq!(
+            doc.get("omc.0.pool.utilization").unwrap().as_f64(),
+            Some(0.5)
+        );
+        let h = doc.get("nvm.queue_delay").unwrap();
+        assert_eq!(h.get("count").unwrap().as_u64(), Some(2));
+        assert_eq!(h.get("sum").unwrap().as_u64(), Some(303));
+    }
+
+    #[test]
+    fn tsv_is_sorted_and_complete() {
+        let tsv = registry_tsv(&sample());
+        let lines: Vec<&str> = tsv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let mut sorted = lines.clone();
+        sorted.sort_unstable();
+        assert_eq!(lines, sorted, "TSV must be in name order");
+        assert!(tsv.contains("omc.0.buffer_hits\t42"));
+        assert!(tsv.contains("nvm.queue_delay\t2/303/300"));
+    }
+}

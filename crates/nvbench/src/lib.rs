@@ -8,8 +8,18 @@
 
 #![warn(missing_docs)]
 
+pub mod chrome;
 pub mod exp;
+pub mod export;
+pub mod json;
 pub mod par;
+pub mod prof;
 
-pub use exp::{run_nvoverlay, run_picl_walker, run_scheme, EnvScale, ExpResult, NvoDetail, Scheme};
-pub use par::{default_jobs, gen_traces, run_matrix, run_ordered};
+pub use chrome::{chrome_trace_json, ChromeMeta};
+pub use exp::{
+    run_nvoverlay, run_picl_walker, run_scheme, run_scheme_stats, EnvScale, ExpResult, NvoDetail,
+    Scheme,
+};
+pub use export::{registry_json, registry_tsv};
+pub use par::{default_jobs, gen_traces, run_matrix, run_matrix_stats, run_ordered};
+pub use prof::Spans;

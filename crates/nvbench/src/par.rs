@@ -20,7 +20,8 @@
 //! clones, so an N-scheme sweep does not regenerate the workload N
 //! times.
 
-use crate::exp::{run_scheme, ExpResult, Scheme};
+use crate::exp::{run_scheme, run_scheme_stats, ExpResult, Scheme};
+use nvsim::stats::SystemStats;
 use nvsim::trace::Trace;
 use nvsim::SimConfig;
 use nvworkloads::{generate, SuiteParams, Workload};
@@ -104,6 +105,28 @@ pub fn run_matrix(
     let cols = schemes.len();
     let flat = run_ordered(traces.len() * cols, jobs, |i| {
         run_scheme(schemes[i % cols], cfg, &traces[i / cols])
+    });
+    let mut rows = Vec::with_capacity(traces.len());
+    let mut it = flat.into_iter();
+    for _ in 0..traces.len() {
+        rows.push(it.by_ref().take(cols).collect());
+    }
+    rows
+}
+
+/// [`run_matrix`], but each cell also carries the scheme's full stats
+/// block so consumers can aggregate with [`SystemStats::merge`] instead
+/// of re-deriving scalars. Same ordering guarantee as [`run_matrix`].
+pub fn run_matrix_stats(
+    schemes: &[Scheme],
+    cfg: &SimConfig,
+    traces: &[Arc<Trace>],
+    jobs: usize,
+) -> Vec<Vec<(ExpResult, SystemStats)>> {
+    let cols = schemes.len();
+    let flat = run_ordered(traces.len() * cols, jobs, |i| {
+        let (res, stats, _) = run_scheme_stats(schemes[i % cols], cfg, &traces[i / cols]);
+        (res, stats)
     });
     let mut rows = Vec::with_capacity(traces.len());
     let mut it = flat.into_iter();

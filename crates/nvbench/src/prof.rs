@@ -1,0 +1,84 @@
+//! Reusable phase timing for drivers and the `nvo` CLI.
+//!
+//! [`Spans`] generalizes the hand-rolled `Instant` bookkeeping `nvo
+//! perf` used to do: name a phase, run it, and read back per-phase and
+//! total wall-clock seconds. Spans of the same name accumulate, so a
+//! driver can re-enter a phase (e.g. per-round replay) and still report
+//! one line per phase, in first-entry order.
+
+use std::time::{Duration, Instant};
+
+/// Named wall-clock phase accumulator.
+#[derive(Clone, Debug, Default)]
+pub struct Spans {
+    spans: Vec<(String, Duration)>,
+}
+
+impl Spans {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Times `f` and charges it to the phase `name`.
+    pub fn time<T>(&mut self, name: &str, f: impl FnOnce() -> T) -> T {
+        let t0 = Instant::now();
+        let out = f();
+        self.add(name, t0.elapsed());
+        out
+    }
+
+    /// Charges a pre-measured duration to `name`.
+    pub fn add(&mut self, name: &str, d: Duration) {
+        match self.spans.iter_mut().find(|(n, _)| n == name) {
+            Some((_, acc)) => *acc += d,
+            None => self.spans.push((name.to_string(), d)),
+        }
+    }
+
+    /// Seconds charged to `name` so far (0.0 if never entered).
+    pub fn secs(&self, name: &str) -> f64 {
+        self.spans
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0.0, |(_, d)| d.as_secs_f64())
+    }
+
+    /// Total seconds across all phases.
+    pub fn total_secs(&self) -> f64 {
+        self.spans.iter().map(|(_, d)| d.as_secs_f64()).sum()
+    }
+
+    /// Phases in first-entry order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> + '_ {
+        self.spans
+            .iter()
+            .map(|(n, d)| (n.as_str(), d.as_secs_f64()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_accumulate_in_entry_order() {
+        let mut s = Spans::new();
+        s.add("gen", Duration::from_millis(10));
+        s.add("replay", Duration::from_millis(20));
+        s.add("gen", Duration::from_millis(5));
+        let names: Vec<&str> = s.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, ["gen", "replay"]);
+        assert!((s.secs("gen") - 0.015).abs() < 1e-9);
+        assert!((s.total_secs() - 0.035).abs() < 1e-9);
+        assert_eq!(s.secs("missing"), 0.0);
+    }
+
+    #[test]
+    fn time_returns_the_closure_result() {
+        let mut s = Spans::new();
+        let v = s.time("work", || 41 + 1);
+        assert_eq!(v, 42);
+        assert!(s.secs("work") >= 0.0);
+    }
+}

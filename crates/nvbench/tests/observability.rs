@@ -1,0 +1,169 @@
+//! Observability end-to-end tests: metrics registry determinism,
+//! serial-vs-parallel stats merging, and (with `--features trace`) the
+//! full tracer → Chrome-trace-JSON pipeline.
+
+use nvbench::{gen_traces, run_matrix_stats, run_scheme_stats, EnvScale, Scheme};
+use nvsim::stats::SystemStats;
+use nvworkloads::Workload;
+
+fn quick_cfg() -> nvsim::SimConfig {
+    EnvScale::Quick.sim_config()
+}
+
+fn quick_trace(w: Workload) -> nvsim::trace::Trace {
+    nvworkloads::generate(w, &EnvScale::Quick.suite_params())
+}
+
+#[test]
+fn metrics_registry_is_deterministic_across_runs() {
+    let cfg = quick_cfg();
+    let trace = quick_trace(Workload::HashTable);
+    let (_, _, reg1) = run_scheme_stats(Scheme::NvOverlay, &cfg, &trace);
+    let (_, _, reg2) = run_scheme_stats(Scheme::NvOverlay, &cfg, &trace);
+    assert_eq!(reg1, reg2, "same run must publish identical metrics");
+    assert_eq!(reg1.dump_tree(), reg2.dump_tree());
+    assert_eq!(
+        nvbench::registry_json(&reg1, &[]),
+        nvbench::registry_json(&reg2, &[])
+    );
+    // The NVOverlay registry exposes its deep structure.
+    assert!(reg1.counter("mnm.rec_epoch").is_some());
+    assert!(reg1.counter("mnm.omc.0.versions_received").is_some());
+    assert!(reg1.counter("sys.access.stores").is_some());
+    assert!(reg1.counter("cst.wrap_flushes").is_some());
+}
+
+#[test]
+fn registry_dump_round_trips_through_json_parser() {
+    let cfg = quick_cfg();
+    let trace = quick_trace(Workload::BTree);
+    let (_, _, reg) = run_scheme_stats(Scheme::NvOverlay, &cfg, &trace);
+    let json = nvbench::registry_json(&reg, &[("scheme", "NVOverlay"), ("workload", "B+Tree")]);
+    let doc = nvbench::json::parse(&json).expect("stats export must be valid JSON");
+    assert_eq!(doc.get("scheme").unwrap().as_str(), Some("NVOverlay"));
+    // Every counter survives the round trip exactly.
+    for (name, value) in reg.iter() {
+        if let nvsim::metrics::MetricValue::Counter(c) = value {
+            assert_eq!(
+                doc.get(name).and_then(|v| v.as_u64()),
+                Some(*c),
+                "counter {name} lost in export"
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_stats_merge_equals_serial_merge() {
+    let cfg = quick_cfg();
+    let params = EnvScale::Quick.suite_params();
+    let workloads = [Workload::HashTable, Workload::BTree];
+    let schemes = [Scheme::NvOverlay, Scheme::SwLogging, Scheme::Picl];
+    let traces = gen_traces(&workloads, &params, 1);
+
+    let serial = run_matrix_stats(&schemes, &cfg, &traces, 1);
+    let parallel = run_matrix_stats(&schemes, &cfg, &traces, 4);
+    assert_eq!(serial, parallel, "parallel engine must be byte-identical");
+
+    let mut merged_serial = SystemStats::default();
+    for (_, s) in serial.iter().flat_map(|row| row.iter()) {
+        merged_serial.merge(s);
+    }
+    // Merging in a different order must agree on every counter (gauges
+    // use max, counters add — both order-independent).
+    let mut merged_rev = SystemStats::default();
+    for (_, s) in parallel.iter().flat_map(|row| row.iter()).rev() {
+        merged_rev.merge(s);
+    }
+    assert_eq!(merged_serial, merged_rev);
+    let per_run_stores: u64 = serial
+        .iter()
+        .flat_map(|row| row.iter())
+        .map(|(_, s)| s.access.stores)
+        .sum();
+    assert_eq!(merged_serial.access.stores, per_run_stores);
+}
+
+#[cfg(feature = "trace")]
+mod traced {
+    use super::*;
+    use nvsim::nvtrace::{self, EventKind, TraceConfig};
+
+    /// The acceptance-criteria run: NVOverlay under the tracer must
+    /// produce epoch-advance, tag-walk, and OMC-flush events, and the
+    /// Chrome export must parse back.
+    #[test]
+    fn nvoverlay_trace_has_key_events_and_parses() {
+        assert!(nvtrace::compiled_in());
+        let cfg = quick_cfg();
+        let trace = quick_trace(Workload::BTree);
+        nvtrace::install(TraceConfig::default());
+        let _ = run_scheme_stats(Scheme::NvOverlay, &cfg, &trace);
+        let log = nvtrace::take().expect("tracer installed");
+        assert!(log.count(EventKind::EpochAdvance) > 0, "no epoch advances");
+        assert!(log.count(EventKind::TagWalkStart) > 0, "no tag walks");
+        assert_eq!(
+            log.count(EventKind::TagWalkStart),
+            log.count(EventKind::TagWalkEnd),
+            "unbalanced tag-walk spans"
+        );
+        assert!(log.count(EventKind::OmcFlush) > 0, "no OMC flushes");
+
+        let json = nvbench::chrome_trace_json(
+            &log,
+            &nvbench::ChromeMeta {
+                scheme: "NVOverlay".into(),
+                workload: "B+Tree".into(),
+            },
+        );
+        let doc = nvbench::json::parse(&json).expect("chrome trace must be valid JSON");
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        // Instrumented events survive the export (plus metadata rows).
+        assert!(events.len() > log.events.len());
+        // Epoch spans appear as async begin/end pairs.
+        let begins = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("b"))
+            .count();
+        let ends = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("e"))
+            .count();
+        assert_eq!(begins, ends);
+        assert_eq!(begins, log.count(EventKind::EpochAdvance));
+    }
+
+    /// Sampling keeps 1-of-N of the high-frequency kinds only.
+    #[test]
+    fn sampling_thins_high_frequency_kinds() {
+        let cfg = quick_cfg();
+        let trace = quick_trace(Workload::HashTable);
+        nvtrace::install(TraceConfig::default());
+        let _ = run_scheme_stats(Scheme::NvOverlay, &cfg, &trace);
+        let full = nvtrace::take().expect("tracer installed");
+
+        nvtrace::install(TraceConfig {
+            sample_every: 8,
+            ..TraceConfig::default()
+        });
+        let _ = run_scheme_stats(Scheme::NvOverlay, &cfg, &trace);
+        let sampled = nvtrace::take().expect("tracer installed");
+
+        // Low-frequency kinds are never sampled out.
+        assert_eq!(
+            full.count(EventKind::EpochAdvance),
+            sampled.count(EventKind::EpochAdvance)
+        );
+        assert_eq!(
+            full.count(EventKind::OmcFlush),
+            sampled.count(EventKind::OmcFlush)
+        );
+        // High-frequency kinds shrink (if the run produced enough).
+        let hf_full = full.count(EventKind::StoreEviction);
+        if hf_full >= 8 {
+            let hf_sampled = sampled.count(EventKind::StoreEviction);
+            assert!(hf_sampled < hf_full);
+            assert!(sampled.total_sampled_out() > 0);
+        }
+    }
+}

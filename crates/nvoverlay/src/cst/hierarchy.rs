@@ -263,6 +263,25 @@ impl VersionedHierarchy {
         self.wrap_flushes
     }
 
+    /// Publishes CST-side metrics under `prefix`: per-VD epoch gauges,
+    /// wrap flushes, NoC message counts, and DRAM OID footprint.
+    pub fn metrics_into(&self, reg: &mut nvsim::metrics::Registry, prefix: &str) {
+        let p = |s: &str| format!("{prefix}.{s}");
+        reg.set_counter(&p("wrap_flushes"), self.wrap_flushes);
+        for vd in 0..self.cfg.vd_count() {
+            reg.set_gauge(
+                &p(&format!("vd{vd}.epoch_abs")),
+                self.vd_abs[vd as usize] as f64,
+            );
+        }
+        for kind in MsgKind::ALL {
+            reg.set_counter(&p(&format!("noc.{kind}")), self.noc.count(kind));
+        }
+        reg.set_counter(&p("noc.total"), self.noc.total());
+        reg.set_counter(&p("dram.reads"), self.dram.reads());
+        reg.set_counter(&p("dram.oid_tags"), self.dram.oid_tag_count() as u64);
+    }
+
     /// Events produced since the last [`VersionedHierarchy::take_events`].
     pub fn events(&self) -> &[CstEvent] {
         &self.events

@@ -29,6 +29,7 @@ pub use table::{InsertEffect, MasterTable, RadixTable};
 use nvsim::addr::{LineAddr, Token, VdId};
 use nvsim::clock::Cycle;
 use nvsim::nvm::Nvm;
+use nvsim::nvtrace::{EventKind, TraceScope, Track};
 use nvsim::stats::NvmWriteKind;
 
 /// The full MNM backend: one or more OMCs plus the distributed
@@ -79,6 +80,17 @@ impl Mnm {
         &self.omcs
     }
 
+    /// Publishes MNM-wide and per-OMC metrics under `prefix`.
+    pub fn metrics_into(&self, reg: &mut nvsim::metrics::Registry, prefix: &str) {
+        reg.set_counter(&format!("{prefix}.rec_epoch"), self.rec_epoch);
+        for (i, mv) in self.min_vers.iter().enumerate() {
+            reg.set_counter(&format!("{prefix}.min_ver.vd{i}"), *mv);
+        }
+        for (i, o) in self.omcs.iter().enumerate() {
+            o.metrics_into(reg, &format!("{prefix}.omc.{i}"));
+        }
+    }
+
     /// Receives a version from the frontend. Returns the backpressure
     /// stall for an access-path enqueuer.
     pub fn receive_version(
@@ -114,8 +126,14 @@ impl Mnm {
         }
         let candidate = min - 1;
         if candidate > self.rec_epoch {
-            for o in &mut self.omcs {
-                o.merge_through(nvm, now, candidate);
+            for (i, o) in self.omcs.iter_mut().enumerate() {
+                let merged_entries = o.merge_through(nvm, now, candidate);
+                TraceScope::new(Track::Omc(i as u16)).emit(
+                    EventKind::OmcFlush,
+                    now,
+                    candidate,
+                    merged_entries,
+                );
             }
             self.rec_epoch = candidate;
             // Atomic 8-byte rec-epoch pointer write by the master OMC.
@@ -140,9 +158,15 @@ impl Mnm {
     /// Final shutdown flush: every buffer drains, everything merges, and
     /// `rec-epoch` moves to `final_epoch`.
     pub fn finish(&mut self, nvm: &mut Nvm, now: Cycle, final_epoch: u64) {
-        for o in &mut self.omcs {
+        for (i, o) in self.omcs.iter_mut().enumerate() {
             o.drain_buffer(nvm, now);
-            o.merge_through(nvm, now, final_epoch);
+            let merged_entries = o.merge_through(nvm, now, final_epoch);
+            TraceScope::new(Track::Omc(i as u16)).emit(
+                EventKind::OmcFlush,
+                now,
+                final_epoch,
+                merged_entries,
+            );
         }
         if final_epoch > self.rec_epoch {
             self.rec_epoch = final_epoch;

@@ -131,6 +131,27 @@ impl Omc {
         &self.cfg
     }
 
+    /// Publishes this OMC's metrics under `prefix` (e.g. `omc.0`).
+    pub fn metrics_into(&self, reg: &mut nvsim::metrics::Registry, prefix: &str) {
+        let p = |s: &str| format!("{prefix}.{s}");
+        reg.set_counter(&p("versions_received"), self.stats.versions_received);
+        reg.set_counter(&p("buffer_hits"), self.stats.buffer_hits);
+        reg.set_counter(&p("buffer_misses"), self.stats.buffer_misses);
+        reg.set_counter(&p("compaction_copies"), self.stats.compaction_copies);
+        reg.set_counter(&p("compactions"), self.stats.compactions);
+        reg.set_counter(&p("pages_freed"), self.stats.pages_freed);
+        reg.set_counter(&p("merged_through"), self.merged_through);
+        reg.set_counter(&p("master.entries"), self.master.tree().len());
+        reg.set_counter(&p("master.bytes"), self.master.tree().size_bytes());
+        reg.set_counter(&p("pool.high_water_pages"), self.pool.high_water() as u64);
+        reg.set_gauge(&p("pool.utilization"), self.pool.utilization());
+        reg.set_counter(&p("epoch_table_dram_bytes"), self.epoch_table_dram_bytes());
+        reg.set_gauge(
+            &p("buffer_occupancy"),
+            self.buffer.as_ref().map_or(0.0, |b| b.len() as f64),
+        );
+    }
+
     /// Statistics so far.
     pub fn stats(&self) -> &OmcStats {
         &self.stats

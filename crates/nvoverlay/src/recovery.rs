@@ -9,6 +9,7 @@
 use crate::mnm::Mnm;
 use nvsim::addr::{LineAddr, Token};
 use nvsim::fastmap::FastHashMap;
+use nvsim::nvtrace::{EventKind, TraceScope, Track};
 use std::fmt;
 
 /// Why recovery could not produce an image.
@@ -71,14 +72,17 @@ impl RecoveredImage {
 /// # Errors
 /// [`RecoveryError::NothingRecoverable`] when no epoch has committed.
 pub fn recover(mnm: &Mnm) -> Result<RecoveredImage, RecoveryError> {
+    // Recovery runs post-crash with no simulation clock; trace events use
+    // the step ordinal as their timestamp to preserve ordering.
+    let scope = TraceScope::new(Track::Recovery);
+    scope.emit(EventKind::RecoveryStep, 0, 0, mnm.rec_epoch());
     let epoch = mnm.rec_epoch();
     if epoch == 0 {
         return Err(RecoveryError::NothingRecoverable);
     }
-    Ok(RecoveredImage {
-        epoch,
-        lines: mnm.master_image().collect(),
-    })
+    let lines: FastHashMap<LineAddr, Token> = mnm.master_image().collect();
+    scope.emit(EventKind::RecoveryStep, 1, 1, lines.len() as u64);
+    Ok(RecoveredImage { epoch, lines })
 }
 
 /// Rebuilds the image *as of* `epoch` by falling through per-epoch tables

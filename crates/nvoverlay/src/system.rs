@@ -18,7 +18,8 @@ use nvsim::clock::Cycle;
 use nvsim::config::SimConfig;
 use nvsim::memsys::{AccessOutcome, MemOp, MemorySystem};
 use nvsim::nvm::Nvm;
-use nvsim::stats::{NvmWriteKind, SystemStats};
+use nvsim::nvtrace::{EventKind, TraceScope, Track};
+use nvsim::stats::{EvictReason, NvmWriteKind, SystemStats};
 
 /// Builder-style options for [`NvOverlaySystem`].
 #[derive(Clone, Debug)]
@@ -139,8 +140,26 @@ impl NvOverlaySystem {
     /// stall for the in-flight access.
     fn persist_version(&mut self, v: VersionOut, now: Cycle) -> Cycle {
         self.stats.evictions.record(v.reason);
-        self.mnm
-            .receive_version(&mut self.nvm, now, v.line, v.token, v.abs_epoch)
+        if v.reason == EvictReason::StoreEviction {
+            TraceScope::new(Track::System).emit(
+                EventKind::StoreEviction,
+                now,
+                v.line.raw(),
+                v.abs_epoch,
+            );
+        }
+        let stall = self
+            .mnm
+            .receive_version(&mut self.nvm, now, v.line, v.token, v.abs_epoch);
+        if stall > 0 {
+            TraceScope::new(Track::System).emit(
+                EventKind::OmcBackpressure,
+                now,
+                stall,
+                v.line.raw(),
+            );
+        }
+        stall
     }
 
     /// Handles an epoch advance: context dumps + tag walk + min-ver
@@ -148,6 +167,12 @@ impl NvOverlaySystem {
     /// already charged.
     fn on_epoch_advance(&mut self, vd: VdId, ended_epoch: u64, now: Cycle) {
         self.stats.epochs_completed += 1;
+        TraceScope::new(Track::Vd(vd.0)).emit(
+            EventKind::EpochAdvance,
+            now,
+            ended_epoch,
+            ended_epoch + 1,
+        );
         let cores = self.hier.config().cores_per_vd as u64;
         let bytes = self.hier.cst_config().context_bytes_per_core;
         for c in 0..cores {
@@ -159,7 +184,10 @@ impl NvOverlaySystem {
         self.mnm
             .record_context(vd, ended_epoch, ((vd.0 as u64) << 48) | ended_epoch);
         if self.opts.walk_on_epoch_advance {
+            let walker = TraceScope::new(Track::Vd(vd.0));
+            walker.emit(EventKind::TagWalkStart, now, ended_epoch, 0);
             let (versions, min_ver) = self.hier.tag_walk(vd);
+            walker.emit(EventKind::TagWalkEnd, now, min_ver, versions.len() as u64);
             for v in versions {
                 self.stats.evictions.record(v.reason);
                 self.mnm
@@ -270,6 +298,12 @@ impl MemorySystem for NvOverlaySystem {
                     ..
                 } => {
                     self.stats.epochs_completed += 1;
+                    TraceScope::new(Track::Vd(vd.0)).emit(
+                        EventKind::EpochAdvance,
+                        now,
+                        from_abs,
+                        to_abs,
+                    );
                     let cores = self.hier.config().cores_per_vd as u64;
                     let bytes = self.hier.cst_config().context_bytes_per_core;
                     for c in 0..cores {
@@ -294,6 +328,15 @@ impl MemorySystem for NvOverlaySystem {
 
     fn stats(&self) -> &SystemStats {
         &self.stats
+    }
+
+    fn metrics(&self) -> nvsim::metrics::Registry {
+        let mut reg = nvsim::metrics::Registry::new();
+        self.stats.metrics_into(&mut reg, "sys");
+        self.hier.metrics_into(&mut reg, "cst");
+        self.mnm.metrics_into(&mut reg, "mnm");
+        self.nvm.metrics_into(&mut reg, "nvm");
+        reg
     }
 }
 

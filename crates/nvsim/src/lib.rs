@@ -29,6 +29,11 @@
 //!   simulator's hot paths (directory entries, device contents, golden
 //!   images).
 //! * [`rng`] — deterministic xoshiro256++ randomness (no external crates).
+//! * [`nvtrace`] — structured event tracing into a per-thread ring
+//!   buffer (flight recorder). Compiled out without the `trace` cargo
+//!   feature; a single branch when compiled in but idle.
+//! * [`metrics`] — hierarchical named counters/gauges/histograms with a
+//!   deterministic tree dump and cheap cross-run merging.
 //!
 //! ## Example
 //!
@@ -52,8 +57,10 @@ pub mod fastmap;
 pub mod hierarchy;
 pub mod memsys;
 pub mod mesi;
+pub mod metrics;
 pub mod noc;
 pub mod nvm;
+pub mod nvtrace;
 pub mod rng;
 pub mod stats;
 pub mod trace;

@@ -64,6 +64,15 @@ pub trait MemorySystem {
 
     /// The scheme's statistics block.
     fn stats(&self) -> &SystemStats;
+
+    /// The scheme's hierarchical metrics tree. The default covers the
+    /// common [`SystemStats`] block; schemes with deeper structure
+    /// (per-OMC, per-VD state) override this to publish their subtrees.
+    fn metrics(&self) -> crate::metrics::Registry {
+        let mut reg = crate::metrics::Registry::new();
+        self.stats().metrics_into(&mut reg, "sys");
+        reg
+    }
 }
 
 /// Summary of one [`Runner::run`].

@@ -1,0 +1,394 @@
+//! Hierarchical metrics registry.
+//!
+//! Components publish named counters, gauges and histograms under
+//! dotted paths (`l2.vd0.putx_version_checks`, `omc.0.buffer_occupancy`).
+//! A [`Registry`] is an ordered name → value map, so its tree dump is
+//! deterministic, two registries [`Registry::merge`] cheaply (the
+//! parallel engine folds per-worker registries this way), and exporters
+//! walk it without knowing any component's shape.
+//!
+//! Values come in two forms:
+//!
+//! * *recorded* — a component writes finished totals at harvest time
+//!   (`set_counter`, `set_gauge`, `record_hist`); zero hot-path cost.
+//! * *live cells* — a [`CounterCell`] is a shared `u64` the component
+//!   bumps on its hot path; the registry reads it at dump/snapshot
+//!   time. Bumping is one unsynchronized cell increment.
+
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::rc::Rc;
+
+/// A log2-bucketed histogram of `u64` samples.
+///
+/// Bucket *i* counts samples whose value has bit-length *i* (bucket 0 =
+/// value 0, bucket 1 = value 1, bucket 2 = 2..=3, ...). Cheap to record,
+/// merges by bucket addition, and good enough to localize latency and
+/// occupancy distributions across orders of magnitude.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Hist {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Hist {
+    fn default() -> Self {
+        Self {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl Hist {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.buckets[(64 - v.leading_zeros()) as usize] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// `(lower_bound, count)` for each non-empty log2 bucket.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (if i == 0 { 0 } else { 1u64 << (i - 1) }, c))
+    }
+
+    /// Adds another histogram into this one.
+    pub fn merge(&mut self, other: &Hist) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += *b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// A shared live counter cell (see module docs).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CounterCell(Rc<Cell<u64>>);
+
+impl CounterCell {
+    /// Increments by one.
+    #[inline]
+    pub fn bump(&self) {
+        self.0.set(self.0.get() + 1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.set(self.0.get() + n);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.get()
+    }
+}
+
+/// One metric value.
+#[derive(Clone, PartialEq, Debug)]
+pub enum MetricValue {
+    /// A monotonically-accumulated count; merges by addition.
+    Counter(u64),
+    /// A point-in-time level (occupancy, size); merges by maximum.
+    Gauge(f64),
+    /// A sample distribution; merges by bucket addition. Boxed: a
+    /// `Hist` is ~0.5 KiB and would otherwise dominate the enum size.
+    Histogram(Box<Hist>),
+}
+
+/// The hierarchical registry: dotted name → metric, ordered.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct Registry {
+    map: BTreeMap<String, MetricValue>,
+    cells: Vec<(String, CounterCell)>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets counter `name` to `v` (overwrites).
+    pub fn set_counter(&mut self, name: &str, v: u64) {
+        self.map.insert(name.to_string(), MetricValue::Counter(v));
+    }
+
+    /// Adds `v` to counter `name` (creates it at 0).
+    pub fn add_counter(&mut self, name: &str, v: u64) {
+        match self
+            .map
+            .entry(name.to_string())
+            .or_insert(MetricValue::Counter(0))
+        {
+            MetricValue::Counter(c) => *c += v,
+            other => panic!("metric {name:?} is not a counter: {other:?}"),
+        }
+    }
+
+    /// Sets gauge `name` to `v`.
+    pub fn set_gauge(&mut self, name: &str, v: f64) {
+        self.map.insert(name.to_string(), MetricValue::Gauge(v));
+    }
+
+    /// Stores histogram `name`.
+    pub fn record_hist(&mut self, name: &str, h: Hist) {
+        self.map
+            .insert(name.to_string(), MetricValue::Histogram(Box::new(h)));
+    }
+
+    /// Registers and returns a live counter cell under `name`. The
+    /// cell's value is folded into the registry by [`Registry::freeze`]
+    /// (and therefore by dump/merge, which freeze first).
+    pub fn cell(&mut self, name: &str) -> CounterCell {
+        let c = CounterCell::default();
+        self.cells.push((name.to_string(), c.clone()));
+        c
+    }
+
+    /// Folds every live cell's current value into the recorded map and
+    /// drops the cell registrations.
+    pub fn freeze(&mut self) {
+        for (name, cell) in std::mem::take(&mut self.cells) {
+            self.add_counter(&name, cell.get());
+        }
+    }
+
+    /// Reads a recorded metric.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.map.get(name)
+    }
+
+    /// Reads a recorded counter's value (None if absent or not a
+    /// counter).
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.map.get(name) {
+            Some(MetricValue::Counter(c)) => Some(*c),
+            _ => None,
+        }
+    }
+
+    /// Number of recorded metrics.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether nothing is recorded.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterates `(name, value)` in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &MetricValue)> + '_ {
+        self.map.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Merges `other` into this registry: counters add, gauges keep the
+    /// maximum, histograms add buckets. Both sides' live cells are
+    /// frozen first so no value is lost.
+    pub fn merge(&mut self, other: &Registry) {
+        self.freeze();
+        let mut other = other.clone();
+        other.freeze();
+        for (name, v) in other.map {
+            match (self.map.get_mut(&name), v) {
+                (None, v) => {
+                    self.map.insert(name, v);
+                }
+                (Some(MetricValue::Counter(a)), MetricValue::Counter(b)) => *a += b,
+                (Some(MetricValue::Gauge(a)), MetricValue::Gauge(b)) => *a = a.max(b),
+                (Some(MetricValue::Histogram(a)), MetricValue::Histogram(b)) => a.merge(&b),
+                (Some(a), b) => panic!("metric {name:?} kind mismatch: {a:?} vs {b:?}"),
+            }
+        }
+    }
+
+    /// Renders the registry as an indented tree, one leaf per line,
+    /// grouped by dotted-path segments. Deterministic: depends only on
+    /// the recorded names and values.
+    ///
+    /// ```text
+    /// omc
+    ///   0
+    ///     buffer_occupancy      12
+    ///     versions_received     840
+    /// ```
+    pub fn dump_tree(&self) -> String {
+        let mut frozen = self.clone();
+        frozen.freeze();
+        let mut out = String::new();
+        let mut prev: Vec<&str> = Vec::new();
+        for (name, v) in frozen.map.iter() {
+            let parts: Vec<&str> = name.split('.').collect();
+            let (dirs, leaf) = parts.split_at(parts.len() - 1);
+            let mut common = 0;
+            while common < dirs.len() && prev.get(common) == Some(&dirs[common]) {
+                common += 1;
+            }
+            for (depth, d) in dirs.iter().enumerate().skip(common) {
+                let _ = writeln!(out, "{}{}", "  ".repeat(depth), d);
+            }
+            let pad = "  ".repeat(dirs.len());
+            match v {
+                MetricValue::Counter(c) => {
+                    let _ = writeln!(out, "{pad}{} {c}", leaf[0]);
+                }
+                MetricValue::Gauge(g) => {
+                    let _ = writeln!(out, "{pad}{} {g:.3}", leaf[0]);
+                }
+                MetricValue::Histogram(h) => {
+                    let _ = writeln!(
+                        out,
+                        "{pad}{} count={} sum={} max={} mean={:.2}",
+                        leaf[0],
+                        h.count(),
+                        h.sum(),
+                        h.max(),
+                        h.mean()
+                    );
+                }
+            }
+            prev = dirs.to_vec();
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_cells_accumulate() {
+        let mut r = Registry::new();
+        r.add_counter("a.x", 2);
+        r.add_counter("a.x", 3);
+        let cell = r.cell("a.y");
+        cell.bump();
+        cell.add(4);
+        assert_eq!(cell.get(), 5);
+        r.freeze();
+        assert_eq!(r.counter("a.x"), Some(5));
+        assert_eq!(r.counter("a.y"), Some(5));
+    }
+
+    #[test]
+    fn dump_is_deterministic_regardless_of_insertion_order() {
+        let mut a = Registry::new();
+        a.set_counter("omc.1.flushes", 3);
+        a.set_counter("omc.0.flushes", 2);
+        a.set_gauge("omc.0.occupancy", 0.5);
+        a.set_counter("sys.epochs", 9);
+
+        let mut b = Registry::new();
+        b.set_counter("sys.epochs", 9);
+        b.set_gauge("omc.0.occupancy", 0.5);
+        b.set_counter("omc.0.flushes", 2);
+        b.set_counter("omc.1.flushes", 3);
+
+        assert_eq!(a.dump_tree(), b.dump_tree());
+        let dump = a.dump_tree();
+        assert!(dump.contains("omc\n  0\n    flushes 2"), "tree:\n{dump}");
+        let omc_pos = dump.find("omc").unwrap();
+        let sys_pos = dump.find("sys").unwrap();
+        assert!(omc_pos < sys_pos, "name-ordered");
+    }
+
+    #[test]
+    fn merge_adds_counters_maxes_gauges_and_sums_hists() {
+        let mut a = Registry::new();
+        a.set_counter("c", 1);
+        a.set_gauge("g", 2.0);
+        let mut h1 = Hist::new();
+        h1.record(3);
+        a.record_hist("h", h1);
+
+        let mut b = Registry::new();
+        b.set_counter("c", 10);
+        b.set_counter("only_b", 7);
+        b.set_gauge("g", 1.5);
+        let mut h2 = Hist::new();
+        h2.record(5);
+        h2.record(100);
+        b.record_hist("h", h2);
+
+        a.merge(&b);
+        assert_eq!(a.counter("c"), Some(11));
+        assert_eq!(a.counter("only_b"), Some(7));
+        assert!(matches!(a.get("g"), Some(MetricValue::Gauge(g)) if *g == 2.0));
+        match a.get("h") {
+            Some(MetricValue::Histogram(h)) => {
+                assert_eq!(h.count(), 3);
+                assert_eq!(h.sum(), 108);
+                assert_eq!(h.max(), 100);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hist_buckets_are_log2() {
+        let mut h = Hist::new();
+        for v in [0, 1, 2, 3, 4, 7, 8, 1024] {
+            h.record(v);
+        }
+        let buckets: Vec<(u64, u64)> = h.buckets().collect();
+        assert_eq!(
+            buckets,
+            vec![(0, 1), (1, 1), (2, 2), (4, 2), (8, 1), (1024, 1)]
+        );
+        assert_eq!(h.max(), 1024);
+        assert_eq!(h.count(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a counter")]
+    fn kind_confusion_panics() {
+        let mut r = Registry::new();
+        r.set_gauge("x", 1.0);
+        r.add_counter("x", 1);
+    }
+}

@@ -14,6 +14,8 @@
 
 use crate::clock::Cycle;
 use crate::fastmap::FastMap;
+use crate::metrics::{Hist, Registry};
+use crate::nvtrace::{EventKind, TraceScope, Track};
 use crate::stats::{BandwidthSeries, NvmBytes, NvmWriteKind};
 
 /// Endurance summary — NVM cells wear out after a bounded number of
@@ -68,6 +70,8 @@ pub struct Nvm {
     series: BandwidthSeries,
     reads: u64,
     wear: FastMap<u64, u64>,
+    /// Queueing delay (start − enqueue) of each accepted write.
+    queue_delay: Hist,
 }
 
 impl Nvm {
@@ -96,6 +100,7 @@ impl Nvm {
             series: BandwidthSeries::new(bucket_cycles),
             reads: 0,
             wear: FastMap::new(),
+            queue_delay: Hist::new(),
         }
     }
 
@@ -123,6 +128,13 @@ impl Nvm {
         self.bank_busy_until[bank] = completion;
         self.stats.record(kind, bytes);
         self.series.record(completion, bytes);
+        self.queue_delay.record(start.saturating_sub(now));
+        TraceScope::new(Track::NvmBank(bank as u16)).emit(
+            EventKind::NvmBankBusy,
+            start,
+            completion - start,
+            bytes,
+        );
         if kind == NvmWriteKind::Data {
             *self.wear.or_default(key) += 1;
         }
@@ -166,6 +178,26 @@ impl Nvm {
     /// Read latency (cycles).
     pub fn read_latency(&self) -> Cycle {
         self.read_latency
+    }
+
+    /// Publishes the device's metrics under `prefix` (e.g. `nvm`).
+    pub fn metrics_into(&self, reg: &mut Registry, prefix: &str) {
+        for kind in NvmWriteKind::ALL {
+            reg.set_counter(&format!("{prefix}.bytes.{kind}"), self.stats.bytes(kind));
+            reg.set_counter(&format!("{prefix}.writes.{kind}"), self.stats.writes(kind));
+        }
+        reg.set_counter(&format!("{prefix}.reads"), self.reads);
+        reg.set_gauge(
+            &format!("{prefix}.persist_horizon"),
+            self.persist_horizon() as f64,
+        );
+        reg.record_hist(&format!("{prefix}.queue_delay"), self.queue_delay.clone());
+        let wear = self.wear_report();
+        reg.set_counter(&format!("{prefix}.wear.unique_lines"), wear.unique_keys);
+        reg.set_counter(
+            &format!("{prefix}.wear.max_line_writes"),
+            wear.max_key_writes,
+        );
     }
 
     /// Endurance summary over all data writes so far.

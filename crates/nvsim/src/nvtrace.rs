@@ -1,0 +1,591 @@
+//! `nvtrace` — low-overhead structured event tracing.
+//!
+//! A flight recorder for the simulator: components emit compact
+//! [`Event`] records (epoch advances, tag walks, store-evictions, OMC
+//! flushes and backpressure, NVM bank occupancy, recovery steps) into a
+//! fixed-capacity ring buffer owned by the *current thread*. Each
+//! simulation runs on one thread, so the parallel experiment engine gets
+//! one independent recorder per worker with no synchronization.
+//!
+//! ## Cost model
+//!
+//! * Without the `trace` cargo feature, [`TraceScope::emit`] is an empty
+//!   `#[inline(always)]` function — the instrumentation sites compile
+//!   out entirely and the simulator is byte-for-byte as fast as before.
+//! * With the feature but no recorder installed (the default at
+//!   runtime), an emit is a thread-local flag check — one branch.
+//! * With a recorder installed, an emit is the branch plus a ring-buffer
+//!   store; high-frequency kinds additionally honor the sampling knob
+//!   ([`TraceConfig::sample_every`]).
+//!
+//! Harvest with [`take`]: it returns the recorded [`TraceLog`]
+//! (oldest-first, with wrap/overflow accounting) and disables tracing.
+
+use crate::clock::Cycle;
+use std::cell::RefCell;
+use std::fmt;
+
+/// What happened. Kinds marked *high-frequency* are subject to the
+/// sampling knob; the rest are always recorded while tracing is on.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum EventKind {
+    /// A versioned domain advanced its epoch (`a` = epoch before,
+    /// `b` = epoch after).
+    EpochAdvance,
+    /// A tag walk started (`a` = the VD's current absolute epoch).
+    TagWalkStart,
+    /// A tag walk finished (`a` = reported min-ver, `b` = versions
+    /// handed to the OMC).
+    TagWalkEnd,
+    /// A store hit an immutable old version and pushed it down
+    /// (`a` = line address, `b` = the version's epoch). High-frequency.
+    StoreEviction,
+    /// An OMC merged per-epoch tables into its master table
+    /// (`a` = merged-through epoch, `b` = entries merged).
+    OmcFlush,
+    /// An enqueue was back-pressured by the NVM (`a` = stall cycles,
+    /// `b` = line address). High-frequency.
+    OmcBackpressure,
+    /// An NVM bank accepted a write (`a` = occupancy cycles,
+    /// `b` = bytes). High-frequency.
+    NvmBankBusy,
+    /// A software/baseline scheme flushed its write set at an epoch
+    /// boundary (`a` = lines flushed, `b` = stall cycles).
+    EpochFlush,
+    /// A logging scheme emitted a log entry (`a` = line address,
+    /// `b` = bytes). High-frequency.
+    LogWrite,
+    /// One step of crash recovery (`a` = step ordinal, `b` =
+    /// step-specific count, e.g. lines reconstructed).
+    RecoveryStep,
+}
+
+impl EventKind {
+    /// All kinds, in a stable order.
+    pub const ALL: [EventKind; 10] = [
+        EventKind::EpochAdvance,
+        EventKind::TagWalkStart,
+        EventKind::TagWalkEnd,
+        EventKind::StoreEviction,
+        EventKind::OmcFlush,
+        EventKind::OmcBackpressure,
+        EventKind::NvmBankBusy,
+        EventKind::EpochFlush,
+        EventKind::LogWrite,
+        EventKind::RecoveryStep,
+    ];
+
+    /// Stable index (array slot) of this kind.
+    pub fn idx(self) -> usize {
+        match self {
+            EventKind::EpochAdvance => 0,
+            EventKind::TagWalkStart => 1,
+            EventKind::TagWalkEnd => 2,
+            EventKind::StoreEviction => 3,
+            EventKind::OmcFlush => 4,
+            EventKind::OmcBackpressure => 5,
+            EventKind::NvmBankBusy => 6,
+            EventKind::EpochFlush => 7,
+            EventKind::LogWrite => 8,
+            EventKind::RecoveryStep => 9,
+        }
+    }
+
+    /// Whether this kind can fire per access/write and is therefore
+    /// subject to sampling.
+    pub fn high_frequency(self) -> bool {
+        matches!(
+            self,
+            EventKind::StoreEviction
+                | EventKind::OmcBackpressure
+                | EventKind::NvmBankBusy
+                | EventKind::LogWrite
+        )
+    }
+
+    /// Stable lowercase name (used by exporters).
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::EpochAdvance => "epoch-advance",
+            EventKind::TagWalkStart => "tag-walk-start",
+            EventKind::TagWalkEnd => "tag-walk-end",
+            EventKind::StoreEviction => "store-eviction",
+            EventKind::OmcFlush => "omc-flush",
+            EventKind::OmcBackpressure => "omc-backpressure",
+            EventKind::NvmBankBusy => "nvm-bank-busy",
+            EventKind::EpochFlush => "epoch-flush",
+            EventKind::LogWrite => "log-write",
+            EventKind::RecoveryStep => "recovery-step",
+        }
+    }
+}
+
+impl fmt::Display for EventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The component a [`TraceScope`] traces on behalf of. Encodes to a
+/// compact id so [`Event`] stays small and `Copy`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Track {
+    /// The whole system (events with no finer home).
+    System,
+    /// A versioned domain (its L2 + tag walker).
+    Vd(u16),
+    /// A core.
+    Core(u16),
+    /// An overlay memory controller.
+    Omc(u16),
+    /// An NVM bank.
+    NvmBank(u16),
+    /// The baseline scheme's software runtime.
+    Scheme,
+    /// The recovery procedure.
+    Recovery,
+}
+
+impl Track {
+    const TAG_SYSTEM: u16 = 0;
+    const TAG_VD: u16 = 1;
+    const TAG_CORE: u16 = 2;
+    const TAG_OMC: u16 = 3;
+    const TAG_BANK: u16 = 4;
+    const TAG_SCHEME: u16 = 5;
+    const TAG_RECOVERY: u16 = 6;
+
+    /// Packs the track into a 16-bit id (3-bit tag, 13-bit index).
+    pub fn encode(self) -> u16 {
+        let (tag, ix) = match self {
+            Track::System => (Self::TAG_SYSTEM, 0),
+            Track::Vd(i) => (Self::TAG_VD, i),
+            Track::Core(i) => (Self::TAG_CORE, i),
+            Track::Omc(i) => (Self::TAG_OMC, i),
+            Track::NvmBank(i) => (Self::TAG_BANK, i),
+            Track::Scheme => (Self::TAG_SCHEME, 0),
+            Track::Recovery => (Self::TAG_RECOVERY, 0),
+        };
+        (tag << 13) | (ix & 0x1FFF)
+    }
+
+    /// Reverses [`Track::encode`].
+    pub fn decode(raw: u16) -> Track {
+        let ix = raw & 0x1FFF;
+        match raw >> 13 {
+            Self::TAG_VD => Track::Vd(ix),
+            Self::TAG_CORE => Track::Core(ix),
+            Self::TAG_OMC => Track::Omc(ix),
+            Self::TAG_BANK => Track::NvmBank(ix),
+            Self::TAG_SCHEME => Track::Scheme,
+            Self::TAG_RECOVERY => Track::Recovery,
+            _ => Track::System,
+        }
+    }
+
+    /// Dotted display name, e.g. `vd.3`, `omc.0`, `system`.
+    pub fn label(self) -> String {
+        match self {
+            Track::System => "system".into(),
+            Track::Vd(i) => format!("vd.{i}"),
+            Track::Core(i) => format!("core.{i}"),
+            Track::Omc(i) => format!("omc.{i}"),
+            Track::NvmBank(i) => format!("nvm.bank.{i}"),
+            Track::Scheme => "scheme".into(),
+            Track::Recovery => "recovery".into(),
+        }
+    }
+}
+
+impl fmt::Display for Track {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// One trace record: 32 bytes, `Copy`, no heap.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Event {
+    /// Simulated time.
+    pub time: Cycle,
+    /// What happened.
+    pub kind: EventKind,
+    /// Encoded [`Track`] of the emitting component.
+    pub track: u16,
+    /// First kind-specific argument (see [`EventKind`] docs).
+    pub a: u64,
+    /// Second kind-specific argument.
+    pub b: u64,
+}
+
+impl Event {
+    /// The emitting component.
+    pub fn track(&self) -> Track {
+        Track::decode(self.track)
+    }
+}
+
+/// Tracer knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceConfig {
+    /// Ring capacity in events. When full, the oldest events are
+    /// overwritten (flight-recorder semantics) and counted as dropped.
+    pub capacity: usize,
+    /// Keep 1 of every `sample_every` *high-frequency* events
+    /// (see [`EventKind::high_frequency`]); 1 = keep everything.
+    pub sample_every: u32,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        Self {
+            capacity: 1 << 20,
+            sample_every: 1,
+        }
+    }
+}
+
+/// Fixed-capacity event ring with wrap accounting.
+#[derive(Clone, Debug)]
+pub struct TraceBuffer {
+    cfg: TraceConfig,
+    ring: Vec<Event>,
+    /// Next write position.
+    head: usize,
+    /// Events offered to the ring (post-sampling).
+    accepted: u64,
+    /// Events suppressed by the sampling knob, by kind.
+    sampled_out: [u64; EventKind::ALL.len()],
+    /// Rolling per-kind counters driving the sampling decision.
+    sample_clock: [u32; EventKind::ALL.len()],
+}
+
+impl TraceBuffer {
+    /// An empty ring with the given knobs.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero or `sample_every` is zero.
+    pub fn new(cfg: TraceConfig) -> Self {
+        assert!(cfg.capacity > 0, "trace ring needs capacity");
+        assert!(cfg.sample_every > 0, "sample_every must be at least 1");
+        Self {
+            cfg,
+            ring: Vec::with_capacity(cfg.capacity.min(4096)),
+            head: 0,
+            accepted: 0,
+            sampled_out: [0; EventKind::ALL.len()],
+            sample_clock: [0; EventKind::ALL.len()],
+        }
+    }
+
+    /// Records one event, honoring sampling for high-frequency kinds.
+    #[inline]
+    pub fn push(&mut self, ev: Event) {
+        if ev.kind.high_frequency() && self.cfg.sample_every > 1 {
+            let k = ev.kind.idx();
+            let c = self.sample_clock[k];
+            self.sample_clock[k] = if c + 1 >= self.cfg.sample_every {
+                0
+            } else {
+                c + 1
+            };
+            if c != 0 {
+                self.sampled_out[k] += 1;
+                return;
+            }
+        }
+        self.accepted += 1;
+        if self.ring.len() < self.cfg.capacity {
+            self.ring.push(ev);
+            self.head = self.ring.len() % self.cfg.capacity;
+        } else {
+            self.ring[self.head] = ev;
+            self.head = (self.head + 1) % self.cfg.capacity;
+        }
+    }
+
+    /// Events currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Events accepted into the ring since creation (post-sampling).
+    pub fn accepted(&self) -> u64 {
+        self.accepted
+    }
+
+    /// Accepted events lost to ring wrap-around (oldest-first).
+    pub fn overwritten(&self) -> u64 {
+        self.accepted - self.ring.len() as u64
+    }
+
+    /// Freezes the ring into a [`TraceLog`] (events oldest-first).
+    pub fn into_log(self) -> TraceLog {
+        let overwritten = self.overwritten();
+        let mut events = self.ring;
+        // The ring wrapped: rotate so the oldest surviving event leads.
+        if overwritten > 0 {
+            events.rotate_left(self.head);
+        }
+        TraceLog {
+            events,
+            accepted: self.accepted,
+            overwritten,
+            sampled_out: self.sampled_out,
+            sample_every: self.cfg.sample_every,
+        }
+    }
+}
+
+/// A harvested trace: events oldest-first plus loss accounting.
+#[derive(Clone, Debug, Default)]
+pub struct TraceLog {
+    /// The surviving events, oldest first.
+    pub events: Vec<Event>,
+    /// Events accepted into the ring over the run (post-sampling).
+    pub accepted: u64,
+    /// Accepted events lost to wrap-around.
+    pub overwritten: u64,
+    /// Events suppressed by sampling, by [`EventKind::idx`].
+    pub sampled_out: [u64; EventKind::ALL.len()],
+    /// The sampling knob in force.
+    pub sample_every: u32,
+}
+
+impl TraceLog {
+    /// Count of surviving events of `kind`.
+    pub fn count(&self, kind: EventKind) -> usize {
+        self.events.iter().filter(|e| e.kind == kind).count()
+    }
+
+    /// Total events suppressed by sampling.
+    pub fn total_sampled_out(&self) -> u64 {
+        self.sampled_out.iter().sum()
+    }
+}
+
+thread_local! {
+    static RECORDER: RefCell<Option<TraceBuffer>> = const { RefCell::new(None) };
+}
+
+#[cfg(feature = "trace")]
+thread_local! {
+    static ACTIVE: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Whether the `trace` cargo feature was compiled in. When `false`,
+/// emit sites are no-ops and [`install`] records nothing.
+pub const fn compiled_in() -> bool {
+    cfg!(feature = "trace")
+}
+
+/// Installs a fresh recorder on the current thread and enables tracing.
+/// Any previous recorder on this thread is discarded.
+pub fn install(cfg: TraceConfig) {
+    RECORDER.with(|r| *r.borrow_mut() = Some(TraceBuffer::new(cfg)));
+    #[cfg(feature = "trace")]
+    ACTIVE.with(|a| a.set(true));
+}
+
+/// Stops tracing on the current thread and returns the harvested log
+/// (None if no recorder was installed).
+pub fn take() -> Option<TraceLog> {
+    #[cfg(feature = "trace")]
+    ACTIVE.with(|a| a.set(false));
+    RECORDER
+        .with(|r| r.borrow_mut().take())
+        .map(TraceBuffer::into_log)
+}
+
+/// Whether a recorder is installed and active on this thread. Always
+/// `false` without the `trace` feature.
+pub fn is_active() -> bool {
+    #[cfg(feature = "trace")]
+    {
+        ACTIVE.with(|a| a.get())
+    }
+    #[cfg(not(feature = "trace"))]
+    {
+        false
+    }
+}
+
+/// A per-component emit handle: a [`Track`] pre-encoded to its compact
+/// id. Zero-sized cost to hold; copyable; methods compile out without
+/// the `trace` feature.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TraceScope {
+    track: u16,
+}
+
+impl TraceScope {
+    /// A scope for `track`.
+    pub fn new(track: Track) -> Self {
+        Self {
+            track: track.encode(),
+        }
+    }
+
+    /// The scope's track.
+    pub fn track(&self) -> Track {
+        Track::decode(self.track)
+    }
+
+    /// Emits one event on this scope's track.
+    #[cfg(feature = "trace")]
+    #[inline]
+    pub fn emit(&self, kind: EventKind, time: Cycle, a: u64, b: u64) {
+        if !ACTIVE.with(|f| f.get()) {
+            return;
+        }
+        let track = self.track;
+        RECORDER.with(|r| {
+            if let Some(buf) = r.borrow_mut().as_mut() {
+                buf.push(Event {
+                    time,
+                    kind,
+                    track,
+                    a,
+                    b,
+                });
+            }
+        });
+    }
+
+    /// Emits one event on this scope's track (no-op: built without the
+    /// `trace` feature).
+    #[cfg(not(feature = "trace"))]
+    #[inline(always)]
+    pub fn emit(&self, _kind: EventKind, _time: Cycle, _a: u64, _b: u64) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(kind: EventKind, time: Cycle) -> Event {
+        Event {
+            time,
+            kind,
+            track: Track::System.encode(),
+            a: 0,
+            b: 0,
+        }
+    }
+
+    #[test]
+    fn ring_keeps_everything_under_capacity() {
+        let mut b = TraceBuffer::new(TraceConfig {
+            capacity: 8,
+            sample_every: 1,
+        });
+        for t in 0..5 {
+            b.push(ev(EventKind::EpochAdvance, t));
+        }
+        assert_eq!(b.len(), 5);
+        assert_eq!(b.overwritten(), 0);
+        let log = b.into_log();
+        let times: Vec<Cycle> = log.events.iter().map(|e| e.time).collect();
+        assert_eq!(times, vec![0, 1, 2, 3, 4]);
+        assert_eq!(log.accepted, 5);
+        assert_eq!(log.overwritten, 0);
+    }
+
+    #[test]
+    fn ring_wraps_dropping_oldest_and_accounts_exactly() {
+        let mut b = TraceBuffer::new(TraceConfig {
+            capacity: 4,
+            sample_every: 1,
+        });
+        for t in 0..11 {
+            b.push(ev(EventKind::OmcFlush, t));
+        }
+        assert_eq!(b.len(), 4);
+        assert_eq!(b.accepted(), 11);
+        assert_eq!(b.overwritten(), 7);
+        let log = b.into_log();
+        let times: Vec<Cycle> = log.events.iter().map(|e| e.time).collect();
+        assert_eq!(times, vec![7, 8, 9, 10], "oldest-first after wrap");
+        assert_eq!(log.overwritten, 7);
+    }
+
+    #[test]
+    fn sampling_keeps_one_in_n_high_frequency_events() {
+        let mut b = TraceBuffer::new(TraceConfig {
+            capacity: 1024,
+            sample_every: 4,
+        });
+        for t in 0..16 {
+            b.push(ev(EventKind::StoreEviction, t));
+        }
+        // Low-frequency kinds are never sampled out.
+        for t in 0..16 {
+            b.push(ev(EventKind::EpochAdvance, t));
+        }
+        let log = b.into_log();
+        assert_eq!(log.count(EventKind::StoreEviction), 4, "1 of every 4");
+        assert_eq!(log.count(EventKind::EpochAdvance), 16);
+        assert_eq!(log.sampled_out[EventKind::StoreEviction.idx()], 12);
+        assert_eq!(log.total_sampled_out(), 12);
+        // Sampled survivors are the 0th, 4th, 8th, 12th.
+        let times: Vec<Cycle> = log
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::StoreEviction)
+            .map(|e| e.time)
+            .collect();
+        assert_eq!(times, vec![0, 4, 8, 12]);
+    }
+
+    #[test]
+    fn track_encoding_round_trips() {
+        for t in [
+            Track::System,
+            Track::Vd(7),
+            Track::Core(15),
+            Track::Omc(1),
+            Track::NvmBank(13),
+            Track::Scheme,
+            Track::Recovery,
+        ] {
+            assert_eq!(Track::decode(t.encode()), t, "{t}");
+        }
+        assert_eq!(Track::Vd(3).label(), "vd.3");
+        assert_eq!(Track::NvmBank(0).label(), "nvm.bank.0");
+    }
+
+    #[test]
+    fn install_take_cycle_is_thread_local() {
+        install(TraceConfig {
+            capacity: 16,
+            sample_every: 1,
+        });
+        let scope = TraceScope::new(Track::Vd(2));
+        scope.emit(EventKind::EpochAdvance, 100, 1, 2);
+        let log = take().expect("recorder was installed");
+        if compiled_in() {
+            assert_eq!(log.events.len(), 1);
+            assert_eq!(log.events[0].track(), Track::Vd(2));
+            assert_eq!(log.events[0].a, 1);
+        } else {
+            assert!(log.events.is_empty(), "emit is a no-op without the feature");
+        }
+        assert!(take().is_none(), "take clears the recorder");
+        // Emitting with no recorder is harmless.
+        scope.emit(EventKind::EpochAdvance, 101, 0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        let _ = TraceBuffer::new(TraceConfig {
+            capacity: 0,
+            sample_every: 1,
+        });
+    }
+}

@@ -82,7 +82,7 @@ impl fmt::Display for EvictReason {
 }
 
 /// Counts of dirty write-outs by reason.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct EvictReasons {
     counts: [u64; 8],
 }
@@ -171,7 +171,7 @@ impl fmt::Display for NvmWriteKind {
 }
 
 /// Bytes written to NVM, decomposed by purpose.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct NvmBytes {
     bytes: [u64; 4],
     writes: [u64; 4],
@@ -211,12 +211,22 @@ impl NvmBytes {
     pub fn total_writes(&self) -> u64 {
         self.writes.iter().sum()
     }
+
+    /// Adds another accounting into this one.
+    pub fn merge(&mut self, other: &NvmBytes) {
+        for (a, b) in self.bytes.iter_mut().zip(other.bytes.iter()) {
+            *a += *b;
+        }
+        for (a, b) in self.writes.iter_mut().zip(other.writes.iter()) {
+            *a += *b;
+        }
+    }
 }
 
 /// A bandwidth time series: bytes written per fixed-width cycle bucket.
 ///
 /// Used for Fig 17. Buckets grow on demand; queries past the end read zero.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct BandwidthSeries {
     bucket_cycles: Cycle,
     buckets: Vec<u64>,
@@ -267,6 +277,12 @@ impl BandwidthSeries {
     /// distributing each input bucket's bytes proportionally over the
     /// output buckets it overlaps (no aliasing artifacts). Useful for
     /// "percent of total progress" plots (Fig 17).
+    ///
+    /// The result conserves the total exactly:
+    /// `resample(n).iter().sum() == buckets().iter().sum()`. Per-bucket
+    /// rounding quantizes the *running* total (so each output bucket is
+    /// within one byte of its ideal share and the errors cannot
+    /// accumulate into a drifted sum).
     pub fn resample(&self, n: usize) -> Vec<u64> {
         assert!(n > 0, "cannot resample into zero buckets");
         let mut out = vec![0f64; n];
@@ -285,12 +301,45 @@ impl BandwidthSeries {
                 lo = hi;
             }
         }
-        out.into_iter().map(|v| v.round() as u64).collect()
+        // Conservative quantization: round the cumulative sum and emit
+        // differences, then pin the final bucket to the exact total.
+        let total: u64 = self.buckets.iter().sum();
+        let mut quantized = Vec::with_capacity(n);
+        let mut cum = 0f64;
+        let mut emitted = 0u64;
+        for v in out {
+            cum += v;
+            let target = (cum.round() as u64).min(total).max(emitted);
+            quantized.push(target - emitted);
+            emitted = target;
+        }
+        if let Some(last) = quantized.last_mut() {
+            *last += total - emitted;
+        }
+        quantized
+    }
+
+    /// Adds another series into this one, bucket by bucket.
+    ///
+    /// # Panics
+    /// Panics if the bucket widths differ (merging series from runs of
+    /// different configurations is a harness bug).
+    pub fn merge(&mut self, other: &BandwidthSeries) {
+        assert_eq!(
+            self.bucket_cycles, other.bucket_cycles,
+            "cannot merge bandwidth series with different bucket widths"
+        );
+        if other.buckets.len() > self.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += *b;
+        }
     }
 }
 
 /// Per-run cache-access counters.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct AccessCounters {
     /// Loads issued.
     pub loads: u64,
@@ -311,11 +360,21 @@ impl AccessCounters {
     pub fn total(&self) -> u64 {
         self.loads + self.stores
     }
+
+    /// Adds another counter block into this one.
+    pub fn merge(&mut self, other: &AccessCounters) {
+        self.loads += other.loads;
+        self.stores += other.stores;
+        self.l1_hits += other.l1_hits;
+        self.l2_hits += other.l2_hits;
+        self.llc_hits += other.llc_hits;
+        self.mem_fetches += other.mem_fetches;
+    }
 }
 
 /// The common statistics block every [`crate::memsys::MemorySystem`]
 /// maintains and exposes.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SystemStats {
     /// Cache access counters.
     pub access: AccessCounters,
@@ -348,6 +407,42 @@ impl SystemStats {
             omc_buffer_hits: 0,
             omc_buffer_misses: 0,
         }
+    }
+
+    /// Publishes the stats block into a metrics registry under `prefix`
+    /// (the scheme-agnostic core of every system's metrics tree).
+    pub fn metrics_into(&self, reg: &mut crate::metrics::Registry, prefix: &str) {
+        let p = |s: &str| format!("{prefix}.{s}");
+        reg.set_counter(&p("access.loads"), self.access.loads);
+        reg.set_counter(&p("access.stores"), self.access.stores);
+        reg.set_counter(&p("access.l1_hits"), self.access.l1_hits);
+        reg.set_counter(&p("access.l2_hits"), self.access.l2_hits);
+        reg.set_counter(&p("access.llc_hits"), self.access.llc_hits);
+        reg.set_counter(&p("access.mem_fetches"), self.access.mem_fetches);
+        for (reason, count) in self.evictions.iter() {
+            reg.set_counter(&p(&format!("evictions.{reason}")), count);
+        }
+        for kind in NvmWriteKind::ALL {
+            reg.set_counter(&p(&format!("nvm.bytes.{kind}")), self.nvm.bytes(kind));
+            reg.set_counter(&p(&format!("nvm.writes.{kind}")), self.nvm.writes(kind));
+        }
+        reg.set_counter(&p("persist_stall_cycles"), self.persist_stall_cycles);
+        reg.set_counter(&p("epochs_completed"), self.epochs_completed);
+        reg.set_counter(&p("omc.buffer_hits"), self.omc_buffer_hits);
+        reg.set_counter(&p("omc.buffer_misses"), self.omc_buffer_misses);
+    }
+
+    /// Aggregates another run's stats into this block (parallel-run
+    /// reduction): counters add, the bandwidth series sums bucket-wise.
+    pub fn merge(&mut self, other: &SystemStats) {
+        self.access.merge(&other.access);
+        self.evictions.merge(&other.evictions);
+        self.nvm.merge(&other.nvm);
+        self.nvm_bandwidth.merge(&other.nvm_bandwidth);
+        self.persist_stall_cycles += other.persist_stall_cycles;
+        self.epochs_completed += other.epochs_completed;
+        self.omc_buffer_hits += other.omc_buffer_hits;
+        self.omc_buffer_misses += other.omc_buffer_misses;
     }
 }
 
@@ -427,5 +522,93 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn bandwidth_series_rejects_zero_bucket() {
         let _ = BandwidthSeries::new(0);
+    }
+
+    #[test]
+    fn resample_conserves_total_bytes_exactly() {
+        // Adversarial shapes: odd ratios, single bytes, long tails — the
+        // per-bucket `round()` of the old implementation drifts on these.
+        let mut s = BandwidthSeries::new(10);
+        for i in 0..97u64 {
+            s.record(i * 10, (i * 7919) % 13);
+        }
+        let total: u64 = s.buckets().iter().sum();
+        for n in [1, 2, 3, 5, 7, 31, 64, 97, 100, 1000] {
+            let r = s.resample(n);
+            assert_eq!(r.len(), n);
+            assert_eq!(r.iter().sum::<u64>(), total, "n={n}");
+        }
+        // Up- and down-sampling a tiny odd series also conserves.
+        let mut t = BandwidthSeries::new(100);
+        t.record(0, 1);
+        t.record(100, 1);
+        t.record(200, 1);
+        for n in [2, 4, 7] {
+            assert_eq!(t.resample(n).iter().sum::<u64>(), 3, "n={n}");
+        }
+    }
+
+    #[test]
+    fn bandwidth_merge_adds_and_grows() {
+        let mut a = BandwidthSeries::new(100);
+        a.record(0, 10);
+        let mut b = BandwidthSeries::new(100);
+        b.record(50, 5);
+        b.record(350, 7);
+        a.merge(&b);
+        assert_eq!(a.buckets(), &[15, 0, 0, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket widths")]
+    fn bandwidth_merge_rejects_mismatched_widths() {
+        let mut a = BandwidthSeries::new(100);
+        a.merge(&BandwidthSeries::new(200));
+    }
+
+    #[test]
+    fn nvm_bytes_and_access_counters_merge() {
+        let mut a = NvmBytes::new();
+        a.record(NvmWriteKind::Data, 64);
+        let mut b = NvmBytes::new();
+        b.record(NvmWriteKind::Data, 64);
+        b.record(NvmWriteKind::Log, 72);
+        a.merge(&b);
+        assert_eq!(a.bytes(NvmWriteKind::Data), 128);
+        assert_eq!(a.writes(NvmWriteKind::Data), 2);
+        assert_eq!(a.total_writes(), 3);
+
+        let mut x = AccessCounters {
+            loads: 1,
+            stores: 2,
+            l1_hits: 3,
+            l2_hits: 4,
+            llc_hits: 5,
+            mem_fetches: 6,
+        };
+        x.merge(&x.clone());
+        assert_eq!(x.total(), 6);
+        assert_eq!(x.mem_fetches, 12);
+    }
+
+    #[test]
+    fn system_stats_merge_folds_every_field() {
+        let mut a = SystemStats::new(100);
+        a.access.loads = 5;
+        a.evictions.record(EvictReason::TagWalk);
+        a.nvm.record(NvmWriteKind::Data, 64);
+        a.nvm_bandwidth.record(0, 64);
+        a.persist_stall_cycles = 7;
+        a.epochs_completed = 2;
+        a.omc_buffer_hits = 1;
+        let b = a.clone();
+        a.merge(&b);
+        assert_eq!(a.access.loads, 10);
+        assert_eq!(a.evictions.count(EvictReason::TagWalk), 2);
+        assert_eq!(a.nvm.total_bytes(), 128);
+        assert_eq!(a.nvm_bandwidth.buckets(), &[128]);
+        assert_eq!(a.persist_stall_cycles, 14);
+        assert_eq!(a.epochs_completed, 4);
+        assert_eq!(a.omc_buffer_hits, 2);
     }
 }
