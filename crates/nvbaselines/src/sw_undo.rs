@@ -15,6 +15,7 @@ use nvsim::addr::{Addr, CoreId, LineAddr, Token};
 use nvsim::clock::Cycle;
 use nvsim::config::SimConfig;
 use nvsim::fastmap::FastHashMap;
+use nvsim::fault::PersistPayload;
 use nvsim::hierarchy::HierarchyEvent;
 use nvsim::memsys::{AccessOutcome, MemOp, MemorySystem};
 use nvsim::nvtrace::{EventKind, TraceScope, Track};
@@ -59,11 +60,20 @@ impl SwUndoLogging {
         self.epochs_committed
     }
 
+    /// Mutable device access — used by the chaos harness to attach and
+    /// harvest the persistence-order fault plane around a run.
+    pub fn nvm_mut(&mut self) -> &mut nvsim::nvm::Nvm {
+        &mut self.core.nvm
+    }
+
     /// Synchronous epoch-boundary flush: every write-set line is cleaned
     /// (clwb) and written to its NVM home behind a barrier; all cores
     /// stall until the last write is durable.
     fn commit_epoch(&mut self, now: Cycle) -> Cycle {
-        let mut done = now;
+        // Write-ahead fence: no home-location overwrite may start before
+        // every already-accepted undo-log entry is durable, or a crash
+        // mid-flush could leave new data with no pre-image to roll back.
+        let mut done = self.core.nvm.persist_horizon().max(now);
         let lines = std::mem::take(&mut self.write_set);
         TraceScope::new(Track::Scheme).emit(
             EventKind::EpochFlush,
@@ -78,11 +88,28 @@ impl SwUndoLogging {
                 .core
                 .nvm
                 .write(done, line.raw(), NvmWriteKind::Data, DATA_BYTES);
+            self.core.nvm.annotate_last(PersistPayload::DataHome {
+                line,
+                token,
+                epoch: self.epochs_committed,
+            });
             self.core.stats.evictions.record(EvictReason::EpochFlush);
             // Barriered: the next flush starts after this one is durable.
             done = t.completion;
             self.committed_image.insert(line, token);
         }
+        // Durable commit marker behind a barrier: once it persists, the
+        // epoch's flush is complete and its undo log is dead.
+        let t = self.core.nvm.write_fenced(
+            done,
+            0xC0_0417 ^ self.epochs_committed,
+            NvmWriteKind::MapMetadata,
+            8,
+        );
+        self.core.nvm.annotate_last(PersistPayload::EpochCommit {
+            epoch: self.epochs_committed,
+        });
+        done = t.completion;
         self.undo_log.clear();
         self.core.hier.advance_all_epochs();
         self.epochs_committed += 1;
@@ -110,6 +137,11 @@ impl SwUndoLogging {
                             NvmWriteKind::Log,
                             LOG_ENTRY_BYTES,
                         );
+                        self.core.nvm.annotate_last(PersistPayload::UndoLog {
+                            line,
+                            prev: old_token,
+                            epoch: self.epochs_committed,
+                        });
                         self.core.stats.evictions.record(EvictReason::LogWrite);
                         TraceScope::new(Track::Scheme).emit(
                             EventKind::LogWrite,

@@ -7,6 +7,7 @@
 //! nvo trace-gen --workload kmeans --out t.nvtr [--scale quick]
 //! nvo trace B+Tree --scheme NVOverlay [--scale quick] [--trace-out t.json] [--stats-out s.json]
 //! nvo snapshots --workload RBTree [--scale quick]
+//! nvo chaos B+Tree --scheme nvoverlay --sites 200 --seed 7 [--jobs N] [--out report.json]
 //! nvo perf [--jobs N] [--scale quick|standard|full] [--out BENCH_perf.json]
 //! ```
 //!
@@ -28,7 +29,7 @@ use std::process::exit;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  nvo list\n  nvo run --workload <name> --scheme <name> [--scale quick|standard|full] [--json] [--stats-out <file>]\n  nvo run --trace <file.nvtr> --scheme <name>\n  nvo trace-gen --workload <name> --out <file.nvtr> [--scale ...]\n  nvo trace <workload> --scheme <name> [--scale ...] [--trace-out <file>] [--stats-out <file>] [--buffer-cap N] [--sample N]\n  nvo snapshots --workload <name> [--scale ...]\n  nvo diff --workload <name> --from <epoch> --to <epoch> [--scale ...]\n  nvo perf [--jobs N] [--scale ...] [--out BENCH_perf.json]"
+        "usage:\n  nvo list\n  nvo run --workload <name> --scheme <name> [--scale quick|standard|full] [--json] [--stats-out <file>]\n  nvo run --trace <file.nvtr> --scheme <name>\n  nvo trace-gen --workload <name> --out <file.nvtr> [--scale ...]\n  nvo trace <workload> --scheme <name> [--scale ...] [--trace-out <file>] [--stats-out <file>] [--buffer-cap N] [--sample N]\n  nvo snapshots --workload <name> [--scale ...]\n  nvo diff --workload <name> --from <epoch> --to <epoch> [--scale ...]\n  nvo chaos <workload> --scheme nvoverlay|sw-undo [--sites N] [--seed S] [--scale ...] [--jobs N] [--torn-p P] [--flip-p P] [--stress-backpressure] [--broken-recovery] [--out <file>] [--json]\n  nvo perf [--jobs N] [--scale ...] [--out BENCH_perf.json]"
     );
     exit(2)
 }
@@ -39,8 +40,8 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
     while i < args.len() {
         let a = &args[i];
         if let Some(key) = a.strip_prefix("--") {
-            if key == "json" {
-                out.insert("json".into(), "1".into());
+            if key == "json" || key == "stress-backpressure" || key == "broken-recovery" {
+                out.insert(key.to_string(), "1".into());
                 i += 1;
             } else if i + 1 < args.len() {
                 out.insert(key.to_string(), args[i + 1].clone());
@@ -349,6 +350,106 @@ fn cmd_diff(flags: HashMap<String, String>) {
     }
 }
 
+/// `nvo chaos` — deterministic crash-site exploration: run the workload
+/// once with the NVM fault plane attached, then fan independent
+/// crash/recovery checks out across `--jobs` workers. Exits nonzero if
+/// any site violates a consistency-cut invariant.
+fn cmd_chaos(flags: HashMap<String, String>) {
+    let scale = scale_of(&flags);
+    let trace = load_workload(&flags, scale);
+    let sname = flags
+        .get("scheme")
+        .map(String::as_str)
+        .unwrap_or("nvoverlay");
+    let Some(scheme) = nvchaos::ChaosScheme::from_name(sname) else {
+        eprintln!("unknown chaos scheme {sname:?} (expected nvoverlay or sw-undo)");
+        exit(2);
+    };
+    let mut ccfg = nvchaos::ChaosConfig::new(scheme);
+    if let Some(v) = flags.get("sites") {
+        match v.parse::<usize>() {
+            Ok(n) if n >= 1 => ccfg.sites = n,
+            _ => {
+                eprintln!("--sites must be a positive integer, got {v:?}");
+                exit(2);
+            }
+        }
+    }
+    if let Some(v) = flags.get("seed") {
+        match v.parse::<u64>() {
+            Ok(n) => ccfg.seed = n,
+            _ => {
+                eprintln!("--seed must be an integer, got {v:?}");
+                exit(2);
+            }
+        }
+    }
+    for (flag, slot) in [("torn-p", &mut ccfg.torn_p), ("flip-p", &mut ccfg.flip_p)] {
+        if let Some(v) = flags.get(flag) {
+            match v.parse::<f64>() {
+                Ok(p) if (0.0..=1.0).contains(&p) => *slot = p,
+                _ => {
+                    eprintln!("--{flag} must be a probability in [0, 1], got {v:?}");
+                    exit(2);
+                }
+            }
+        }
+    }
+    ccfg.stress_backpressure = flags.contains_key("stress-backpressure");
+    if flags.contains_key("broken-recovery") {
+        // Harness self-test: a recovery that ignores the rec-epoch
+        // filter must make the invariants fire.
+        ccfg.fidelity = nvchaos::RebuildFidelity::BrokenNoEpochFilter;
+    }
+    let jobs = jobs_of(&flags);
+
+    let run = nvchaos::prepare(&trace, &scale.sim_config(), ccfg);
+    let results = nvbench::run_ordered(run.site_count(), jobs, |i| run.check_site(i));
+    let report = run.summarize(&results);
+    let json = report.to_json();
+
+    if let Some(path) = flags.get("out") {
+        std::fs::write(path, &json).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            exit(1);
+        });
+    }
+    if flags.contains_key("json") {
+        print!("{json}");
+    } else {
+        println!(
+            "chaos {}: {} sites over a {}-write journal (seed {})",
+            report.scheme, report.sites_explored, report.journal_writes, report.seed
+        );
+        let by_cat: Vec<String> = report
+            .category_counts
+            .iter()
+            .filter(|(_, n)| *n > 0)
+            .map(|(c, n)| format!("{c} {n}"))
+            .collect();
+        println!("  sites: {}", by_cat.join(", "));
+        println!(
+            "  faults: {} writes dropped, {} torn, {} bit flips injected, {} detected by recovery",
+            report.dropped_writes, report.torn_sites, report.flips_injected, report.faults_detected
+        );
+        println!("  max recovered epoch: {}", report.max_recovered_epoch);
+        if report.ok() {
+            println!("  invariants: all sites consistent");
+        } else {
+            println!("  INVARIANT VIOLATIONS: {}", report.violations.len());
+            for v in report.violations.iter().take(10) {
+                println!("    site {} [{}]: {}", v.site, v.category, v.message);
+            }
+            if report.violations.len() > 10 {
+                println!("    ... ({} more)", report.violations.len() - 10);
+            }
+        }
+    }
+    if !report.ok() {
+        exit(1);
+    }
+}
+
 /// The worker count for a command: `--jobs` beats `NVO_JOBS` beats the
 /// machine's available parallelism.
 fn jobs_of(flags: &HashMap<String, String>) -> usize {
@@ -504,6 +605,20 @@ fn main() {
         }
         Some("snapshots") => cmd_snapshots(parse_flags(&args[1..])),
         Some("diff") => cmd_diff(parse_flags(&args[1..])),
+        Some("chaos") => {
+            // `nvo chaos <workload> ...`: an optional positional
+            // workload name before the flags.
+            let rest = &args[1..];
+            let (positional, rest) = match rest.first() {
+                Some(a) if !a.starts_with("--") => (Some(a.clone()), &rest[1..]),
+                _ => (None, rest),
+            };
+            let mut flags = parse_flags(rest);
+            if let Some(w) = positional {
+                flags.entry("workload".to_string()).or_insert(w);
+            }
+            cmd_chaos(flags)
+        }
         Some("perf") => cmd_perf(parse_flags(&args[1..])),
         _ => usage(),
     }

@@ -1,0 +1,45 @@
+//! # nvchaos — deterministic fault injection and crash-site exploration
+//!
+//! NVOverlay's claim is not "fast snapshots" but *recoverable* fast
+//! snapshots: after an arbitrary power cut, scanning the Master Mapping
+//! Table at `rec-epoch` must reconstruct a consistent cut of the
+//! workload (paper §III-C, §V-E). This crate tests that claim the hard
+//! way, by crashing the simulated system everywhere and recovering.
+//!
+//! The pieces:
+//!
+//! * [`nvsim::fault`] (the persistence-order shadow model) journals
+//!   every NVM write with its logical payload; a crash durably retains
+//!   only a prefix-closed subset — in device drain order — of the
+//!   in-flight window, with at most one torn boundary write.
+//! * [`oracle::TraceOracle`] holds ground truth about the workload
+//!   (per-thread write order, single-writer lines).
+//! * [`rebuild`] replays a crash cut of the journal into the durable
+//!   state recovery would find, for NVOverlay ([`rebuild::RebuiltState`]
+//!   implements the production [`nvoverlay::recovery::DurableState`])
+//!   and for the undo-logging baseline.
+//! * [`explore`] selects a stratified seeded sample of crash sites —
+//!   including sites *inside* OMC flushes and mid-`Mmaster` update —
+//!   checks each independently, and aggregates a deterministic
+//!   [`report::ChaosReport`]. Beyond crashes it injects faults recovery
+//!   must *detect*: torn `rec-epoch` roots, single-bit flips in mapping
+//!   words, dropped in-flight writes, sustained NVM backpressure.
+//!
+//! Determinism: one oracle simulation per scheme; each site check is a
+//! pure function of `(journal, master seed, site index)`. Two runs with
+//! the same seed produce byte-identical JSON, and any failing site can
+//! be replayed from its recorded per-site seed.
+//!
+//! Entry points: [`explore::prepare`] + [`explore::ChaosRun::check_site`]
+//! for parallel fan-out (the `nvo chaos` subcommand), or the serial
+//! [`explore::explore`] convenience.
+
+pub mod explore;
+pub mod oracle;
+pub mod rebuild;
+pub mod report;
+
+pub use explore::{explore, prepare, ChaosConfig, ChaosRun, ChaosScheme, SiteCategory, SiteResult};
+pub use oracle::TraceOracle;
+pub use rebuild::{rebuild_undo, undo_expected, RebuildFidelity, RebuiltState};
+pub use report::{ChaosReport, Violation};

@@ -1,0 +1,126 @@
+//! The pre-crash oracle: ground truth about the workload derived from
+//! the trace alone (no simulator state), against which every recovered
+//! image is judged.
+
+use nvsim::addr::{LineAddr, ThreadId, Token};
+use nvsim::fastmap::{FastHashMap, FastHashSet};
+use nvsim::memsys::MemOp;
+use nvsim::trace::{Trace, TraceEvent};
+
+/// Per-trace ground truth: which tokens were written where, in what
+/// per-thread order, and which lines are *private* (single-writer) —
+/// the lines for which per-thread prefix-cut reasoning applies.
+pub struct TraceOracle {
+    /// token → (owning thread, per-thread store sequence number).
+    order: FastHashMap<Token, (u16, u64)>,
+    /// line → every token ever stored to it (program order per thread;
+    /// threads concatenated — exact order only meaningful for private
+    /// lines).
+    line_writes: FastHashMap<LineAddr, Vec<Token>>,
+    /// Private lines (exactly one writing thread) → that thread.
+    private: Vec<(LineAddr, u16)>,
+    threads: usize,
+}
+
+impl TraceOracle {
+    /// Scans the trace once and builds the oracle.
+    pub fn new(trace: &Trace) -> Self {
+        let mut order = FastHashMap::default();
+        let mut line_writes: FastHashMap<LineAddr, Vec<Token>> = FastHashMap::default();
+        let mut writers: FastHashMap<LineAddr, FastHashSet<u16>> = FastHashMap::default();
+        for t in 0..trace.thread_count() {
+            let mut seq = 0u64;
+            for ev in trace.thread(ThreadId(t as u16)) {
+                if let TraceEvent::Access {
+                    op: MemOp::Store,
+                    addr,
+                    token,
+                } = ev
+                {
+                    let line = addr.line();
+                    order.insert(*token, (t as u16, seq));
+                    seq += 1;
+                    line_writes.entry(line).or_default().push(*token);
+                    writers.entry(line).or_default().insert(t as u16);
+                }
+            }
+        }
+        let mut private: Vec<(LineAddr, u16)> = writers
+            .iter()
+            .filter(|(_, w)| w.len() == 1)
+            .map(|(l, w)| (*l, *w.iter().next().expect("non-empty")))
+            .collect();
+        private.sort_by_key(|(l, _)| l.raw());
+        Self {
+            order,
+            line_writes,
+            private,
+            threads: trace.thread_count(),
+        }
+    }
+
+    /// Whether `token` was ever stored to `line` by the workload
+    /// (consistency invariant 1: no fabricated data).
+    pub fn written_to(&self, line: LineAddr, token: Token) -> bool {
+        self.line_writes
+            .get(&line)
+            .is_some_and(|v| v.contains(&token))
+    }
+
+    /// The `(thread, per-thread sequence)` of a store token.
+    pub fn order_of(&self, token: Token) -> Option<(u16, u64)> {
+        self.order.get(&token).copied()
+    }
+
+    /// Every token stored to `line`, in program order (exact for private
+    /// lines).
+    pub fn writes_to(&self, line: LineAddr) -> &[Token] {
+        self.line_writes.get(&line).map_or(&[], Vec::as_slice)
+    }
+
+    /// Private lines and their single writer, in address order.
+    pub fn private_lines(&self) -> &[(LineAddr, u16)] {
+        &self.private
+    }
+
+    /// Thread count of the underlying trace.
+    pub fn thread_count(&self) -> usize {
+        self.threads
+    }
+
+    /// Total distinct stored tokens.
+    pub fn token_count(&self) -> usize {
+        self.order.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvsim::addr::Addr;
+    use nvsim::trace::TraceBuilder;
+
+    #[test]
+    fn oracle_tracks_order_and_privacy() {
+        let mut b = TraceBuilder::new(2);
+        let t0 = b.store(ThreadId(0), Addr::new(0)); // private to thread 0
+        let t1 = b.store(ThreadId(0), Addr::new(0));
+        let t2 = b.store(ThreadId(1), Addr::new(64)); // private to thread 1
+        let t3 = b.store(ThreadId(0), Addr::new(128)); // shared line
+        let t4 = b.store(ThreadId(1), Addr::new(128));
+        let o = TraceOracle::new(&b.build());
+        assert_eq!(o.order_of(t0), Some((0, 0)));
+        assert_eq!(o.order_of(t1), Some((0, 1)));
+        assert_eq!(o.order_of(t2), Some((1, 0)));
+        assert!(o.written_to(LineAddr::new(0), t1));
+        assert!(!o.written_to(LineAddr::new(0), t2));
+        assert_eq!(o.writes_to(LineAddr::new(0)), &[t0, t1]);
+        assert_eq!(
+            o.private_lines(),
+            &[(LineAddr::new(0), 0), (LineAddr::new(1), 1)],
+            "line 2 (0x80) is written by both threads"
+        );
+        assert!(o.written_to(LineAddr::new(2), t3) && o.written_to(LineAddr::new(2), t4));
+        assert_eq!(o.token_count(), 5);
+    }
+}

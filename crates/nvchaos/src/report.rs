@@ -1,0 +1,182 @@
+//! The JSON exploration report.
+//!
+//! Hand-rolled serialization (the workspace carries no serde): field
+//! order is fixed, maps are emitted in [`SiteCategory`] order, and
+//! violations ascend by site — so two runs with the same seed produce
+//! byte-identical reports, which CI exploits (`cmp` of two runs).
+//!
+//! [`SiteCategory`]: crate::explore::SiteCategory
+
+use std::fmt::Write as _;
+
+/// One invariant violation, locating the crash site that produced it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// Journal index of the crash site.
+    pub site: usize,
+    /// Category of the site (see `SiteCategory::name`).
+    pub category: String,
+    /// Human-readable description of the violated invariant.
+    pub message: String,
+}
+
+/// Aggregated outcome of one chaos exploration.
+#[derive(Clone, Debug)]
+pub struct ChaosReport {
+    /// Canonical scheme name.
+    pub scheme: String,
+    /// Master seed of the exploration.
+    pub seed: u64,
+    /// Sites asked for on the command line.
+    pub sites_requested: usize,
+    /// Sites actually explored (capped by the journal length).
+    pub sites_explored: usize,
+    /// NVM writes recorded by the oracle run.
+    pub journal_writes: usize,
+    /// Cycles the oracle run took.
+    pub run_cycles: u64,
+    /// Explored sites per category, in stable category order.
+    pub category_counts: Vec<(String, usize)>,
+    /// Sites whose cut tore a write on the durability boundary.
+    pub torn_sites: usize,
+    /// Total accepted writes dropped or torn across all cuts.
+    pub dropped_writes: usize,
+    /// Mapping-word bit flips injected.
+    pub flips_injected: usize,
+    /// Faults recovery correctly detected (torn roots, corrupt words).
+    pub faults_detected: usize,
+    /// Newest epoch any site recovered.
+    pub max_recovered_epoch: u64,
+    /// Every invariant violation found (empty = all sites consistent).
+    pub violations: Vec<Violation>,
+}
+
+impl ChaosReport {
+    /// Whether every explored site upheld every invariant.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Deterministic JSON rendering (trailing newline included).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(512);
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"scheme\": {},", json_str(&self.scheme));
+        let _ = writeln!(s, "  \"seed\": {},", self.seed);
+        let _ = writeln!(s, "  \"sites_requested\": {},", self.sites_requested);
+        let _ = writeln!(s, "  \"sites_explored\": {},", self.sites_explored);
+        let _ = writeln!(s, "  \"journal_writes\": {},", self.journal_writes);
+        let _ = writeln!(s, "  \"run_cycles\": {},", self.run_cycles);
+        s.push_str("  \"sites_by_category\": {");
+        for (i, (name, n)) in self.category_counts.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            let _ = write!(s, "{}: {}", json_str(name), n);
+        }
+        s.push_str("},\n");
+        let _ = writeln!(s, "  \"torn_sites\": {},", self.torn_sites);
+        let _ = writeln!(s, "  \"dropped_writes\": {},", self.dropped_writes);
+        let _ = writeln!(s, "  \"flips_injected\": {},", self.flips_injected);
+        let _ = writeln!(s, "  \"faults_detected\": {},", self.faults_detected);
+        let _ = writeln!(
+            s,
+            "  \"max_recovered_epoch\": {},",
+            self.max_recovered_epoch
+        );
+        let _ = writeln!(s, "  \"violation_count\": {},", self.violations.len());
+        s.push_str("  \"violations\": [");
+        for (i, v) in self.violations.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "\n    {{\"site\": {}, \"category\": {}, \"message\": {}}}",
+                v.site,
+                json_str(&v.category),
+                json_str(&v.message)
+            );
+        }
+        if !self.violations.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("]\n}\n");
+        s
+    }
+}
+
+/// Escapes a string as a JSON string literal.
+fn json_str(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len() + 2);
+    out.push('"');
+    for c in raw.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ChaosReport {
+        ChaosReport {
+            scheme: "nvoverlay".into(),
+            seed: 7,
+            sites_requested: 200,
+            sites_explored: 120,
+            journal_writes: 4096,
+            run_cycles: 999,
+            category_counts: vec![("data".into(), 100), ("master-root".into(), 20)],
+            torn_sites: 5,
+            dropped_writes: 40,
+            flips_injected: 11,
+            faults_detected: 16,
+            max_recovered_epoch: 9,
+            violations: vec![],
+        }
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let j = sample().to_json();
+        assert!(j.starts_with("{\n  \"scheme\": \"nvoverlay\",\n"));
+        assert!(j.contains("\"sites_by_category\": {\"data\": 100, \"master-root\": 20},"));
+        assert!(j.contains("\"violation_count\": 0,"));
+        assert!(j.ends_with("\"violations\": []\n}\n"));
+        assert_eq!(sample().to_json(), j, "rendering is deterministic");
+    }
+
+    #[test]
+    fn violations_render_with_escaping() {
+        let mut r = sample();
+        r.violations.push(Violation {
+            site: 3,
+            category: "data".into(),
+            message: "token \"9\"\nlost".into(),
+        });
+        let j = r.to_json();
+        assert!(!r.ok());
+        assert!(j.contains(
+            "{\"site\": 3, \"category\": \"data\", \"message\": \"token \\\"9\\\"\\nlost\"}"
+        ));
+    }
+
+    #[test]
+    fn control_chars_escape_to_unicode() {
+        assert_eq!(json_str("a\u{1}b"), "\"a\\u0001b\"");
+        assert_eq!(json_str("tab\there"), "\"tab\\there\"");
+    }
+}

@@ -28,6 +28,7 @@ pub use table::{InsertEffect, MasterTable, RadixTable};
 
 use nvsim::addr::{LineAddr, Token, VdId};
 use nvsim::clock::Cycle;
+use nvsim::fault::PersistPayload;
 use nvsim::nvm::Nvm;
 use nvsim::nvtrace::{EventKind, TraceScope, Track};
 use nvsim::stats::NvmWriteKind;
@@ -136,8 +137,12 @@ impl Mnm {
                 );
             }
             self.rec_epoch = candidate;
-            // Atomic 8-byte rec-epoch pointer write by the master OMC.
-            nvm.write(now, candidate, NvmWriteKind::MapMetadata, 8);
+            // Atomic 8-byte rec-epoch pointer write by the master OMC,
+            // behind a persistence fence: the root must not become durable
+            // before any version or mapping write it covers, or a crash
+            // could retain the root while losing committed state.
+            nvm.write_fenced(now, candidate, NvmWriteKind::MapMetadata, 8);
+            nvm.annotate_last(PersistPayload::RecEpochRoot { epoch: candidate });
             Some(candidate)
         } else {
             None
@@ -170,7 +175,8 @@ impl Mnm {
         }
         if final_epoch > self.rec_epoch {
             self.rec_epoch = final_epoch;
-            nvm.write(now, final_epoch, NvmWriteKind::MapMetadata, 8);
+            nvm.write_fenced(now, final_epoch, NvmWriteKind::MapMetadata, 8);
+            nvm.annotate_last(PersistPayload::RecEpochRoot { epoch: final_epoch });
         }
     }
 

@@ -9,10 +9,11 @@
 
 use super::buffer::OmcBuffer;
 use super::pool::{NvmLoc, PagePool, SLOTS_PER_PAGE};
-use super::table::{MasterTable, RadixTable};
+use super::table::{encode_loc, MasterTable, RadixTable};
 use nvsim::addr::{LineAddr, Token};
 use nvsim::clock::Cycle;
 use nvsim::fastmap::FastMap;
+use nvsim::fault::PersistPayload;
 use nvsim::nvm::Nvm;
 use nvsim::stats::NvmWriteKind;
 use std::collections::BTreeMap;
@@ -235,6 +236,11 @@ impl Omc {
         {
             self.pool.write(loc, token);
             let t = nvm.write(now, line.raw(), NvmWriteKind::Data, 64);
+            nvm.annotate_last(PersistPayload::Version {
+                line,
+                token,
+                epoch: abs_epoch,
+            });
             return t.backpressure_stall(now);
         }
 
@@ -257,6 +263,11 @@ impl Omc {
             .expect("unmerged epoch keeps its table")
             .insert(line, loc);
         let t = nvm.write(now, line.raw(), NvmWriteKind::Data, 64);
+        nvm.annotate_last(PersistPayload::Version {
+            line,
+            token,
+            epoch: abs_epoch,
+        });
         t.backpressure_stall(now)
     }
 
@@ -325,6 +336,9 @@ impl Omc {
             }
         }
         let mut meta_entry_writes = 0u64;
+        // Leaf mapping entries merged this call, in merge order, as the
+        // encoded 8-byte words the metadata chunks carry to NVM.
+        let mut merged_words: Vec<(LineAddr, u64)> = Vec::new();
         let to_merge: Vec<u64> = self
             .epochs
             .range(self.merged_through + 1..=through)
@@ -349,6 +363,7 @@ impl Omc {
             for (l, loc) in entries {
                 let fx = self.master.merge_in(l, loc);
                 meta_entry_writes += fx.entry_writes;
+                merged_words.push((l, encode_loc(loc)));
                 *self.refcount.or_default(loc.page) += 1;
                 if let Some(old) = fx.displaced {
                     if old != loc {
@@ -358,14 +373,23 @@ impl Omc {
             }
         }
         self.merged_through = self.merged_through.max(through);
-        // Metadata streams to NVM in 256-byte chunks.
+        // Metadata streams to NVM in 256-byte chunks; each chunk carries
+        // up to 32 of the merged leaf entries (later chunks are pointer
+        // traffic), so a crash mid-merge durably retains an entry prefix.
         let meta_bytes = meta_entry_writes * 8;
         let mut remaining = meta_bytes;
         let mut chunk_key = now;
+        let mut chunk_ix = 0usize;
         while remaining > 0 {
             let c = remaining.min(256);
             nvm.write(now, chunk_key, NvmWriteKind::MapMetadata, c);
+            let lo = (chunk_ix * 32).min(merged_words.len());
+            let hi = (lo + 32).min(merged_words.len());
+            nvm.annotate_last(PersistPayload::MasterChunk {
+                entries: merged_words[lo..hi].to_vec(),
+            });
             chunk_key = chunk_key.wrapping_add(1);
+            chunk_ix += 1;
             remaining -= c;
         }
         meta_bytes

@@ -29,6 +29,32 @@ pub const INNER_NODE_BYTES: u64 = (INNER_FANOUT * 8) as u64;
 /// Bytes per leaf node when persisted (64 × 8 B).
 pub const LEAF_NODE_BYTES: u64 = (LEAF_FANOUT * 8) as u64;
 
+/// Encodes a mapping entry as the 8-byte word persisted in `M_master`:
+/// bit 0 is the valid bit, bits 1–6 the page slot, bits 7–38 the overlay
+/// page number, bits 39–62 are reserved (zero), and bit 63 makes the
+/// word's population count odd. The odd-parity bit means any single-bit
+/// corruption of a persisted entry is detectable on recovery.
+pub fn encode_loc(loc: NvmLoc) -> u64 {
+    let mut w = 1u64 | ((u64::from(loc.slot) & 0x3F) << 1) | (u64::from(loc.page) << 7);
+    if w.count_ones().is_multiple_of(2) {
+        w |= 1 << 63;
+    }
+    w
+}
+
+/// Decodes a persisted mapping word, returning `None` for corrupt words:
+/// even parity (any single bit flip), a clear valid bit, or non-zero
+/// reserved bits.
+pub fn decode_loc(word: u64) -> Option<NvmLoc> {
+    if word.count_ones().is_multiple_of(2) || word & 1 == 0 || (word >> 39) & 0xFF_FFFF != 0 {
+        return None;
+    }
+    Some(NvmLoc {
+        page: ((word >> 7) & 0xFFFF_FFFF) as u32,
+        slot: ((word >> 1) & 0x3F) as u8,
+    })
+}
+
 struct Inner<T> {
     children: Vec<Option<T>>,
 }
@@ -402,6 +428,29 @@ mod tests {
         assert_eq!(fx.nodes_created, 4);
         assert_eq!(t.inner_nodes(), 1 + 3 + 3);
         assert_eq!(t.leaf_nodes(), 2);
+    }
+
+    #[test]
+    fn mapping_word_round_trips() {
+        for &(p, s) in &[(0u32, 0u8), (1, 63), (0xFFFF_FFFF, 17), (42, 5)] {
+            let w = encode_loc(loc(p, s));
+            assert_eq!(decode_loc(w), Some(loc(p, s)), "page {p} slot {s}");
+            assert_eq!(w.count_ones() % 2, 1, "odd parity");
+        }
+    }
+
+    #[test]
+    fn any_single_bit_flip_is_detected() {
+        for &(p, s) in &[(0u32, 0u8), (3, 9), (0xDEAD_BEEF, 63)] {
+            let w = encode_loc(loc(p, s));
+            for bit in 0..64 {
+                assert_eq!(
+                    decode_loc(w ^ (1u64 << bit)),
+                    None,
+                    "flip of bit {bit} in {w:#x} must break parity"
+                );
+            }
+        }
     }
 
     #[test]

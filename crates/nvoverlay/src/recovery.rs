@@ -6,7 +6,7 @@
 //! epoch. Processor contexts dumped at that epoch's boundary complete the
 //! restart (contexts are modeled as byte counts; see `system`).
 
-use crate::mnm::Mnm;
+use crate::mnm::{table, Mnm};
 use nvsim::addr::{LineAddr, Token};
 use nvsim::fastmap::FastHashMap;
 use nvsim::nvtrace::{EventKind, TraceScope, Track};
@@ -17,6 +17,22 @@ use std::fmt;
 pub enum RecoveryError {
     /// No epoch has been fully persisted yet (`rec-epoch` is 0).
     NothingRecoverable,
+    /// The `rec-epoch` root pointer was torn by the crash: the 8-byte
+    /// cell fails its integrity check. Recovery must fall back to the
+    /// previous root (the paper's atomic pointer write means at most one
+    /// of the ping-pong cells can be torn).
+    TornMasterRoot {
+        /// The epoch the torn cell would have named.
+        epoch: u64,
+    },
+    /// A Master Mapping Table entry fails its parity check — the word
+    /// was corrupted in place (e.g. a stray bit flip in the NVM array).
+    CorruptMapping {
+        /// The line whose mapping word is corrupt.
+        line: LineAddr,
+        /// The raw 8-byte word as read back.
+        raw: u64,
+    },
 }
 
 impl fmt::Display for RecoveryError {
@@ -25,11 +41,78 @@ impl fmt::Display for RecoveryError {
             RecoveryError::NothingRecoverable => {
                 f.write_str("no epoch has been fully persisted yet")
             }
+            RecoveryError::TornMasterRoot { epoch } => {
+                write!(f, "rec-epoch root cell (epoch {epoch}) is torn")
+            }
+            RecoveryError::CorruptMapping { line, raw } => {
+                write!(
+                    f,
+                    "master mapping entry for line {:#x} is corrupt (word {raw:#018x})",
+                    line.raw()
+                )
+            }
         }
     }
 }
 
 impl std::error::Error for RecoveryError {}
+
+/// The durable `rec-epoch` root cell as read back after a crash.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RootCell {
+    /// The recoverable epoch the cell names (0 = never written).
+    pub epoch: u64,
+    /// Whether the cell failed its integrity check (torn write).
+    pub torn: bool,
+}
+
+/// What survives on NVM after a crash, as recovery sees it. The live
+/// [`Mnm`] implements this (clean-shutdown recovery, the existing
+/// [`recover`] path); the `nvchaos` crate implements it over a durable
+/// state reconstructed from a crash cut of the NVM write journal.
+pub trait DurableState {
+    /// The `rec-epoch` root pointer.
+    fn root(&self) -> RootCell;
+
+    /// Every persisted Master Mapping Table entry as its raw 8-byte word
+    /// (see [`table::encode_loc`]), for integrity checking.
+    fn mapping_words(&self) -> Box<dyn Iterator<Item = (LineAddr, u64)> + '_>;
+
+    /// Every line with any durable version.
+    fn lines(&self) -> Box<dyn Iterator<Item = LineAddr> + '_>;
+
+    /// The durable version of `line` as of `epoch` (fall-through to the
+    /// newest version at or below it), read from the overlay data pages'
+    /// epoch-tagged slots.
+    fn version_at(&self, line: LineAddr, epoch: u64) -> Option<Token>;
+}
+
+impl DurableState for Mnm {
+    fn root(&self) -> RootCell {
+        RootCell {
+            epoch: self.rec_epoch(),
+            torn: false,
+        }
+    }
+
+    fn mapping_words(&self) -> Box<dyn Iterator<Item = (LineAddr, u64)> + '_> {
+        Box::new(self.omcs().iter().flat_map(|o| {
+            o.master()
+                .tree()
+                .iter()
+                .map(|(l, loc)| (l, table::encode_loc(loc)))
+        }))
+    }
+
+    fn lines(&self) -> Box<dyn Iterator<Item = LineAddr> + '_> {
+        Box::new(self.master_image().map(|(l, _)| l))
+    }
+
+    fn version_at(&self, line: LineAddr, _epoch: u64) -> Option<Token> {
+        // The live master tables already map exactly the rec-epoch image.
+        self.read_master(line)
+    }
+}
 
 /// A reconstructed memory image.
 #[derive(Clone, Debug, Default)]
@@ -72,17 +155,46 @@ impl RecoveredImage {
 /// # Errors
 /// [`RecoveryError::NothingRecoverable`] when no epoch has committed.
 pub fn recover(mnm: &Mnm) -> Result<RecoveredImage, RecoveryError> {
+    recover_durable(mnm)
+}
+
+/// Rebuilds the consistent image from any [`DurableState`] — the general
+/// §V-E procedure: read the `rec-epoch` root, validate every master
+/// mapping word, then load each mapped line's version as of the root
+/// epoch.
+///
+/// # Errors
+/// * [`RecoveryError::TornMasterRoot`] when the root cell is torn;
+/// * [`RecoveryError::NothingRecoverable`] when no epoch has committed;
+/// * [`RecoveryError::CorruptMapping`] when a mapping word fails parity.
+pub fn recover_durable<S: DurableState + ?Sized>(
+    state: &S,
+) -> Result<RecoveredImage, RecoveryError> {
     // Recovery runs post-crash with no simulation clock; trace events use
     // the step ordinal as their timestamp to preserve ordering.
     let scope = TraceScope::new(Track::Recovery);
-    scope.emit(EventKind::RecoveryStep, 0, 0, mnm.rec_epoch());
-    let epoch = mnm.rec_epoch();
-    if epoch == 0 {
+    let root = state.root();
+    scope.emit(EventKind::RecoveryStep, 0, 0, root.epoch);
+    if root.torn {
+        return Err(RecoveryError::TornMasterRoot { epoch: root.epoch });
+    }
+    if root.epoch == 0 {
         return Err(RecoveryError::NothingRecoverable);
     }
-    let lines: FastHashMap<LineAddr, Token> = mnm.master_image().collect();
+    for (line, raw) in state.mapping_words() {
+        if table::decode_loc(raw).is_none() {
+            return Err(RecoveryError::CorruptMapping { line, raw });
+        }
+    }
+    let lines: FastHashMap<LineAddr, Token> = state
+        .lines()
+        .filter_map(|l| state.version_at(l, root.epoch).map(|t| (l, t)))
+        .collect();
     scope.emit(EventKind::RecoveryStep, 1, 1, lines.len() as u64);
-    Ok(RecoveredImage { epoch, lines })
+    Ok(RecoveredImage {
+        epoch: root.epoch,
+        lines,
+    })
 }
 
 /// Rebuilds the image *as of* `epoch` by falling through per-epoch tables
@@ -142,6 +254,106 @@ mod tests {
         assert_eq!(img.len(), 20);
         assert_eq!(img.read(line(7)), Some(907));
         assert_eq!(img.read(line(99)), None);
+    }
+
+    /// A hand-built durable state for exercising the error paths.
+    struct FakeDurable {
+        root: RootCell,
+        words: Vec<(LineAddr, u64)>,
+        versions: Vec<(LineAddr, u64, Token)>,
+    }
+
+    impl DurableState for FakeDurable {
+        fn root(&self) -> RootCell {
+            self.root
+        }
+        fn mapping_words(&self) -> Box<dyn Iterator<Item = (LineAddr, u64)> + '_> {
+            Box::new(self.words.iter().copied())
+        }
+        fn lines(&self) -> Box<dyn Iterator<Item = LineAddr> + '_> {
+            Box::new(self.versions.iter().map(|(l, _, _)| *l))
+        }
+        fn version_at(&self, line: LineAddr, epoch: u64) -> Option<Token> {
+            self.versions
+                .iter()
+                .filter(|(l, e, _)| *l == line && *e <= epoch)
+                .max_by_key(|(_, e, _)| *e)
+                .map(|(_, _, t)| *t)
+        }
+    }
+
+    #[test]
+    fn torn_root_is_reported() {
+        let s = FakeDurable {
+            root: RootCell {
+                epoch: 4,
+                torn: true,
+            },
+            words: vec![],
+            versions: vec![],
+        };
+        let err = recover_durable(&s).unwrap_err();
+        assert_eq!(err, RecoveryError::TornMasterRoot { epoch: 4 });
+        assert_eq!(err.to_string(), "rec-epoch root cell (epoch 4) is torn");
+    }
+
+    #[test]
+    fn corrupt_mapping_word_is_detected() {
+        use crate::mnm::{table::encode_loc, NvmLoc};
+        let good = encode_loc(NvmLoc { page: 3, slot: 7 });
+        let s = FakeDurable {
+            root: RootCell {
+                epoch: 1,
+                torn: false,
+            },
+            words: vec![(line(1), good), (line(2), good ^ (1 << 20))],
+            versions: vec![(line(1), 1, 10), (line(2), 1, 20)],
+        };
+        let err = recover_durable(&s).unwrap_err();
+        assert_eq!(
+            err,
+            RecoveryError::CorruptMapping {
+                line: line(2),
+                raw: good ^ (1 << 20)
+            }
+        );
+        assert!(err.to_string().contains("corrupt"), "{err}");
+    }
+
+    #[test]
+    fn recover_durable_falls_through_to_the_root_epoch() {
+        let s = FakeDurable {
+            root: RootCell {
+                epoch: 2,
+                torn: false,
+            },
+            words: vec![],
+            versions: vec![
+                (line(1), 1, 10),
+                (line(1), 3, 30), // beyond the root: not recovered
+                (line(2), 2, 20),
+            ],
+        };
+        let img = recover_durable(&s).unwrap();
+        assert_eq!(img.epoch(), 2);
+        assert_eq!(img.read(line(1)), Some(10), "epoch 3 version excluded");
+        assert_eq!(img.read(line(2)), Some(20));
+    }
+
+    #[test]
+    fn error_display_is_stable() {
+        assert_eq!(
+            RecoveryError::NothingRecoverable.to_string(),
+            "no epoch has been fully persisted yet"
+        );
+        let e = RecoveryError::CorruptMapping {
+            line: line(0x40),
+            raw: 0x8000_0000_0000_0001,
+        };
+        assert_eq!(
+            e.to_string(),
+            "master mapping entry for line 0x40 is corrupt (word 0x8000000000000001)"
+        );
     }
 
     #[test]

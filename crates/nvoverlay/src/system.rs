@@ -16,6 +16,7 @@ use crate::recovery::{self, RecoveredImage, RecoveryError};
 use nvsim::addr::{Addr, CoreId, LineAddr, Token, VdId};
 use nvsim::clock::Cycle;
 use nvsim::config::SimConfig;
+use nvsim::fault::PersistPayload;
 use nvsim::memsys::{AccessOutcome, MemOp, MemorySystem};
 use nvsim::nvm::Nvm;
 use nvsim::nvtrace::{EventKind, TraceScope, Track};
@@ -113,6 +114,12 @@ impl NvOverlaySystem {
         &self.nvm
     }
 
+    /// Mutable device access — used by the chaos harness to attach and
+    /// harvest the persistence-order fault plane around a run.
+    pub fn nvm_mut(&mut self) -> &mut Nvm {
+        &mut self.nvm
+    }
+
     /// The persisted recoverable epoch.
     pub fn rec_epoch(&self) -> u64 {
         self.mnm.rec_epoch()
@@ -175,14 +182,19 @@ impl NvOverlaySystem {
         );
         let cores = self.hier.config().cores_per_vd as u64;
         let bytes = self.hier.cst_config().context_bytes_per_core;
+        let blob = ((vd.0 as u64) << 48) | ended_epoch;
         for c in 0..cores {
             self.nvm
                 .write(now, vd.0 as u64 * 64 + c, NvmWriteKind::Context, bytes);
+            self.nvm.annotate_last(PersistPayload::Context {
+                vd: vd.0,
+                epoch: ended_epoch,
+                blob,
+            });
         }
         // The context blob is modeled as a deterministic token derived
         // from (vd, epoch); recovery checks it is present (§V-E).
-        self.mnm
-            .record_context(vd, ended_epoch, ((vd.0 as u64) << 48) | ended_epoch);
+        self.mnm.record_context(vd, ended_epoch, blob);
         if self.opts.walk_on_epoch_advance {
             let walker = TraceScope::new(Track::Vd(vd.0));
             walker.emit(EventKind::TagWalkStart, now, ended_epoch, 0);
@@ -306,12 +318,17 @@ impl MemorySystem for NvOverlaySystem {
                     );
                     let cores = self.hier.config().cores_per_vd as u64;
                     let bytes = self.hier.cst_config().context_bytes_per_core;
+                    let blob = ((vd.0 as u64) << 48) | from_abs;
                     for c in 0..cores {
                         self.nvm
                             .write(now, vd.0 as u64 * 64 + c, NvmWriteKind::Context, bytes);
+                        self.nvm.annotate_last(PersistPayload::Context {
+                            vd: vd.0,
+                            epoch: from_abs,
+                            blob,
+                        });
                     }
-                    self.mnm
-                        .record_context(vd, from_abs, ((vd.0 as u64) << 48) | from_abs);
+                    self.mnm.record_context(vd, from_abs, blob);
                     final_epoch = final_epoch.max(to_abs);
                 }
                 CstEvent::DirtyTransfer { vd, abs_epoch } => {

@@ -28,6 +28,10 @@
 //! * [`fastmap`] — open-addressing maps and an Fx-style hasher for the
 //!   simulator's hot paths (directory entries, device contents, golden
 //!   images).
+//! * [`fault`] — persistence-order shadow model: a journal of every NVM
+//!   write with logical payloads, in-flight windows, and prefix-closed
+//!   crash cuts with torn-write boundaries. Drives the `nvchaos`
+//!   crash-site explorer.
 //! * [`rng`] — deterministic xoshiro256++ randomness (no external crates).
 //! * [`nvtrace`] — structured event tracing into a per-thread ring
 //!   buffer (flight recorder). Compiled out without the `trace` cargo
@@ -54,6 +58,7 @@ pub mod config;
 pub mod directory;
 pub mod dram;
 pub mod fastmap;
+pub mod fault;
 pub mod hierarchy;
 pub mod memsys;
 pub mod mesi;

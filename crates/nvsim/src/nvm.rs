@@ -14,6 +14,7 @@
 
 use crate::clock::Cycle;
 use crate::fastmap::FastMap;
+use crate::fault::{FaultPlane, PersistPayload};
 use crate::metrics::{Hist, Registry};
 use crate::nvtrace::{EventKind, TraceScope, Track};
 use crate::stats::{BandwidthSeries, NvmBytes, NvmWriteKind};
@@ -72,6 +73,8 @@ pub struct Nvm {
     wear: FastMap<u64, u64>,
     /// Queueing delay (start − enqueue) of each accepted write.
     queue_delay: Hist,
+    /// Persistence-order shadow journal, when fault exploration is on.
+    plane: Option<Box<FaultPlane>>,
 }
 
 impl Nvm {
@@ -101,6 +104,31 @@ impl Nvm {
             reads: 0,
             wear: FastMap::new(),
             queue_delay: Hist::new(),
+            plane: None,
+        }
+    }
+
+    /// Attaches a fresh [`FaultPlane`]: from now on every accepted write
+    /// is journaled for crash-cut reconstruction.
+    pub fn enable_fault_plane(&mut self) {
+        self.plane = Some(Box::new(FaultPlane::new()));
+    }
+
+    /// The shadow journal, if fault exploration is on.
+    pub fn fault_plane(&self) -> Option<&FaultPlane> {
+        self.plane.as_deref()
+    }
+
+    /// Detaches and returns the shadow journal.
+    pub fn take_fault_plane(&mut self) -> Option<FaultPlane> {
+        self.plane.take().map(|b| *b)
+    }
+
+    /// Attaches the logical persistent effect to the most recent write.
+    /// No-op unless a fault plane is enabled.
+    pub fn annotate_last(&mut self, payload: PersistPayload) {
+        if let Some(p) = &mut self.plane {
+            p.annotate_last(payload);
         }
     }
 
@@ -138,10 +166,29 @@ impl Nvm {
         if kind == NvmWriteKind::Data {
             *self.wear.or_default(key) += 1;
         }
+        if let Some(p) = &mut self.plane {
+            p.record(key, kind, bytes, now, completion);
+        }
         WriteTicket {
             accept_time,
             completion,
         }
+    }
+
+    /// Enqueues a write behind a persistence fence: it is not issued
+    /// before every previously accepted write is durable, so its
+    /// completion orders after all of them. Used for ordering-critical
+    /// updates such as the recoverable-epoch root pointer — a crash cut
+    /// that retains the fenced write retains everything it depends on.
+    pub fn write_fenced(
+        &mut self,
+        now: Cycle,
+        key: u64,
+        kind: NvmWriteKind,
+        bytes: u64,
+    ) -> WriteTicket {
+        let fence = self.persist_horizon().max(now);
+        self.write(fence, key, kind, bytes)
     }
 
     /// Reads a line; returns the completion time.
@@ -309,6 +356,38 @@ mod tests {
         assert_eq!(w.total_writes, 6);
         assert_eq!(w.max_key_writes, 5);
         assert!((w.mean_key_writes - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fenced_write_completes_after_every_prior_write() {
+        let mut n = Nvm::new(4, 400, 200, 8, 100_000);
+        let mut latest = 0;
+        for k in 0..8u64 {
+            latest = latest.max(n.write(0, k, NvmWriteKind::Data, 64).completion);
+        }
+        let t = n.write_fenced(0, 0xFEED, NvmWriteKind::MapMetadata, 8);
+        assert!(
+            t.completion > latest,
+            "fenced write must order after the horizon ({} <= {latest})",
+            t.completion
+        );
+    }
+
+    #[test]
+    fn fault_plane_journals_writes_when_enabled() {
+        let mut n = nvm();
+        n.write(0, 1, NvmWriteKind::Data, 64); // before enabling: not journaled
+        n.enable_fault_plane();
+        n.write(500, 2, NvmWriteKind::Log, 72);
+        n.annotate_last(crate::fault::PersistPayload::EpochCommit { epoch: 3 });
+        let p = n.take_fault_plane().expect("plane was enabled");
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.records()[0].kind, NvmWriteKind::Log);
+        assert_eq!(
+            p.records()[0].payload,
+            Some(crate::fault::PersistPayload::EpochCommit { epoch: 3 })
+        );
+        assert!(n.fault_plane().is_none(), "plane detached");
     }
 
     #[test]

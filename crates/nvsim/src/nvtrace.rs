@@ -58,11 +58,15 @@ pub enum EventKind {
     /// One step of crash recovery (`a` = step ordinal, `b` =
     /// step-specific count, e.g. lines reconstructed).
     RecoveryStep,
+    /// A fault was injected by the chaos harness (`a` = crash-site
+    /// write id, `b` = fault code: 0 = crash cut, 1 = torn write,
+    /// 2 = bit flip, 3 = dropped write).
+    FaultInjected,
 }
 
 impl EventKind {
     /// All kinds, in a stable order.
-    pub const ALL: [EventKind; 10] = [
+    pub const ALL: [EventKind; 11] = [
         EventKind::EpochAdvance,
         EventKind::TagWalkStart,
         EventKind::TagWalkEnd,
@@ -73,6 +77,7 @@ impl EventKind {
         EventKind::EpochFlush,
         EventKind::LogWrite,
         EventKind::RecoveryStep,
+        EventKind::FaultInjected,
     ];
 
     /// Stable index (array slot) of this kind.
@@ -88,6 +93,7 @@ impl EventKind {
             EventKind::EpochFlush => 7,
             EventKind::LogWrite => 8,
             EventKind::RecoveryStep => 9,
+            EventKind::FaultInjected => 10,
         }
     }
 
@@ -116,6 +122,7 @@ impl EventKind {
             EventKind::EpochFlush => "epoch-flush",
             EventKind::LogWrite => "log-write",
             EventKind::RecoveryStep => "recovery-step",
+            EventKind::FaultInjected => "fault-injected",
         }
     }
 }
@@ -144,6 +151,8 @@ pub enum Track {
     Scheme,
     /// The recovery procedure.
     Recovery,
+    /// The fault-injection harness.
+    Fault,
 }
 
 impl Track {
@@ -154,6 +163,7 @@ impl Track {
     const TAG_BANK: u16 = 4;
     const TAG_SCHEME: u16 = 5;
     const TAG_RECOVERY: u16 = 6;
+    const TAG_FAULT: u16 = 7;
 
     /// Packs the track into a 16-bit id (3-bit tag, 13-bit index).
     pub fn encode(self) -> u16 {
@@ -165,6 +175,7 @@ impl Track {
             Track::NvmBank(i) => (Self::TAG_BANK, i),
             Track::Scheme => (Self::TAG_SCHEME, 0),
             Track::Recovery => (Self::TAG_RECOVERY, 0),
+            Track::Fault => (Self::TAG_FAULT, 0),
         };
         (tag << 13) | (ix & 0x1FFF)
     }
@@ -179,6 +190,7 @@ impl Track {
             Self::TAG_BANK => Track::NvmBank(ix),
             Self::TAG_SCHEME => Track::Scheme,
             Self::TAG_RECOVERY => Track::Recovery,
+            Self::TAG_FAULT => Track::Fault,
             _ => Track::System,
         }
     }
@@ -193,6 +205,7 @@ impl Track {
             Track::NvmBank(i) => format!("nvm.bank.{i}"),
             Track::Scheme => "scheme".into(),
             Track::Recovery => "recovery".into(),
+            Track::Fault => "fault".into(),
         }
     }
 }
@@ -552,6 +565,7 @@ mod tests {
             Track::NvmBank(13),
             Track::Scheme,
             Track::Recovery,
+            Track::Fault,
         ] {
             assert_eq!(Track::decode(t.encode()), t, "{t}");
         }

@@ -7,6 +7,7 @@
 //! * [`sim`] — the `nvsim` timing simulator substrate.
 //! * [`overlay`] — the `nvoverlay` mechanism (CST + MNM).
 //! * [`baselines`] — the five comparison schemes.
+//! * [`chaos`] — deterministic fault injection and crash-site exploration.
 //! * [`workloads`] — the paper's 12-workload benchmark suite.
 //!
 //! See README.md for a quickstart and DESIGN.md for the architecture.
@@ -14,6 +15,7 @@
 #![warn(missing_docs)]
 
 pub use nvbaselines as baselines;
+pub use nvchaos as chaos;
 pub use nvoverlay as overlay;
 pub use nvsim as sim;
 pub use nvworkloads as workloads;

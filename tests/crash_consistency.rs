@@ -2,19 +2,23 @@
 //!
 //! The paper's §III-C relaxed epoch model: a snapshot "may not be the
 //! exact memory image at any real-time point", but it must be a
-//! *consistent cut* of the causality order. We crash NVOverlay at many
-//! points mid-run (no shutdown drain) and verify:
+//! *consistent cut* of the causality order. Two layers of testing:
 //!
-//! 1. every recovered token was actually written to that line;
-//! 2. for lines private to one thread, the recovered image is a
-//!    *prefix-closed cut* of that thread's program order: if the image
-//!    reflects the thread's write number `s`, it cannot miss an earlier
-//!    write by the same thread whose line was not overwritten later;
-//! 3. the image equals the union of per-epoch snapshots ≤ `rec-epoch`.
+//! * [`boundary_crash_smoke`] — the original fast smoke: stop issuing
+//!   accesses at a few points (no shutdown drain) and recover from the
+//!   live master tables, checking the three cut invariants by hand.
+//! * The `nvchaos` harness tests — crash *inside* the persistence
+//!   machinery itself: the persistence-order journal makes every NVM
+//!   write a crash site, so cuts land between the metadata chunks of
+//!   one OMC flush, mid-`Mmaster` root update, and inside context
+//!   dumps, with in-flight writes dropped or torn. The same three
+//!   invariants are checked per site against the trace oracle.
 
+use nvoverlay_suite::chaos::{prepare, ChaosConfig, ChaosScheme, RebuildFidelity, SiteCategory};
 use nvoverlay_suite::overlay::system::NvOverlaySystem;
-use nvoverlay_suite::sim::addr::{Addr, CoreId, LineAddr, Token};
+use nvoverlay_suite::sim::addr::{Addr, CoreId, LineAddr, ThreadId, Token};
 use nvoverlay_suite::sim::memsys::{MemOp, MemorySystem};
+use nvoverlay_suite::sim::trace::{Trace, TraceBuilder};
 use nvoverlay_suite::sim::SimConfig;
 use std::collections::HashMap;
 
@@ -49,8 +53,17 @@ fn build_plan() -> Vec<(CoreId, LineAddr, Token)> {
     plan
 }
 
+/// The same plan as a replayable [`Trace`] for the chaos harness.
+fn plan_trace() -> Trace {
+    let mut b = TraceBuilder::new(8);
+    for (c, l, tok) in build_plan() {
+        b.store_with_token(ThreadId(c.0), Addr::from(l), tok);
+    }
+    b.build()
+}
+
 #[test]
-fn mid_run_crash_images_are_consistent_cuts() {
+fn boundary_crash_smoke() {
     let cfg = cfg();
     let plan = build_plan();
 
@@ -65,7 +78,7 @@ fn mid_run_crash_images_are_consistent_cuts() {
         line_writes.entry(*l).or_default().push(*tok);
     }
 
-    for crash_at in [1500usize, 3000, 4500, 7000, 9599] {
+    for crash_at in [4500usize, 9599] {
         let mut sys = NvOverlaySystem::new(&cfg);
         let mut now = 0u64;
         for (c, l, tok) in plan.iter().take(crash_at) {
@@ -141,9 +154,66 @@ fn mid_run_crash_images_are_consistent_cuts() {
     }
 }
 
+/// The ported harness test: crash sites land *inside* OMC flushes
+/// (between the metadata chunks of one merge), mid-`Mmaster` root
+/// update, and inside context dumps; each cut drops or tears in-flight
+/// writes before recovery runs. Every explored site must uphold the
+/// three consistency-cut invariants.
+#[test]
+fn interior_crash_sites_are_consistent_cuts() {
+    let ccfg = ChaosConfig {
+        sites: 160,
+        ..ChaosConfig::new(ChaosScheme::NvOverlay)
+    };
+    let run = prepare(&plan_trace(), &cfg(), ccfg);
+    let results: Vec<_> = (0..run.site_count()).map(|i| run.check_site(i)).collect();
+    let report = run.summarize(&results);
+
+    assert!(
+        report.ok(),
+        "interior crash sites violated the cut invariants: {:#?}",
+        report.violations
+    );
+    // The stratified sample must actually land inside the OMC flush and
+    // the Mmaster update sequences, not just at data writes.
+    let inside_flush = results
+        .iter()
+        .filter(|r| r.category == SiteCategory::OmcFlushMeta)
+        .count();
+    let at_root = results
+        .iter()
+        .filter(|r| r.category == SiteCategory::MasterRoot)
+        .count();
+    assert!(inside_flush > 0, "no crash site inside an OMC flush");
+    assert!(at_root > 0, "no crash site at an Mmaster root update");
+    // The cuts must be doing real damage: in-flight writes dropped, and
+    // several epochs still recovered underneath.
+    assert!(report.dropped_writes > 0, "cuts never dropped a write");
+    assert!(report.max_recovered_epoch >= 3, "too few epochs recovered");
+}
+
+/// Harness self-test: a recovery implementation that ignores the
+/// rec-epoch filter (leaking uncommitted versions into the image) must
+/// be caught by the same invariants that pass above.
+#[test]
+fn broken_recovery_is_demonstrably_caught() {
+    let ccfg = ChaosConfig {
+        sites: 120,
+        fidelity: RebuildFidelity::BrokenNoEpochFilter,
+        ..ChaosConfig::new(ChaosScheme::NvOverlay)
+    };
+    let run = prepare(&plan_trace(), &cfg(), ccfg);
+    let results: Vec<_> = (0..run.site_count()).map(|i| run.check_site(i)).collect();
+    let report = run.summarize(&results);
+    assert!(
+        !report.ok(),
+        "an epoch-filter-less recovery slipped past the invariants"
+    );
+}
+
 #[test]
 fn crash_points_cover_multiple_epochs() {
-    // Make sure the test above actually exercises committed state.
+    // Make sure the tests above actually exercise committed state.
     let cfg = cfg();
     let plan = build_plan();
     let mut sys = NvOverlaySystem::new(&cfg);
