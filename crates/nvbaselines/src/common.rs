@@ -3,9 +3,10 @@
 use nvsim::addr::CoreId;
 use nvsim::clock::Cycle;
 use nvsim::config::SimConfig;
-use nvsim::hierarchy::Hierarchy;
+use nvsim::hierarchy::{Hierarchy, HierarchyEvent};
 use nvsim::nvm::Nvm;
 use nvsim::stats::SystemStats;
+use std::sync::Arc;
 
 /// The parts every baseline owns: the shared hierarchy, an NVM device,
 /// the stats block and a per-core "resume time" used to model global
@@ -19,6 +20,10 @@ pub struct BaselineCore {
     pub stats: SystemStats,
     /// Per-core earliest resume time after a global stall.
     pub core_resume: Vec<Cycle>,
+    /// Recycled scratch copy of the hierarchy's per-access events —
+    /// schemes `mem::take` it around their handler loop so the hot path
+    /// never allocates (see [`BaselineCore::take_event_scratch`]).
+    pub ev_scratch: Vec<HierarchyEvent>,
 }
 
 impl BaselineCore {
@@ -27,18 +32,46 @@ impl BaselineCore {
     /// # Panics
     /// Panics if `cfg` does not validate.
     pub fn new(cfg: &SimConfig) -> Self {
+        Self::new_shared(Arc::new(cfg.clone()))
+    }
+
+    /// Builds the shared parts over a shared configuration handle.
+    ///
+    /// # Panics
+    /// Panics if `cfg` does not validate.
+    pub fn new_shared(cfg: Arc<SimConfig>) -> Self {
+        let nvm = Nvm::new(
+            cfg.nvm_banks,
+            cfg.nvm_write_latency,
+            cfg.nvm_read_latency,
+            cfg.nvm_queue_depth,
+            cfg.bandwidth_bucket_cycles,
+        );
         Self {
-            hier: Hierarchy::new(cfg),
-            nvm: Nvm::new(
-                cfg.nvm_banks,
-                cfg.nvm_write_latency,
-                cfg.nvm_read_latency,
-                cfg.nvm_queue_depth,
-                cfg.bandwidth_bucket_cycles,
-            ),
+            nvm,
             stats: SystemStats::new(cfg.bandwidth_bucket_cycles),
             core_resume: vec![0; cfg.cores as usize],
+            ev_scratch: Vec::new(),
+            hier: Hierarchy::new_shared(cfg),
         }
+    }
+
+    /// Takes the recycled event buffer, refilled with the hierarchy's
+    /// latest events. The caller iterates it (the borrow on `self` is
+    /// released) and MUST hand it back via
+    /// [`BaselineCore::return_event_scratch`] so the next access reuses
+    /// the capacity instead of allocating.
+    pub fn take_event_scratch(&mut self) -> Vec<HierarchyEvent> {
+        let mut buf = std::mem::take(&mut self.ev_scratch);
+        buf.clear();
+        buf.extend_from_slice(self.hier.events());
+        buf
+    }
+
+    /// Returns the scratch buffer taken by
+    /// [`BaselineCore::take_event_scratch`].
+    pub fn return_event_scratch(&mut self, buf: Vec<HierarchyEvent>) {
+        self.ev_scratch = buf;
     }
 
     /// Stall this core owes from a previous global quiesce.

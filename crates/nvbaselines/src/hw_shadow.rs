@@ -38,8 +38,13 @@ pub struct HwShadow {
 impl HwShadow {
     /// Creates the scheme.
     pub fn new(cfg: &SimConfig) -> Self {
+        Self::new_shared(std::sync::Arc::new(cfg.clone()))
+    }
+
+    /// Creates the scheme over a shared configuration handle.
+    pub fn new_shared(cfg: std::sync::Arc<SimConfig>) -> Self {
         Self {
-            core: BaselineCore::new(cfg),
+            core: BaselineCore::new_shared(cfg),
             write_set: Vec::new(),
             in_set: FastHashMap::default(),
             table: RadixTable::new(),
@@ -108,8 +113,8 @@ impl HwShadow {
 
     fn handle_events(&mut self, now: Cycle) -> Cycle {
         let mut stall = 0;
-        let events: Vec<HierarchyEvent> = self.core.hier.events().to_vec();
-        for e in events {
+        let events = self.core.take_event_scratch();
+        for e in events.iter().copied() {
             match e {
                 HierarchyEvent::StoreCommitted { line, .. } => {
                     if self.in_set.insert(line, ()).is_none() {
@@ -143,6 +148,7 @@ impl HwShadow {
                 HierarchyEvent::L2Writeback { .. } => {}
             }
         }
+        self.core.return_event_scratch(events);
         stall
     }
 }

@@ -18,8 +18,13 @@ pub struct IdealSystem {
 impl IdealSystem {
     /// Creates the ideal system.
     pub fn new(cfg: &SimConfig) -> Self {
+        Self::new_shared(std::sync::Arc::new(cfg.clone()))
+    }
+
+    /// Creates the ideal system over a shared configuration handle.
+    pub fn new_shared(cfg: std::sync::Arc<SimConfig>) -> Self {
         Self {
-            core: BaselineCore::new(cfg),
+            core: BaselineCore::new_shared(cfg),
         }
     }
 }

@@ -58,12 +58,26 @@ impl Picl {
         Self::with_walker(cfg, level, true)
     }
 
+    /// Creates PiCL over a shared configuration handle.
+    pub fn new_shared(cfg: std::sync::Arc<SimConfig>, level: PiclLevel) -> Self {
+        Self::with_walker_shared(cfg, level, true)
+    }
+
     /// Creates PiCL with the tag walker optionally disabled (the Fig 15b
     /// ablation — without its walker PiCL can only persist data through
     /// natural evictions).
     pub fn with_walker(cfg: &SimConfig, level: PiclLevel, walker_enabled: bool) -> Self {
+        Self::with_walker_shared(std::sync::Arc::new(cfg.clone()), level, walker_enabled)
+    }
+
+    /// [`Picl::with_walker`] over a shared configuration handle.
+    pub fn with_walker_shared(
+        cfg: std::sync::Arc<SimConfig>,
+        level: PiclLevel,
+        walker_enabled: bool,
+    ) -> Self {
         Self {
-            core: BaselineCore::new(cfg),
+            core: BaselineCore::new_shared(cfg),
             level,
             walker_enabled,
             logged_resident: FastHashSet::default(),
@@ -196,8 +210,8 @@ impl Picl {
 
     fn handle_events(&mut self, now: Cycle) -> Cycle {
         let mut stall = 0;
-        let events: Vec<HierarchyEvent> = self.core.hier.events().to_vec();
-        for e in events {
+        let events = self.core.take_event_scratch();
+        for e in events.iter().copied() {
             match e {
                 HierarchyEvent::StoreCommitted {
                     line,
@@ -249,6 +263,7 @@ impl Picl {
                 }
             }
         }
+        self.core.return_event_scratch(events);
         stall
     }
 }

@@ -38,8 +38,13 @@ pub struct SwUndoLogging {
 impl SwUndoLogging {
     /// Creates the scheme.
     pub fn new(cfg: &SimConfig) -> Self {
+        Self::new_shared(std::sync::Arc::new(cfg.clone()))
+    }
+
+    /// Creates the scheme over a shared configuration handle.
+    pub fn new_shared(cfg: std::sync::Arc<SimConfig>) -> Self {
         Self {
-            core: BaselineCore::new(cfg),
+            core: BaselineCore::new_shared(cfg),
             write_set: Vec::new(),
             in_set: FastHashMap::default(),
             undo_log: Vec::new(),
@@ -120,8 +125,8 @@ impl SwUndoLogging {
 
     fn handle_events(&mut self, now: Cycle) -> Cycle {
         let mut stall = 0;
-        let events: Vec<HierarchyEvent> = self.core.hier.events().to_vec();
-        for e in events {
+        let events = self.core.take_event_scratch();
+        for e in events.iter().copied() {
             match e {
                 HierarchyEvent::StoreCommitted {
                     line,
@@ -164,6 +169,7 @@ impl SwUndoLogging {
                 HierarchyEvent::L2Writeback { .. } | HierarchyEvent::LlcWriteback { .. } => {}
             }
         }
+        self.core.return_event_scratch(events);
         stall
     }
 }

@@ -23,16 +23,18 @@ fn main() {
         "cores", "ideal cyc", "PiCL", "PiCL-L2", "NVOverlay"
     );
     let core_counts = [8u16, 16, 32, 64];
-    let configs: Vec<SimConfig> = core_counts
+    let configs: Vec<Arc<SimConfig>> = core_counts
         .iter()
         .map(|&cores| {
-            SimConfig::builder()
-                .cores(cores, 2)
-                // LLC grows with the socket count, as real systems do.
-                .llc(2 * 1024 * 1024 * cores as u64, 16, 30, (cores / 4).max(1))
-                .epoch_size_stores(scale.sim_config().epoch_size_stores)
-                .build()
-                .expect("valid scaled config")
+            Arc::new(
+                SimConfig::builder()
+                    .cores(cores, 2)
+                    // LLC grows with the socket count, as real systems do.
+                    .llc(2 * 1024 * 1024 * cores as u64, 16, 30, (cores / 4).max(1))
+                    .epoch_size_stores(scale.sim_config().epoch_size_stores)
+                    .build()
+                    .expect("valid scaled config"),
+            )
         })
         .collect();
     // One trace per core count (generated in parallel, shared across the
@@ -45,7 +47,7 @@ fn main() {
             ops: base.ops * cores as u64 / 16,
             ..base.clone()
         };
-        Arc::new(generate(Workload::Ssca2, &params))
+        Arc::new(generate(Workload::Ssca2, &params).to_packed())
     });
     let schemes = [
         Scheme::Ideal,

@@ -13,9 +13,9 @@ use nvworkloads::{generate, Workload};
 
 fn main() {
     let scale = EnvScale::from_env();
-    let cfg = scale.sim_config();
+    let cfg = std::sync::Arc::new(scale.sim_config());
     let params = scale.suite_params();
-    let trace = generate(Workload::HashTable, &params);
+    let trace = generate(Workload::HashTable, &params).to_packed();
 
     println!("Ablation: OMC count scaling (Hash Table)");
     println!(

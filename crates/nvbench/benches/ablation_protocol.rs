@@ -34,18 +34,18 @@ fn main() {
     // Per workload: 2 protocols × 3 runs (ideal, PiCL, NVOverlay) = 6
     // cells, all sharing the workload's trace.
     let schemes = [Scheme::Ideal, Scheme::Picl, Scheme::NvOverlay];
+    let cfgs: Vec<std::sync::Arc<SimConfig>> = [Protocol::Mesi, Protocol::Moesi]
+        .into_iter()
+        .map(|proto| {
+            std::sync::Arc::new(SimConfig {
+                protocol: proto,
+                ..scale.sim_config()
+            })
+        })
+        .collect();
     let cells = run_ordered(workloads.len() * 6, jobs, |i| {
         let (wi, rest) = (i / 6, i % 6);
-        let proto = if rest / 3 == 0 {
-            Protocol::Mesi
-        } else {
-            Protocol::Moesi
-        };
-        let cfg = SimConfig {
-            protocol: proto,
-            ..scale.sim_config()
-        };
-        run_scheme(schemes[rest % 3], &cfg, &traces[wi])
+        run_scheme(schemes[rest % 3], &cfgs[rest / 3], &traces[wi])
     });
 
     for (wi, w) in workloads.iter().enumerate() {

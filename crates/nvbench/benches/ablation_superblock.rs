@@ -15,7 +15,7 @@ fn main() {
     let scale = EnvScale::from_env();
     let base_cfg = scale.sim_config();
     let params = scale.suite_params();
-    let trace = generate(Workload::BTree, &params);
+    let trace = generate(Workload::BTree, &params).to_packed();
 
     println!("Ablation: DRAM OID super-block granularity (B+Tree)");
     println!(
@@ -23,12 +23,17 @@ fn main() {
         "lines per tag", "cycles", "NVM bytes", "epochs", "DRAM tags"
     );
     let granularities = [1u32, 4, 16, 64];
+    let cfgs: Vec<std::sync::Arc<SimConfig>> = granularities
+        .iter()
+        .map(|&g| {
+            std::sync::Arc::new(SimConfig {
+                dram_oid_superblock_lines: g,
+                ..base_cfg.clone()
+            })
+        })
+        .collect();
     let runs = run_ordered(granularities.len(), default_jobs(), |i| {
-        let cfg = SimConfig {
-            dram_oid_superblock_lines: granularities[i],
-            ..base_cfg.clone()
-        };
-        run_nvoverlay(&cfg, NvOverlayOptions::default(), &trace)
+        run_nvoverlay(&cfgs[i], NvOverlayOptions::default(), &trace)
     });
     for (sb, (r, d)) in granularities.iter().zip(runs) {
         println!(

@@ -13,7 +13,7 @@ use nvworkloads::Workload;
 
 fn main() {
     let scale = EnvScale::from_env();
-    let cfg = scale.sim_config();
+    let cfg = std::sync::Arc::new(scale.sim_config());
     let params = scale.suite_params();
     let jobs = default_jobs();
 

@@ -15,7 +15,7 @@ use nvworkloads::{generate, Workload};
 
 fn main() {
     let scale = EnvScale::from_env();
-    let cfg = scale.sim_config();
+    let cfg = std::sync::Arc::new(scale.sim_config());
     // Fig 13 measures how densely the write working set populates the
     // mapping tree once the run has covered its structures. The paper's
     // 1.6 B-instruction runs write their structures nearly completely; we
@@ -35,7 +35,7 @@ fn main() {
     // One NVOverlay run per workload; each task generates its own trace
     // (used exactly once, so there is nothing to share).
     let details = run_ordered(Workload::ALL.len(), default_jobs(), |i| {
-        let trace = generate(Workload::ALL[i], &params);
+        let trace = generate(Workload::ALL[i], &params).to_packed();
         run_nvoverlay(&cfg, NvOverlayOptions::default(), &trace).1
     });
     for (w, d) in Workload::ALL.iter().zip(details) {

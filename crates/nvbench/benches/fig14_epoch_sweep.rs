@@ -16,14 +16,26 @@ use nvworkloads::{generate, Workload};
 
 fn main() {
     let scale = EnvScale::from_env();
-    let base_cfg = scale.sim_config();
+    let base_cfg = std::sync::Arc::new(scale.sim_config());
     let params = scale.suite_params();
     let jobs = default_jobs();
-    let trace = generate(Workload::Art, &params);
+    let trace = generate(Workload::Art, &params).to_packed();
 
     let base_epoch = base_cfg.epoch_size_stores;
     let sweep: Vec<u64> = [base_epoch / 2, base_epoch, base_epoch * 2, base_epoch * 4].into();
     let schemes = [Scheme::Picl, Scheme::PiclL2, Scheme::NvOverlay];
+
+    // One shared config per sweep point, built up front so the fan-out
+    // below only bumps `Arc` refcounts.
+    let sweep_cfgs: Vec<std::sync::Arc<SimConfig>> = sweep
+        .iter()
+        .map(|&e| {
+            std::sync::Arc::new(SimConfig {
+                epoch_size_stores: e,
+                ..(*base_cfg).clone()
+            })
+        })
+        .collect();
 
     // The full matrix in one parallel fan-out: the two normalization
     // runs (ideal, NVOverlay@base), then sweep × schemes — all over the
@@ -34,11 +46,7 @@ fn main() {
         1 => run_scheme(Scheme::NvOverlay, &base_cfg, &trace),
         _ => {
             let (si, ei) = ((i - 2) % cols, (i - 2) / cols);
-            let cfg = SimConfig {
-                epoch_size_stores: sweep[ei],
-                ..base_cfg.clone()
-            };
-            run_scheme(schemes[si], &cfg, &trace)
+            run_scheme(schemes[si], &sweep_cfgs[ei], &trace)
         }
     });
     let (ideal, nvo_base, runs) = (&all[0], &all[1], &all[2..]);

@@ -56,11 +56,12 @@ fn main() {
     // EXPERIMENTS.md).
     let mut cfg = scale.sim_config();
     cfg.epoch_size_stores *= 8;
+    let cfg = std::sync::Arc::new(cfg);
     let params = nvworkloads::SuiteParams {
         ops: scale.suite_params().ops * 2,
         ..scale.suite_params()
     };
-    let trace = generate(Workload::Art, &params);
+    let trace = generate(Workload::Art, &params).to_packed();
 
     // All six (walker × scheme) runs fan out over the shared ART trace;
     // index = walker-block * 3 + {PiCL, PiCL-L2, NVOverlay}.

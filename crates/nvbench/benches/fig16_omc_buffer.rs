@@ -27,10 +27,10 @@ fn main() {
         ..scale.suite_params()
     };
     // One epoch throughout: epoch budget far above the trace volume.
-    let cfg = SimConfig {
+    let cfg = std::sync::Arc::new(SimConfig {
         epoch_size_stores: u64::MAX / 2,
         ..base_cfg
-    };
+    });
 
     // ART as in the paper, plus kmeans whose iteration structure rewrites
     // the same lines many times within the single epoch (the

@@ -38,7 +38,7 @@ fn series_row(label: &str, series: &[u64], bucket_cycles: u64, total_cycles: u64
 
 fn main() {
     let scale = EnvScale::from_env();
-    let cfg = scale.sim_config();
+    let cfg = Arc::new(scale.sim_config());
     let params = scale.suite_params();
     let jobs = default_jobs();
     let freq = cfg.freq_ghz;
@@ -64,11 +64,14 @@ fn main() {
     // Generate both traces in parallel, then fan the 2×2 (trace × scheme)
     // matrix out over them.
     let traces = run_ordered(2, jobs, |i| {
-        Arc::new(if i == 0 {
-            generate(Workload::BTree, &params)
-        } else {
-            generate_btree_bursty(&params, &bursts)
-        })
+        Arc::new(
+            if i == 0 {
+                generate(Workload::BTree, &params)
+            } else {
+                generate_btree_bursty(&params, &bursts)
+            }
+            .to_packed(),
+        )
     });
     let schemes = [Scheme::Picl, Scheme::NvOverlay];
     let runs = run_ordered(4, jobs, |i| {

@@ -8,7 +8,7 @@
 //! nvo trace B+Tree --scheme NVOverlay [--scale quick] [--trace-out t.json] [--stats-out s.json]
 //! nvo snapshots --workload RBTree [--scale quick]
 //! nvo chaos B+Tree --scheme nvoverlay --sites 200 --seed 7 [--jobs N] [--out report.json]
-//! nvo perf [--jobs N] [--scale quick|standard|full] [--out BENCH_perf.json]
+//! nvo perf [--jobs N] [--scale quick|standard|full] [--out BENCH_perf.json] [--baseline <file>]
 //! ```
 //!
 //! `nvo trace` needs the `trace` cargo feature
@@ -17,7 +17,7 @@
 
 use nvbench::{
     chrome_trace_json, default_jobs, gen_traces, registry_json, run_matrix_stats, run_scheme_stats,
-    ChromeMeta, EnvScale, Scheme, Spans,
+    ChromeMeta, EnvScale, ExpResult, Scheme, Spans,
 };
 use nvoverlay::system::NvOverlaySystem;
 use nvsim::memsys::Runner;
@@ -26,10 +26,12 @@ use nvsim::trace::Trace;
 use nvworkloads::{generate, Workload};
 use std::collections::HashMap;
 use std::process::exit;
+use std::sync::Arc;
+use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  nvo list\n  nvo run --workload <name> --scheme <name> [--scale quick|standard|full] [--json] [--stats-out <file>]\n  nvo run --trace <file.nvtr> --scheme <name>\n  nvo trace-gen --workload <name> --out <file.nvtr> [--scale ...]\n  nvo trace <workload> --scheme <name> [--scale ...] [--trace-out <file>] [--stats-out <file>] [--buffer-cap N] [--sample N]\n  nvo snapshots --workload <name> [--scale ...]\n  nvo diff --workload <name> --from <epoch> --to <epoch> [--scale ...]\n  nvo chaos <workload> --scheme nvoverlay|sw-undo [--sites N] [--seed S] [--scale ...] [--jobs N] [--torn-p P] [--flip-p P] [--stress-backpressure] [--broken-recovery] [--out <file>] [--json]\n  nvo perf [--jobs N] [--scale ...] [--out BENCH_perf.json]"
+        "usage:\n  nvo list\n  nvo run --workload <name> --scheme <name> [--scale quick|standard|full] [--json] [--stats-out <file>]\n  nvo run --trace <file.nvtr> --scheme <name>\n  nvo trace-gen --workload <name> --out <file.nvtr> [--scale ...]\n  nvo trace <workload> --scheme <name> [--scale ...] [--trace-out <file>] [--stats-out <file>] [--buffer-cap N] [--sample N]\n  nvo snapshots --workload <name> [--scale ...]\n  nvo diff --workload <name> --from <epoch> --to <epoch> [--scale ...]\n  nvo chaos <workload> --scheme nvoverlay|sw-undo [--sites N] [--seed S] [--scale ...] [--jobs N] [--torn-p P] [--flip-p P] [--stress-backpressure] [--broken-recovery] [--out <file>] [--json]\n  nvo perf [--jobs N] [--scale ...] [--out BENCH_perf.json] [--baseline <file>]"
     );
     exit(2)
 }
@@ -114,8 +116,8 @@ fn cmd_run(flags: HashMap<String, String>) {
         eprintln!("unknown scheme {sname:?} (see `nvo list`)");
         exit(2);
     };
-    let cfg = scale.sim_config();
-    let (r, _stats, reg) = run_scheme_stats(scheme, &cfg, &trace);
+    let cfg = Arc::new(scale.sim_config());
+    let (r, _stats, reg) = run_scheme_stats(scheme, &cfg, &trace.to_packed());
     if let Some(path) = flags.get("stats-out") {
         let wname = flags.get("workload").map(String::as_str).unwrap_or("-");
         let json = registry_json(&reg, &[("scheme", scheme.name()), ("workload", wname)]);
@@ -225,9 +227,9 @@ fn cmd_trace(flags: HashMap<String, String>) {
             }
         }
     }
-    let cfg = scale.sim_config();
+    let cfg = Arc::new(scale.sim_config());
     nvsim::nvtrace::install(tcfg);
-    let (res, _stats, reg) = run_scheme_stats(scheme, &cfg, &trace);
+    let (res, _stats, reg) = run_scheme_stats(scheme, &cfg, &trace.to_packed());
     let log = nvsim::nvtrace::take().expect("tracer was installed");
 
     let wname = flags.get("workload").map(String::as_str).unwrap_or("-");
@@ -465,9 +467,38 @@ fn jobs_of(flags: &HashMap<String, String>) -> usize {
     }
 }
 
+/// Extracts the `"throughput_maccess_s"` object from a perf-report JSON
+/// (the exact format `nvo perf` writes) as scheme-name → value pairs.
+fn parse_throughput_baseline(json: &str) -> HashMap<String, f64> {
+    let mut out = HashMap::new();
+    let Some(start) = json.find("\"throughput_maccess_s\"") else {
+        return out;
+    };
+    let Some(open) = json[start..].find('{') else {
+        return out;
+    };
+    let rest = &json[start + open + 1..];
+    let Some(close) = rest.find('}') else {
+        return out;
+    };
+    for pair in rest[..close].split(',') {
+        let mut it = pair.splitn(2, ':');
+        let (Some(k), Some(v)) = (it.next(), it.next()) else {
+            continue;
+        };
+        if let Ok(n) = v.trim().parse::<f64>() {
+            out.insert(k.trim().trim_matches('"').to_string(), n);
+        }
+    }
+    out
+}
+
 /// `nvo perf` — times the parallel experiment engine against the serial
-/// driver on a fixed 6-scheme × 4-workload matrix and writes
-/// `BENCH_perf.json` with the per-phase breakdown.
+/// driver on a fixed 6-scheme × 4-workload matrix, reports per-scheme
+/// serial replay throughput (Maccesses/s), and writes `BENCH_perf.json`
+/// with the per-phase breakdown. `--baseline <file>` gates the run
+/// against a checked-in report: any scheme dropping more than 20% below
+/// its baseline throughput fails the command.
 fn cmd_perf(flags: HashMap<String, String>) {
     let scale = scale_of(&flags);
     let jobs = jobs_of(&flags);
@@ -475,7 +506,7 @@ fn cmd_perf(flags: HashMap<String, String>) {
         .get("out")
         .cloned()
         .unwrap_or_else(|| "BENCH_perf.json".to_string());
-    let cfg = scale.sim_config();
+    let cfg = Arc::new(scale.sim_config());
     let params = scale.suite_params();
     let workloads = [
         Workload::HashTable,
@@ -493,17 +524,39 @@ fn cmd_perf(flags: HashMap<String, String>) {
 
     // Phase timings for both drivers: trace generation, replay, stats.
     let mut timing = [Spans::new(), Spans::new()]; // [serial, parallel]
-    let mut results = Vec::new();
-    for (di, jobs_now) in [1usize, jobs].into_iter().enumerate() {
-        let spans = &mut timing[di];
-        let traces = spans.time("trace_gen", || gen_traces(&workloads, &params, jobs_now));
-        let rows = spans.time("replay", || {
-            run_matrix_stats(&schemes, &cfg, &traces, jobs_now)
-        });
-        // Stats phase: merge every run's stats block into one aggregate
-        // (the same `SystemStats::merge` the figure drivers use) and
-        // derive the summary scalars from it.
-        let (cycles, merged) = spans.time("stats", || {
+
+    // Serial pass, timed per scheme: each scheme replays every workload
+    // on the calling thread, which yields the per-scheme throughput
+    // table on top of the aggregate phase timing.
+    let mut scheme_secs = vec![0.0f64; schemes.len()];
+    let serial_traces = timing[0].time("trace_gen", || gen_traces(&workloads, &params, 1));
+    let total_accesses: u64 = serial_traces.iter().map(|t| t.access_count()).sum();
+    let serial_rows: Vec<Vec<(ExpResult, SystemStats)>> = timing[0].time("replay", || {
+        let mut rows: Vec<Vec<(ExpResult, SystemStats)>> = (0..serial_traces.len())
+            .map(|_| Vec::with_capacity(schemes.len()))
+            .collect();
+        for (ti, trace) in serial_traces.iter().enumerate() {
+            for (si, s) in schemes.iter().enumerate() {
+                let t0 = Instant::now();
+                let (res, stats, _) = run_scheme_stats(*s, &cfg, trace);
+                scheme_secs[si] += t0.elapsed().as_secs_f64();
+                rows[ti].push((res, stats));
+            }
+        }
+        rows
+    });
+
+    // Parallel pass through the matrix engine.
+    let par_traces = timing[1].time("trace_gen", || gen_traces(&workloads, &params, jobs));
+    let par_rows = timing[1].time("replay", || {
+        run_matrix_stats(&schemes, &cfg, &par_traces, jobs)
+    });
+
+    // Stats phase for both: merge every run's stats block into one
+    // aggregate (the same `SystemStats::merge` the figure drivers use)
+    // and derive the summary scalars from it.
+    for (di, rows) in [&serial_rows, &par_rows].into_iter().enumerate() {
+        let (cycles, merged) = timing[di].time("stats", || {
             let mut merged = SystemStats::default();
             let mut cycles = 0u64;
             for (r, s) in rows.iter().flat_map(|row| row.iter()) {
@@ -516,15 +569,26 @@ fn cmd_perf(flags: HashMap<String, String>) {
         println!(
             "  {}: trace-gen {:.3}s, replay {:.3}s, stats {:.3}s, total {:.3}s (sum cycles {cycles}, sum NVM bytes {bytes})",
             if di == 0 { "serial  " } else { "parallel" },
-            spans.secs("trace_gen"),
-            spans.secs("replay"),
-            spans.secs("stats"),
-            spans.total_secs(),
+            timing[di].secs("trace_gen"),
+            timing[di].secs("replay"),
+            timing[di].secs("stats"),
+            timing[di].total_secs(),
         );
-        results.push(rows);
     }
 
-    let identical = results[0] == results[1];
+    // Per-scheme replay throughput over the serial pass: every scheme
+    // replays the same `total_accesses` events, so Maccesses/s is
+    // directly comparable across schemes and across commits.
+    let maccess: Vec<f64> = scheme_secs
+        .iter()
+        .map(|s| total_accesses as f64 / 1e6 / s.max(1e-9))
+        .collect();
+    println!("  replay throughput, serial ({total_accesses} accesses per scheme):");
+    for (si, s) in schemes.iter().enumerate() {
+        println!("    {:<12} {:>8.2} Maccess/s", s.name(), maccess[si]);
+    }
+
+    let identical = serial_rows == par_rows;
     let totals = [timing[0].total_secs(), timing[1].total_secs()];
     let speedup = totals[0] / totals[1].max(1e-9);
     // A 1-CPU host (or a single-job invocation) cannot show a parallel
@@ -544,13 +608,20 @@ fn cmd_perf(flags: HashMap<String, String>) {
         }
     );
 
+    let throughput_json = schemes
+        .iter()
+        .enumerate()
+        .map(|(si, s)| format!("\"{}\": {:.4}", s.name(), maccess[si]))
+        .collect::<Vec<_>>()
+        .join(", ");
     let json = format!(
-        "{{\n  \"matrix\": {{\"schemes\": {}, \"workloads\": {}, \"scale\": \"{:?}\"}},\n  \"host_parallelism\": {},\n  \"jobs\": {},\n  \"serial\": {{\"trace_gen_s\": {:.6}, \"replay_s\": {:.6}, \"stats_s\": {:.6}, \"total_s\": {:.6}}},\n  \"parallel\": {{\"trace_gen_s\": {:.6}, \"replay_s\": {:.6}, \"stats_s\": {:.6}, \"total_s\": {:.6}}},\n  \"speedup\": {:.4},\n  \"speedup_meaningful\": {},\n  \"outputs_identical\": {}\n}}\n",
+        "{{\n  \"matrix\": {{\"schemes\": {}, \"workloads\": {}, \"scale\": \"{:?}\"}},\n  \"host_parallelism\": {},\n  \"jobs\": {},\n  \"accesses_per_scheme\": {},\n  \"serial\": {{\"trace_gen_s\": {:.6}, \"replay_s\": {:.6}, \"stats_s\": {:.6}, \"total_s\": {:.6}}},\n  \"parallel\": {{\"trace_gen_s\": {:.6}, \"replay_s\": {:.6}, \"stats_s\": {:.6}, \"total_s\": {:.6}}},\n  \"throughput_maccess_s\": {{{}}},\n  \"speedup\": {:.4},\n  \"speedup_meaningful\": {},\n  \"outputs_identical\": {}\n}}\n",
         schemes.len(),
         workloads.len(),
         scale,
         default_host(),
         jobs,
+        total_accesses,
         timing[0].secs("trace_gen"),
         timing[0].secs("replay"),
         timing[0].secs("stats"),
@@ -559,6 +630,7 @@ fn cmd_perf(flags: HashMap<String, String>) {
         timing[1].secs("replay"),
         timing[1].secs("stats"),
         totals[1],
+        throughput_json,
         speedup,
         meaningful,
         identical,
@@ -568,11 +640,45 @@ fn cmd_perf(flags: HashMap<String, String>) {
         exit(1);
     });
     println!("  wrote {out_path}");
+
+    // Throughput regression gate against a checked-in baseline report.
+    let mut regressed = false;
+    if let Some(path) = flags.get("baseline") {
+        let txt = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read baseline {path}: {e}");
+            exit(1);
+        });
+        let base = parse_throughput_baseline(&txt);
+        if base.is_empty() {
+            eprintln!("baseline {path} has no throughput_maccess_s table");
+            exit(1);
+        }
+        for (si, s) in schemes.iter().enumerate() {
+            if let Some(&b) = base.get(s.name()) {
+                let floor = b * 0.8;
+                if maccess[si] < floor {
+                    eprintln!(
+                        "REGRESSION: {} replay throughput {:.2} Maccess/s is >20% below baseline {:.2}",
+                        s.name(),
+                        maccess[si],
+                        b
+                    );
+                    regressed = true;
+                }
+            }
+        }
+        if !regressed {
+            println!("  baseline gate: all schemes within 20% of {path}");
+        }
+    }
     if !identical {
         exit(1);
     }
     if meaningful && speedup < 1.0 {
         eprintln!("parallel driver slower than serial on a multi-core host");
+        exit(1);
+    }
+    if regressed {
         exit(1);
     }
 }

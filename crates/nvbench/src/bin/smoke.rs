@@ -4,14 +4,16 @@ use nvsim::SimConfig;
 use nvworkloads::{generate, SuiteParams, Workload};
 
 fn main() {
-    let cfg = SimConfig::builder()
-        .cores(16, 2)
-        .l1(8 * 1024, 4, 4)
-        .l2(64 * 1024, 8, 8)
-        .llc(2 * 1024 * 1024, 8, 30, 4)
-        .epoch_size_stores(2_000)
-        .build()
-        .unwrap();
+    let cfg = std::sync::Arc::new(
+        SimConfig::builder()
+            .cores(16, 2)
+            .l1(8 * 1024, 4, 4)
+            .l2(64 * 1024, 8, 8)
+            .llc(2 * 1024 * 1024, 8, 30, 4)
+            .epoch_size_stores(2_000)
+            .build()
+            .unwrap(),
+    );
     let p = SuiteParams {
         threads: 16,
         ops: 3_000,
@@ -19,13 +21,14 @@ fn main() {
         seed: 2,
     };
     for w in [Workload::BTree, Workload::Kmeans] {
-        let trace = generate(w, &p);
+        let full = generate(w, &p);
         println!(
             "== {w}: {} accesses, {} stores, {} wlines",
-            trace.access_count(),
-            trace.store_count(),
-            trace.write_footprint()
+            full.access_count(),
+            full.store_count(),
+            full.write_footprint()
         );
+        let trace = full.to_packed();
         for s in [
             Scheme::Ideal,
             Scheme::SwLogging,

@@ -9,10 +9,12 @@
 use nvbaselines::{HwShadow, IdealSystem, Picl, PiclLevel, SwShadow, SwUndoLogging};
 use nvoverlay::system::{NvOverlayOptions, NvOverlaySystem};
 use nvsim::memsys::{MemorySystem, Runner};
+use nvsim::metrics::Registry;
 use nvsim::stats::{EvictReason, NvmWriteKind, SystemStats};
-use nvsim::trace::Trace;
+use nvsim::trace::PackedTrace;
 use nvsim::SimConfig;
 use std::fmt;
+use std::sync::Arc;
 
 /// The schemes compared across the paper's figures.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -83,23 +85,27 @@ impl Scheme {
         }
     }
 
-    /// Instantiates the scheme's memory system.
-    pub fn build(&self, cfg: &SimConfig) -> Box<dyn MemorySystem> {
+    /// Instantiates the scheme's memory system. The configuration handle
+    /// is shared (`Arc` bump), not cloned, so matrix sweeps hand every
+    /// cell the same immutable config.
+    pub fn build(&self, cfg: &Arc<SimConfig>) -> Box<dyn MemorySystem> {
         match self {
-            Scheme::Ideal => Box::new(IdealSystem::new(cfg)),
-            Scheme::SwLogging => Box::new(SwUndoLogging::new(cfg)),
-            Scheme::SwShadow => Box::new(SwShadow::new(cfg)),
-            Scheme::HwShadow => Box::new(HwShadow::new(cfg)),
-            Scheme::Picl => Box::new(Picl::new(cfg, PiclLevel::Llc)),
-            Scheme::PiclL2 => Box::new(Picl::new(cfg, PiclLevel::L2)),
-            Scheme::NvOverlay => Box::new(NvOverlaySystem::new(cfg)),
-            Scheme::NvOverlayBuffered => Box::new(NvOverlaySystem::with_omc_buffer(cfg)),
+            Scheme::Ideal => Box::new(IdealSystem::new_shared(Arc::clone(cfg))),
+            Scheme::SwLogging => Box::new(SwUndoLogging::new_shared(Arc::clone(cfg))),
+            Scheme::SwShadow => Box::new(SwShadow::new_shared(Arc::clone(cfg))),
+            Scheme::HwShadow => Box::new(HwShadow::new_shared(Arc::clone(cfg))),
+            Scheme::Picl => Box::new(Picl::new_shared(Arc::clone(cfg), PiclLevel::Llc)),
+            Scheme::PiclL2 => Box::new(Picl::new_shared(Arc::clone(cfg), PiclLevel::L2)),
+            Scheme::NvOverlay => Box::new(NvOverlaySystem::new_shared(Arc::clone(cfg))),
+            Scheme::NvOverlayBuffered => {
+                Box::new(NvOverlaySystem::with_omc_buffer_shared(Arc::clone(cfg)))
+            }
         }
     }
 
     /// Instantiates NVOverlay with explicit options (ablations).
-    pub fn build_nvoverlay(cfg: &SimConfig, opts: NvOverlayOptions) -> Box<dyn MemorySystem> {
-        Box::new(NvOverlaySystem::with_options(cfg, opts))
+    pub fn build_nvoverlay(cfg: &Arc<SimConfig>, opts: NvOverlayOptions) -> Box<dyn MemorySystem> {
+        Box::new(NvOverlaySystem::with_options_shared(Arc::clone(cfg), opts))
     }
 }
 
@@ -173,10 +179,17 @@ impl ExpResult {
 }
 
 /// Runs `trace` against `scheme` under `cfg` and collects the result.
-pub fn run_scheme(scheme: Scheme, cfg: &SimConfig, trace: &Trace) -> ExpResult {
-    let mut sys = scheme.build(cfg);
-    let report = Runner::new().run(sys.as_mut(), trace);
-    ExpResult::from_stats(sys.stats(), report.cycles, report.stall_cycles)
+pub fn run_scheme(scheme: Scheme, cfg: &Arc<SimConfig>, trace: &PackedTrace) -> ExpResult {
+    run_scheme_stats(scheme, cfg, trace).0
+}
+
+/// Drives one concrete system through the replay loop. Monomorphized per
+/// scheme type so the scheme's whole access path inlines into its loop —
+/// this is the hot part of every figure sweep; keep it free of `dyn`.
+fn drive<S: MemorySystem>(mut sys: S, trace: &PackedTrace) -> (ExpResult, SystemStats, Registry) {
+    let report = Runner::new().run_packed(&mut sys, trace);
+    let res = ExpResult::from_stats(sys.stats(), report.cycles, report.stall_cycles);
+    (res, sys.stats().clone(), sys.metrics())
 }
 
 /// Like [`run_scheme`], but also returns the scheme's full stats block
@@ -184,13 +197,22 @@ pub fn run_scheme(scheme: Scheme, cfg: &SimConfig, trace: &Trace) -> ExpResult {
 /// metrics registry (for the flat exporters).
 pub fn run_scheme_stats(
     scheme: Scheme,
-    cfg: &SimConfig,
-    trace: &Trace,
-) -> (ExpResult, SystemStats, nvsim::metrics::Registry) {
-    let mut sys = scheme.build(cfg);
-    let report = Runner::new().run(sys.as_mut(), trace);
-    let res = ExpResult::from_stats(sys.stats(), report.cycles, report.stall_cycles);
-    (res, sys.stats().clone(), sys.metrics())
+    cfg: &Arc<SimConfig>,
+    trace: &PackedTrace,
+) -> (ExpResult, SystemStats, Registry) {
+    match scheme {
+        Scheme::Ideal => drive(IdealSystem::new_shared(Arc::clone(cfg)), trace),
+        Scheme::SwLogging => drive(SwUndoLogging::new_shared(Arc::clone(cfg)), trace),
+        Scheme::SwShadow => drive(SwShadow::new_shared(Arc::clone(cfg)), trace),
+        Scheme::HwShadow => drive(HwShadow::new_shared(Arc::clone(cfg)), trace),
+        Scheme::Picl => drive(Picl::new_shared(Arc::clone(cfg), PiclLevel::Llc), trace),
+        Scheme::PiclL2 => drive(Picl::new_shared(Arc::clone(cfg), PiclLevel::L2), trace),
+        Scheme::NvOverlay => drive(NvOverlaySystem::new_shared(Arc::clone(cfg)), trace),
+        Scheme::NvOverlayBuffered => drive(
+            NvOverlaySystem::with_omc_buffer_shared(Arc::clone(cfg)),
+            trace,
+        ),
+    }
 }
 
 /// NVOverlay-specific measurements (Fig 13 / Fig 16).
@@ -213,12 +235,12 @@ pub struct NvoDetail {
 /// Runs NVOverlay with explicit options and returns both the common
 /// result and the backend detail.
 pub fn run_nvoverlay(
-    cfg: &SimConfig,
+    cfg: &Arc<SimConfig>,
     opts: NvOverlayOptions,
-    trace: &Trace,
+    trace: &PackedTrace,
 ) -> (ExpResult, NvoDetail) {
-    let mut sys = NvOverlaySystem::with_options(cfg, opts);
-    let report = Runner::new().run(&mut sys, trace);
+    let mut sys = NvOverlaySystem::with_options_shared(Arc::clone(cfg), opts);
+    let report = Runner::new().run_packed(&mut sys, trace);
     let res = ExpResult::from_stats(sys.stats(), report.cycles, report.stall_cycles);
     let detail = NvoDetail {
         master_bytes: sys.mnm().master_size_bytes(),
@@ -233,13 +255,13 @@ pub fn run_nvoverlay(
 
 /// Runs PiCL with its walker toggled (Fig 15 ablation).
 pub fn run_picl_walker(
-    cfg: &SimConfig,
+    cfg: &Arc<SimConfig>,
     level: PiclLevel,
     walker: bool,
-    trace: &Trace,
+    trace: &PackedTrace,
 ) -> ExpResult {
-    let mut sys = Picl::with_walker(cfg, level, walker);
-    let report = Runner::new().run(&mut sys, trace);
+    let mut sys = Picl::with_walker_shared(Arc::clone(cfg), level, walker);
+    let report = Runner::new().run_packed(&mut sys, trace);
     ExpResult::from_stats(sys.stats(), report.cycles, report.stall_cycles)
 }
 
@@ -324,14 +346,14 @@ mod tests {
 
     #[test]
     fn all_schemes_run_the_same_trace() {
-        let cfg = small_cfg();
+        let cfg = Arc::new(small_cfg());
         let p = SuiteParams {
             threads: 16,
             ops: 1_500,
             warmup_ops: 0,
             seed: 1,
         };
-        let trace = generate(Workload::HashTable, &p);
+        let trace = generate(Workload::HashTable, &p).to_packed();
         for s in [Scheme::Ideal, Scheme::NvOverlay, Scheme::Picl] {
             let r = run_scheme(s, &cfg, &trace);
             assert!(r.cycles > 0, "{s}");
@@ -343,14 +365,14 @@ mod tests {
         // The qualitative ordering of the paper must hold even at small
         // scale: SW schemes slowest; PiCL/NVOverlay near-ideal; PiCL
         // writes more bytes than NVOverlay; PiCL-L2 more than PiCL.
-        let cfg = small_cfg();
+        let cfg = Arc::new(small_cfg());
         let p = SuiteParams {
             threads: 16,
             ops: 3_000,
             warmup_ops: 30_000,
             seed: 2,
         };
-        let trace = generate(Workload::BTree, &p);
+        let trace = generate(Workload::BTree, &p).to_packed();
         let ideal = run_scheme(Scheme::Ideal, &cfg, &trace);
         let swl = run_scheme(Scheme::SwLogging, &cfg, &trace);
         let nvo = run_scheme(Scheme::NvOverlay, &cfg, &trace);

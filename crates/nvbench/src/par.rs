@@ -16,13 +16,14 @@
 //! parallel engine against that path.
 //!
 //! Traces are the expensive shared input: [`gen_traces`] generates each
-//! workload trace once (itself in parallel) and hands out `Arc<Trace>`
-//! clones, so an N-scheme sweep does not regenerate the workload N
+//! workload trace once (itself in parallel), packs it into the flat
+//! replay encoding, and hands out `Arc<PackedTrace>` clones, so an
+//! N-scheme sweep neither regenerates nor re-packs the workload N
 //! times.
 
 use crate::exp::{run_scheme, run_scheme_stats, ExpResult, Scheme};
 use nvsim::stats::SystemStats;
-use nvsim::trace::Trace;
+use nvsim::trace::PackedTrace;
 use nvsim::SimConfig;
 use nvworkloads::{generate, SuiteParams, Workload};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -85,11 +86,15 @@ where
         .collect()
 }
 
-/// Generates one trace per workload (in parallel) and shares each via
-/// `Arc`, in the order given.
-pub fn gen_traces(workloads: &[Workload], params: &SuiteParams, jobs: usize) -> Vec<Arc<Trace>> {
+/// Generates one trace per workload (in parallel), packs it, and shares
+/// each via `Arc`, in the order given.
+pub fn gen_traces(
+    workloads: &[Workload],
+    params: &SuiteParams,
+    jobs: usize,
+) -> Vec<Arc<PackedTrace>> {
     run_ordered(workloads.len(), jobs, |i| {
-        Arc::new(generate(workloads[i], params))
+        Arc::new(generate(workloads[i], params).to_packed())
     })
 }
 
@@ -98,8 +103,8 @@ pub fn gen_traces(workloads: &[Workload], params: &SuiteParams, jobs: usize) -> 
 /// the same nesting as the serial double loop.
 pub fn run_matrix(
     schemes: &[Scheme],
-    cfg: &SimConfig,
-    traces: &[Arc<Trace>],
+    cfg: &Arc<SimConfig>,
+    traces: &[Arc<PackedTrace>],
     jobs: usize,
 ) -> Vec<Vec<ExpResult>> {
     let cols = schemes.len();
@@ -119,8 +124,8 @@ pub fn run_matrix(
 /// of re-deriving scalars. Same ordering guarantee as [`run_matrix`].
 pub fn run_matrix_stats(
     schemes: &[Scheme],
-    cfg: &SimConfig,
-    traces: &[Arc<Trace>],
+    cfg: &Arc<SimConfig>,
+    traces: &[Arc<PackedTrace>],
     jobs: usize,
 ) -> Vec<Vec<(ExpResult, SystemStats)>> {
     let cols = schemes.len();

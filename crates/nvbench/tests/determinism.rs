@@ -28,7 +28,7 @@ fn small_params() -> SuiteParams {
 
 #[test]
 fn parallel_matrix_equals_serial_loop() {
-    let cfg = small_cfg();
+    let cfg = std::sync::Arc::new(small_cfg());
     let params = small_params();
     let workloads = [Workload::HashTable, Workload::BTree, Workload::Kmeans];
     let schemes = [
@@ -41,7 +41,7 @@ fn parallel_matrix_equals_serial_loop() {
     // Ground truth: the plain serial double loop, traces generated inline.
     let mut expect: Vec<Vec<ExpResult>> = Vec::new();
     for w in workloads {
-        let trace = nvworkloads::generate(w, &params);
+        let trace = nvworkloads::generate(w, &params).to_packed();
         expect.push(
             schemes
                 .iter()
@@ -61,10 +61,10 @@ fn parallel_matrix_equals_serial_loop() {
 
 #[test]
 fn trace_sharing_is_observationally_pure() {
-    // Running the same Arc<Trace> through a scheme twice (as parallel
-    // sweeps do) must give the same result both times — replay takes the
-    // trace immutably.
-    let cfg = small_cfg();
+    // Running the same Arc<PackedTrace> through a scheme twice (as
+    // parallel sweeps do) must give the same result both times — replay
+    // takes the trace immutably.
+    let cfg = std::sync::Arc::new(small_cfg());
     let traces = gen_traces(&[Workload::Art], &small_params(), 2);
     let a = run_scheme(Scheme::NvOverlay, &cfg, &traces[0]);
     let b = run_scheme(Scheme::NvOverlay, &cfg, &traces[0]);

@@ -6,12 +6,12 @@ use nvbench::{gen_traces, run_matrix_stats, run_scheme_stats, EnvScale, Scheme};
 use nvsim::stats::SystemStats;
 use nvworkloads::Workload;
 
-fn quick_cfg() -> nvsim::SimConfig {
-    EnvScale::Quick.sim_config()
+fn quick_cfg() -> std::sync::Arc<nvsim::SimConfig> {
+    std::sync::Arc::new(EnvScale::Quick.sim_config())
 }
 
-fn quick_trace(w: Workload) -> nvsim::trace::Trace {
-    nvworkloads::generate(w, &EnvScale::Quick.suite_params())
+fn quick_trace(w: Workload) -> nvsim::trace::PackedTrace {
+    nvworkloads::generate(w, &EnvScale::Quick.suite_params()).to_packed()
 }
 
 #[test]

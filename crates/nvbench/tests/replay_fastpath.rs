@@ -1,0 +1,82 @@
+//! Differential test: the replay fast path must be *statistically
+//! invisible*. For every figure scheme × workload pair, a run with
+//! `replay_fast_path` disabled (the reference access path) and one with
+//! it enabled must produce identical `ExpResult`s, byte-identical
+//! `SystemStats`, and byte-identical metrics-tree dumps — and, when the
+//! `trace` feature is on, the same structured-event counts.
+
+use nvbench::{default_jobs, gen_traces, run_ordered, run_scheme_stats, EnvScale, Scheme};
+use nvsim::SimConfig;
+use nvworkloads::Workload;
+use std::sync::Arc;
+
+const WORKLOADS: [Workload; 4] = [
+    Workload::HashTable,
+    Workload::BTree,
+    Workload::Art,
+    Workload::Kmeans,
+];
+
+fn cfg_pair() -> (Arc<SimConfig>, Arc<SimConfig>) {
+    let base = EnvScale::Quick.sim_config();
+    debug_assert!(base.replay_fast_path, "fast path is the default");
+    let slow = SimConfig {
+        replay_fast_path: false,
+        ..base.clone()
+    };
+    (Arc::new(base), Arc::new(slow))
+}
+
+#[test]
+fn fast_path_is_statistically_invisible() {
+    let (fast_cfg, slow_cfg) = cfg_pair();
+    let params = EnvScale::Quick.suite_params();
+    let jobs = default_jobs();
+    let traces = gen_traces(&WORKLOADS, &params, jobs);
+    let schemes = Scheme::FIGURE;
+
+    // Each (scheme, workload) cell runs both configurations and
+    // compares them; the cells fan out over the worker pool.
+    let cols = schemes.len();
+    run_ordered(WORKLOADS.len() * cols, jobs, |i| {
+        let (s, t) = (schemes[i % cols], &traces[i / cols]);
+        let w = WORKLOADS[i / cols];
+        let (r_fast, stats_fast, reg_fast) = run_scheme_stats(s, &fast_cfg, t);
+        let (r_slow, stats_slow, reg_slow) = run_scheme_stats(s, &slow_cfg, t);
+        assert_eq!(r_fast, r_slow, "{s} on {w}: ExpResult diverged");
+        assert_eq!(stats_fast, stats_slow, "{s} on {w}: SystemStats diverged");
+        assert_eq!(
+            reg_fast.dump_tree(),
+            reg_slow.dump_tree(),
+            "{s} on {w}: metrics tree diverged"
+        );
+    });
+}
+
+#[cfg(feature = "trace")]
+#[test]
+fn fast_path_emits_identical_event_streams() {
+    use nvsim::nvtrace::{self, EventKind, TraceConfig};
+
+    // The tracer is thread-local, so both runs happen on this thread.
+    let (fast_cfg, slow_cfg) = cfg_pair();
+    let params = EnvScale::Quick.suite_params();
+    let trace = nvworkloads::generate(Workload::BTree, &params).to_packed();
+    for s in [Scheme::NvOverlay, Scheme::SwLogging, Scheme::Picl] {
+        nvtrace::install(TraceConfig::default());
+        let _ = run_scheme_stats(s, &slow_cfg, &trace);
+        let slow_log = nvtrace::take().expect("tracer installed");
+        nvtrace::install(TraceConfig::default());
+        let _ = run_scheme_stats(s, &fast_cfg, &trace);
+        let fast_log = nvtrace::take().expect("tracer installed");
+        for kind in EventKind::ALL {
+            assert_eq!(
+                slow_log.count(kind),
+                fast_log.count(kind),
+                "{s}: event count for {} diverged",
+                kind.name()
+            );
+        }
+        assert_eq!(slow_log.accepted, fast_log.accepted, "{s}: accepted total");
+    }
+}

@@ -51,6 +51,7 @@ use nvsim::memsys::MemOp;
 use nvsim::mesi::{MesiState, Permission};
 use nvsim::noc::{MsgKind, Noc};
 use nvsim::stats::{AccessCounters, EvictReason};
+use std::sync::Arc;
 
 /// CST-specific tuning knobs on top of [`SimConfig`].
 #[derive(Clone, Debug)]
@@ -171,7 +172,7 @@ struct FetchResult {
 
 /// The CST versioned hierarchy.
 pub struct VersionedHierarchy {
-    cfg: SimConfig,
+    cfg: Arc<SimConfig>,
     cst: CstConfig,
     l1s: Vec<CacheArray<VLine>>,
     l2s: Vec<CacheArray<VLine>>,
@@ -192,13 +193,20 @@ impl VersionedHierarchy {
     /// # Panics
     /// Panics if `cfg` does not validate.
     pub fn new(cfg: &SimConfig, cst: CstConfig) -> Self {
+        Self::new_shared(Arc::new(cfg.clone()), cst)
+    }
+
+    /// Builds the hierarchy sharing an already-wrapped configuration.
+    ///
+    /// # Panics
+    /// Panics if `cfg` does not validate.
+    pub fn new_shared(cfg: Arc<SimConfig>, cst: CstConfig) -> Self {
         cfg.validate().expect("invalid SimConfig");
         let vds = cfg.vd_count() as usize;
         let slices = cfg.llc_slices as u64;
         let slice_sets = cfg.llc_slice_bytes() / (nvsim::addr::LINE_BYTES * cfg.llc.ways as u64);
         let initial = cst.initial_epoch.max(1);
         Self {
-            cfg: cfg.clone(),
             cst,
             l1s: (0..cfg.cores as usize)
                 .map(|_| CacheArray::from_params(&cfg.l1))
@@ -215,11 +223,17 @@ impl VersionedHierarchy {
             counters: AccessCounters::default(),
             events: Vec::new(),
             wrap_flushes: 0,
+            cfg,
         }
     }
 
     /// The simulator configuration in force.
     pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// The shared configuration handle.
+    pub fn config_shared(&self) -> &Arc<SimConfig> {
         &self.cfg
     }
 
@@ -290,6 +304,14 @@ impl VersionedHierarchy {
     /// Drains the event buffer (system-side consumption).
     pub fn take_events(&mut self) -> Vec<CstEvent> {
         std::mem::take(&mut self.events)
+    }
+
+    /// Drains the event buffer into `buf` by swapping — the hot-path
+    /// variant of [`VersionedHierarchy::take_events`]: the consumer hands
+    /// back its (cleared) scratch vector so neither side reallocates.
+    pub fn swap_events(&mut self, buf: &mut Vec<CstEvent>) {
+        debug_assert!(buf.is_empty(), "swap_events expects a cleared buffer");
+        std::mem::swap(&mut self.events, buf);
     }
 
     fn slice_of(&self, line: LineAddr) -> usize {
@@ -459,15 +481,63 @@ impl VersionedHierarchy {
         let mut lat = self.cfg.l1.latency;
         let mut stall = 0;
 
-        // L1 fast path.
-        if let Some((state, value)) = self.l1s[core.index()].get(line).map(|l| (l.state, l.token)) {
-            if perm.satisfied_by(state) {
-                self.counters.l1_hits += 1;
-                if op == MemOp::Store {
-                    stall += self.commit_store(core, vd, line, token);
-                    return (lat + stall, stall, token);
+        if self.cfg.replay_fast_path {
+            // Single-probe L1 fast path. A store hitting a writable line
+            // whose version is same-epoch (or persisted/clean — no
+            // store-eviction possible) updates the slot in place with the
+            // one `get_mut` probe; the reference path probes three times
+            // (`get` + `commit_store`'s `peek` + `peek_mut`). Stores that
+            // DO need the §IV-A1 store-eviction fall through to the
+            // reference `commit_store`. Observable state (counters, LRU,
+            // events, store budget, epoch advances) is identical.
+            let cur_tag = Epoch::from_abs(self.vd_abs[vd.index()]);
+            let mut committed = false;
+            let mut needs_reference_commit = false;
+            if let Some(l) = self.l1s[core.index()].get_mut(line) {
+                if perm.satisfied_by(l.state) {
+                    self.counters.l1_hits += 1;
+                    if op == MemOp::Store {
+                        debug_assert!(l.state.is_writable(), "store commit requires M/E");
+                        if l.oid == cur_tag || !l.unpersisted_version() {
+                            l.token = token;
+                            l.oid = cur_tag;
+                            l.state = MesiState::M;
+                            l.persisted = false;
+                            committed = true;
+                        } else {
+                            needs_reference_commit = true;
+                        }
+                    } else {
+                        return (lat, 0, l.token);
+                    }
                 }
-                return (lat + stall, stall, value);
+            }
+            if committed {
+                let sc = &mut self.store_counts[vd.index()];
+                *sc += 1;
+                if *sc >= self.cfg.epoch_size_stores {
+                    let to = self.vd_abs[vd.index()] + 1;
+                    stall += self.advance_epoch(vd, to, AdvanceCause::StoreBudget);
+                }
+                return (lat + stall, stall, token);
+            }
+            if needs_reference_commit {
+                stall += self.commit_store(core, vd, line, token);
+                return (lat + stall, stall, token);
+            }
+        } else {
+            // Reference path: L1 hit with sufficient permission.
+            if let Some((state, value)) =
+                self.l1s[core.index()].get(line).map(|l| (l.state, l.token))
+            {
+                if perm.satisfied_by(state) {
+                    self.counters.l1_hits += 1;
+                    if op == MemOp::Store {
+                        stall += self.commit_store(core, vd, line, token);
+                        return (lat + stall, stall, token);
+                    }
+                    return (lat + stall, stall, value);
+                }
             }
         }
 

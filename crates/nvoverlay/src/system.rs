@@ -54,6 +54,9 @@ pub struct NvOverlaySystem {
     nvm: Nvm,
     opts: NvOverlayOptions,
     stats: SystemStats,
+    /// Recycled event buffer for the per-access drain (swapped with the
+    /// hierarchy's buffer instead of allocating each access).
+    ev_scratch: Vec<CstEvent>,
 }
 
 impl NvOverlaySystem {
@@ -62,12 +65,25 @@ impl NvOverlaySystem {
         Self::with_options(cfg, NvOverlayOptions::default())
     }
 
+    /// [`NvOverlaySystem::new`] over a shared configuration handle.
+    pub fn new_shared(cfg: std::sync::Arc<SimConfig>) -> Self {
+        Self::with_options_shared(cfg, NvOverlayOptions::default())
+    }
+
     /// Creates a system with explicit options.
     ///
     /// # Panics
     /// Panics if `cfg` does not validate or `omc_count` is zero.
     pub fn with_options(cfg: &SimConfig, opts: NvOverlayOptions) -> Self {
-        let hier = VersionedHierarchy::new(cfg, opts.cst.clone());
+        Self::with_options_shared(std::sync::Arc::new(cfg.clone()), opts)
+    }
+
+    /// [`NvOverlaySystem::with_options`] over a shared configuration —
+    /// matrix sweeps hand every cell the same `Arc` instead of cloning.
+    ///
+    /// # Panics
+    /// Panics if `cfg` does not validate or `omc_count` is zero.
+    pub fn with_options_shared(cfg: std::sync::Arc<SimConfig>, opts: NvOverlayOptions) -> Self {
         let mnm = Mnm::new(opts.omc_count, cfg.vd_count() as usize, opts.omc.clone());
         let nvm = Nvm::new(
             cfg.nvm_banks,
@@ -76,18 +92,27 @@ impl NvOverlaySystem {
             cfg.nvm_queue_depth,
             cfg.bandwidth_bucket_cycles,
         );
+        let bucket = cfg.bandwidth_bucket_cycles;
+        let hier = VersionedHierarchy::new_shared(cfg, opts.cst.clone());
         Self {
             hier,
             mnm,
             nvm,
             opts,
-            stats: SystemStats::new(cfg.bandwidth_bucket_cycles),
+            stats: SystemStats::new(bucket),
+            ev_scratch: Vec::new(),
         }
     }
 
     /// Convenience: a system with the battery-backed OMC buffer enabled
     /// (geometry mirroring the LLC, as in the paper's Fig 16 experiment).
     pub fn with_omc_buffer(cfg: &SimConfig) -> Self {
+        Self::with_omc_buffer_shared(std::sync::Arc::new(cfg.clone()))
+    }
+
+    /// [`NvOverlaySystem::with_omc_buffer`] over a shared configuration
+    /// handle.
+    pub fn with_omc_buffer_shared(cfg: std::sync::Arc<SimConfig>) -> Self {
         let sets = cfg.llc.sets();
         let opts = NvOverlayOptions {
             omc: OmcConfig {
@@ -96,7 +121,7 @@ impl NvOverlaySystem {
             },
             ..NvOverlayOptions::default()
         };
-        Self::with_options(cfg, opts)
+        Self::with_options_shared(cfg, opts)
     }
 
     /// The versioned hierarchy (inspection).
@@ -222,14 +247,18 @@ impl NvOverlaySystem {
     /// still in flight).
     fn drain_events(&mut self, now: Cycle) -> Cycle {
         let mut stall = 0;
-        let events = self.hier.take_events();
+        // Swap the hierarchy's event buffer with a recycled scratch vector
+        // so the per-access drain allocates nothing in steady state.
+        let mut events = std::mem::take(&mut self.ev_scratch);
+        events.clear();
+        self.hier.swap_events(&mut events);
         for e in &events {
             if let CstEvent::Version(v) = e {
                 stall = stall.max(self.persist_version(*v, now));
             }
         }
-        for e in events {
-            match e {
+        for e in &events {
+            match *e {
                 CstEvent::DirtyTransfer { vd, abs_epoch } => {
                     self.mnm.clamp_min_ver(vd, abs_epoch);
                 }
@@ -239,6 +268,7 @@ impl NvOverlaySystem {
                 CstEvent::Version(_) => {}
             }
         }
+        self.ev_scratch = events;
         stall
     }
 

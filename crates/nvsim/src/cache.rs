@@ -4,17 +4,17 @@
 //! content token, sharer bits — whatever the level needs). It is used for
 //! L1s, L2s, LLC slices, PiCL's version-tagged LLC and NVOverlay's OMC
 //! buffer alike.
+//!
+//! Layout is structure-of-arrays: tags, LRU stamps and metadata live in
+//! three parallel flat vectors indexed by `set * ways + slot`. The probe
+//! loop — by far the hottest code in replay — scans only the compact tag
+//! vector; metadata is touched once, after the hit slot is known. Slot
+//! ordering (push-at-end, `swap_remove` on evict) is bit-identical to the
+//! old vec-of-vecs layout because iteration order feeds downstream event
+//! and NVM write ordering.
 
 use crate::addr::LineAddr;
 use crate::config::CacheParams;
-
-/// One resident line.
-#[derive(Clone, Debug)]
-struct Entry<T> {
-    line: LineAddr,
-    lru: u64,
-    meta: T,
-}
 
 /// A set-associative array mapping [`LineAddr`] → `T` with LRU replacement.
 ///
@@ -32,7 +32,14 @@ struct Entry<T> {
 /// ```
 #[derive(Clone, Debug)]
 pub struct CacheArray<T> {
-    sets: Vec<Vec<Entry<T>>>,
+    /// Tags, `sets * ways` long; slots `0..set_len[s]` of each set are live.
+    tags: Vec<LineAddr>,
+    /// LRU stamps, parallel to `tags`.
+    lru: Vec<u64>,
+    /// Per-line metadata, parallel to `tags`. `Some` exactly on live slots.
+    metas: Vec<Option<T>>,
+    /// Live slot count per set.
+    set_len: Vec<u32>,
     set_mask: u64,
     index_stride: u64,
     ways: usize,
@@ -60,10 +67,12 @@ impl<T> CacheArray<T> {
         assert!(sets.is_power_of_two(), "set count must be a power of two");
         assert!(ways > 0, "associativity must be positive");
         assert!(index_stride > 0, "index stride must be positive");
+        let slots = (sets * ways as u64) as usize;
         Self {
-            sets: (0..sets)
-                .map(|_| Vec::with_capacity(ways as usize))
-                .collect(),
+            tags: vec![LineAddr::new(0); slots],
+            lru: vec![0; slots],
+            metas: (0..slots).map(|_| None).collect(),
+            set_len: vec![0; sets as usize],
             set_mask: sets - 1,
             index_stride,
             ways: ways as usize,
@@ -81,6 +90,19 @@ impl<T> CacheArray<T> {
         ((line.raw() / self.index_stride) & self.set_mask) as usize
     }
 
+    /// Finds the flat slot index of `line`, scanning only the live tag
+    /// prefix of its set.
+    #[inline]
+    fn probe(&self, line: LineAddr) -> Option<usize> {
+        let s = self.set_of(line);
+        let base = s * self.ways;
+        let len = self.set_len[s] as usize;
+        self.tags[base..base + len]
+            .iter()
+            .position(|&t| t == line)
+            .map(|i| base + i)
+    }
+
     fn next_tick(&mut self) -> u64 {
         self.tick += 1;
         self.tick
@@ -88,11 +110,8 @@ impl<T> CacheArray<T> {
 
     /// Looks up a line without touching LRU state.
     pub fn peek(&self, line: LineAddr) -> Option<&T> {
-        let s = self.set_of(line);
-        self.sets[s]
-            .iter()
-            .find(|e| e.line == line)
-            .map(|e| &e.meta)
+        let i = self.probe(line)?;
+        self.metas[i].as_ref()
     }
 
     /// Looks up a line, promoting it to MRU on hit.
@@ -104,28 +123,23 @@ impl<T> CacheArray<T> {
     /// no LRU tick, so a miss-heavy probe stream cannot skew the victim
     /// ordering of later inserts.
     pub fn get_mut(&mut self, line: LineAddr) -> Option<&mut T> {
-        let s = self.set_of(line);
-        let i = self.sets[s].iter().position(|e| e.line == line)?;
+        let i = self.probe(line)?;
         self.tick += 1;
-        let e = &mut self.sets[s][i];
-        e.lru = self.tick;
-        Some(&mut e.meta)
+        self.lru[i] = self.tick;
+        self.metas[i].as_mut()
     }
 
     /// Mutable lookup without LRU promotion (for coherence/walker probes
     /// that must not perturb replacement, paper §IV-C "tag walker runs
     /// opportunistically").
     pub fn peek_mut(&mut self, line: LineAddr) -> Option<&mut T> {
-        let s = self.set_of(line);
-        self.sets[s]
-            .iter_mut()
-            .find(|e| e.line == line)
-            .map(|e| &mut e.meta)
+        let i = self.probe(line)?;
+        self.metas[i].as_mut()
     }
 
     /// Whether the line is resident.
     pub fn contains(&self, line: LineAddr) -> bool {
-        self.peek(line).is_some()
+        self.probe(line).is_some()
     }
 
     /// Inserts a line as MRU, returning the evicted LRU victim if the set
@@ -137,51 +151,73 @@ impl<T> CacheArray<T> {
     pub fn insert(&mut self, line: LineAddr, meta: T) -> Option<(LineAddr, T)> {
         let tick = self.next_tick();
         let s = self.set_of(line);
-        let set = &mut self.sets[s];
+        let base = s * self.ways;
+        let len = self.set_len[s] as usize;
         // One pass over the set: duplicate detection and LRU-victim
-        // selection together (ties keep the earliest slot, matching the
-        // old `min_by_key` scan).
+        // selection together (ties keep the earliest slot, matching a
+        // `min_by_key` scan).
         let mut victim_idx = 0;
         let mut victim_lru = u64::MAX;
-        for (i, e) in set.iter().enumerate() {
+        for i in 0..len {
             assert!(
-                e.line != line,
+                self.tags[base + i] != line,
                 "line {line} already resident; update in place instead"
             );
-            if e.lru < victim_lru {
-                victim_lru = e.lru;
+            if self.lru[base + i] < victim_lru {
+                victim_lru = self.lru[base + i];
                 victim_idx = i;
             }
         }
-        let victim = if set.len() == self.ways {
-            let v = set.swap_remove(victim_idx);
-            Some((v.line, v.meta))
+        if len == self.ways {
+            // swap_remove(victim_idx) then push: the last slot's entry
+            // moves into the victim slot and the new line lands at the
+            // end — exactly the old vec-of-vecs ordering.
+            let last = len - 1;
+            let v_line = self.tags[base + victim_idx];
+            let v_meta = self.metas[base + victim_idx].take();
+            self.tags[base + victim_idx] = self.tags[base + last];
+            self.lru[base + victim_idx] = self.lru[base + last];
+            self.metas[base + victim_idx] = self.metas[base + last].take();
+            self.tags[base + last] = line;
+            self.lru[base + last] = tick;
+            self.metas[base + last] = Some(meta);
+            Some((v_line, v_meta.expect("live slot has metadata")))
         } else {
+            self.tags[base + len] = line;
+            self.lru[base + len] = tick;
+            self.metas[base + len] = Some(meta);
+            self.set_len[s] = (len + 1) as u32;
             None
-        };
-        set.push(Entry {
-            line,
-            lru: tick,
-            meta,
-        });
-        victim
+        }
     }
 
     /// Removes a line, returning its metadata.
     pub fn remove(&mut self, line: LineAddr) -> Option<T> {
+        let i = self.probe(line)?;
         let s = self.set_of(line);
-        let set = &mut self.sets[s];
-        let i = set.iter().position(|e| e.line == line)?;
-        Some(set.swap_remove(i).meta)
+        let base = s * self.ways;
+        let last = base + self.set_len[s] as usize - 1;
+        let meta = self.metas[i].take();
+        // swap_remove: the last live slot fills the hole.
+        if i != last {
+            self.tags[i] = self.tags[last];
+            self.lru[i] = self.lru[last];
+            self.metas[i] = self.metas[last].take();
+        }
+        self.set_len[s] -= 1;
+        meta
     }
 
     /// The LRU victim the next insert into `line`'s set would evict, if the
     /// set is currently full.
     pub fn would_evict(&self, line: LineAddr) -> Option<LineAddr> {
         let s = self.set_of(line);
-        let set = &self.sets[s];
-        if set.len() == self.ways {
-            set.iter().min_by_key(|e| e.lru).map(|e| e.line)
+        let base = s * self.ways;
+        let len = self.set_len[s] as usize;
+        if len == self.ways {
+            (0..len)
+                .min_by_key(|&i| self.lru[base + i])
+                .map(|i| self.tags[base + i])
         } else {
             None
         }
@@ -189,30 +225,42 @@ impl<T> CacheArray<T> {
 
     /// Iterates all resident lines (tag-walk order: set by set).
     pub fn iter(&self) -> impl Iterator<Item = (LineAddr, &T)> {
-        self.sets.iter().flatten().map(|e| (e.line, &e.meta))
+        self.set_len.iter().enumerate().flat_map(move |(s, &len)| {
+            let base = s * self.ways;
+            (base..base + len as usize)
+                .map(move |i| (self.tags[i], self.metas[i].as_ref().expect("live slot")))
+        })
     }
 
     /// Mutable iteration over all resident lines.
     pub fn iter_mut(&mut self) -> impl Iterator<Item = (LineAddr, &mut T)> {
-        self.sets
-            .iter_mut()
-            .flatten()
-            .map(|e| (e.line, &mut e.meta))
+        let ways = self.ways;
+        let tags = &self.tags;
+        let set_len = &self.set_len;
+        self.metas.iter_mut().enumerate().filter_map(move |(i, m)| {
+            let s = i / ways;
+            let slot = i % ways;
+            if slot < set_len[s] as usize {
+                Some((tags[i], m.as_mut().expect("live slot")))
+            } else {
+                None
+            }
+        })
     }
 
     /// Number of resident lines.
     pub fn len(&self) -> usize {
-        self.sets.iter().map(Vec::len).sum()
+        self.set_len.iter().map(|&l| l as usize).sum()
     }
 
     /// Whether the array holds no lines.
     pub fn is_empty(&self) -> bool {
-        self.sets.iter().all(Vec::is_empty)
+        self.set_len.iter().all(|&l| l == 0)
     }
 
     /// Total capacity in lines.
     pub fn capacity(&self) -> usize {
-        self.sets.len() * self.ways
+        self.set_len.len() * self.ways
     }
 
     /// Collects the addresses of lines matching a predicate (borrow-friendly
@@ -311,6 +359,47 @@ mod tests {
         got.sort_unstable();
         assert_eq!(got, vec![0, 1, 2, 3, 4, 5]);
         assert_eq!(c.capacity(), 8);
+    }
+
+    #[test]
+    fn iter_order_matches_slot_order_after_eviction() {
+        // The SoA layout must reproduce the swap_remove-then-push slot
+        // ordering exactly: evicting slot 0 of a full 3-way set moves the
+        // last entry into slot 0 and appends the new line at the end.
+        let mut c: CacheArray<u8> = CacheArray::new(1, 3);
+        c.insert(line(1), 1);
+        c.insert(line(2), 2);
+        c.insert(line(3), 3);
+        let (v, _) = c.insert(line(4), 4).unwrap();
+        assert_eq!(v, line(1), "slot 0 was LRU");
+        let order: Vec<u64> = c.iter().map(|(l, _)| l.raw()).collect();
+        assert_eq!(order, vec![3, 2, 4], "swap_remove ordering preserved");
+    }
+
+    #[test]
+    fn remove_uses_swap_remove_ordering() {
+        let mut c: CacheArray<u8> = CacheArray::new(1, 4);
+        for i in 1..=4 {
+            c.insert(line(i), i as u8);
+        }
+        assert_eq!(c.remove(line(2)), Some(2));
+        let order: Vec<u64> = c.iter().map(|(l, _)| l.raw()).collect();
+        assert_eq!(order, vec![1, 4, 3]);
+    }
+
+    #[test]
+    fn iter_mut_visits_live_slots_only() {
+        let mut c: CacheArray<u8> = CacheArray::new(2, 2);
+        c.insert(line(0), 10);
+        c.insert(line(1), 11);
+        c.insert(line(2), 12);
+        c.remove(line(0));
+        for (_, m) in c.iter_mut() {
+            *m += 1;
+        }
+        let mut got: Vec<(u64, u8)> = c.iter().map(|(l, m)| (l.raw(), *m)).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![(1, 12), (2, 13)]);
     }
 
     #[test]

@@ -137,6 +137,11 @@ pub struct SimConfig {
     pub dram_oid_superblock_lines: u32,
     /// Coherence protocol variant.
     pub protocol: Protocol,
+    /// Enables the single-probe L1-hit fast path in the hierarchies.
+    /// Statistically invisible — identical stats, metrics and event
+    /// streams either way; the flag exists so differential tests can pin
+    /// the fast path against the reference path.
+    pub replay_fast_path: bool,
 }
 
 impl Default for SimConfig {
@@ -172,6 +177,7 @@ impl Default for SimConfig {
             bandwidth_bucket_cycles: 100_000,
             dram_oid_superblock_lines: 1,
             protocol: Protocol::Mesi,
+            replay_fast_path: true,
         }
     }
 }
@@ -339,6 +345,14 @@ impl SimConfigBuilder {
     /// Sets the coherence protocol variant.
     pub fn protocol(mut self, protocol: Protocol) -> Self {
         self.cfg.protocol = protocol;
+        self
+    }
+
+    /// Enables or disables the L1-hit fast path (on by default). Turning
+    /// it off forces every access through the reference full-protocol
+    /// path; results are identical either way.
+    pub fn replay_fast_path(mut self, enabled: bool) -> Self {
+        self.cfg.replay_fast_path = enabled;
         self
     }
 

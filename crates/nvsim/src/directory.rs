@@ -41,15 +41,15 @@ impl DirEntry {
         self.sharers.count_ones()
     }
 
-    /// Iterates all sharer node indices.
-    pub fn sharers(&self) -> impl Iterator<Item = u16> + '_ {
-        let bits = self.sharers;
-        (0..MAX_NODES).filter(move |n| bits & (1u64 << n) != 0)
+    /// Iterates all sharer node indices (ascending).
+    pub fn sharers(&self) -> BitIter {
+        BitIter(self.sharers)
     }
 
-    /// Sharers other than `node`.
-    pub fn sharers_except(&self, node: u16) -> Vec<u16> {
-        self.sharers().filter(|&n| n != node).collect()
+    /// Sharers other than `node` (ascending). Allocation-free: iterates
+    /// the sharer word directly via `trailing_zeros`.
+    pub fn sharers_except(&self, node: u16) -> BitIter {
+        BitIter(self.sharers & !(1u64 << node))
     }
 
     fn check(&self) {
@@ -61,6 +61,33 @@ impl DirEntry {
         }
     }
 }
+
+/// Ascending iterator over the set bits of a sharer word — the
+/// allocation-free replacement for the old `Vec<u16>`-returning walks on
+/// the GetS/GetX hot path.
+#[derive(Clone, Copy, Debug)]
+pub struct BitIter(u64);
+
+impl Iterator for BitIter {
+    type Item = u16;
+
+    #[inline]
+    fn next(&mut self) -> Option<u16> {
+        if self.0 == 0 {
+            return None;
+        }
+        let n = self.0.trailing_zeros() as u16;
+        self.0 &= self.0 - 1;
+        Some(n)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for BitIter {}
 
 /// A sparse directory over up to [`MAX_NODES`] nodes.
 #[derive(Clone, Debug, Default)]
@@ -225,8 +252,9 @@ mod tests {
         for n in [0u16, 2, 5] {
             d.add_sharer(line(2), n);
         }
-        let others = d.entry(line(2)).unwrap().sharers_except(2);
+        let others: Vec<u16> = d.entry(line(2)).unwrap().sharers_except(2).collect();
         assert_eq!(others, vec![0, 5]);
+        assert_eq!(d.entry(line(2)).unwrap().sharers_except(2).len(), 2);
     }
 
     #[test]

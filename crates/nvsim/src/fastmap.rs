@@ -341,6 +341,35 @@ impl<K: FastKey, V> FastMap<K, V> {
     }
 }
 
+impl<K: FastKey, V> std::ops::Index<&K> for FastMap<K, V> {
+    type Output = V;
+
+    fn index(&self, key: &K) -> &V {
+        self.get(key).expect("no entry found for key")
+    }
+}
+
+impl<'a, K: FastKey, V> IntoIterator for &'a FastMap<K, V> {
+    type Item = (&'a K, &'a V);
+    type IntoIter = std::iter::Map<
+        std::iter::Flatten<std::slice::Iter<'a, Option<(K, V)>>>,
+        fn(&'a (K, V)) -> (&'a K, &'a V),
+    >;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.slots.iter().flatten().map(|(k, v)| (k, v))
+    }
+}
+
+/// Content equality, independent of table layout or insertion order.
+impl<K: FastKey, V: PartialEq> PartialEq for FastMap<K, V> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.iter().all(|(k, v)| other.get(k) == Some(v))
+    }
+}
+
+impl<K: FastKey, V: Eq> Eq for FastMap<K, V> {}
+
 impl<K: FastKey, V> FromIterator<(K, V)> for FastMap<K, V> {
     fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
         let it = iter.into_iter();

@@ -25,6 +25,7 @@ use crate::memsys::MemOp;
 use crate::mesi::{MesiState, Permission};
 use crate::noc::{MsgKind, Noc};
 use crate::stats::{AccessCounters, EvictReason};
+use std::sync::Arc;
 
 /// An epoch number as tracked by the *baseline* hierarchy.
 ///
@@ -122,7 +123,7 @@ pub struct DirtyLine {
 
 /// The baseline MESI hierarchy.
 pub struct Hierarchy {
-    cfg: SimConfig,
+    cfg: Arc<SimConfig>,
     l1s: Vec<CacheArray<L1Line>>,
     l2s: Vec<CacheArray<L2Line>>,
     llc: Vec<CacheArray<LlcLine>>,
@@ -141,12 +142,21 @@ impl Hierarchy {
     /// # Panics
     /// Panics if `cfg` does not validate.
     pub fn new(cfg: &SimConfig) -> Self {
+        Self::new_shared(Arc::new(cfg.clone()))
+    }
+
+    /// Builds a hierarchy sharing an already-wrapped configuration —
+    /// matrix sweeps hand every cell the same `Arc` instead of cloning
+    /// the config per hierarchy.
+    ///
+    /// # Panics
+    /// Panics if `cfg` does not validate.
+    pub fn new_shared(cfg: Arc<SimConfig>) -> Self {
         cfg.validate().expect("invalid SimConfig");
         let vds = cfg.vd_count() as usize;
         let slices = cfg.llc_slices as u64;
         let slice_sets = cfg.llc_slice_bytes() / (crate::addr::LINE_BYTES * cfg.llc.ways as u64);
         Self {
-            cfg: cfg.clone(),
             l1s: (0..cfg.cores as usize)
                 .map(|_| CacheArray::from_params(&cfg.l1))
                 .collect(),
@@ -161,7 +171,14 @@ impl Hierarchy {
             store_counts: vec![0; vds],
             counters: AccessCounters::default(),
             events: Vec::new(),
+            cfg,
         }
+    }
+
+    /// The shared configuration handle (for constructing sibling
+    /// components without another clone).
+    pub fn config_shared(&self) -> &Arc<SimConfig> {
+        &self.cfg
     }
 
     /// The configuration in force.
@@ -249,16 +266,54 @@ impl Hierarchy {
 
         let mut lat = self.cfg.l1.latency;
 
-        // L1 hit with sufficient permission: fast path.
-        let l1_hit = self.l1s[core.index()].get(line).map(|l| (l.state, l.token));
-        if let Some((state, value)) = l1_hit {
-            if perm.satisfied_by(state) {
-                self.counters.l1_hits += 1;
-                if op == MemOp::Store {
-                    self.commit_store(core, vd, line, token);
-                    return (lat, token);
+        if self.cfg.replay_fast_path {
+            // L1 hit with sufficient permission: single-probe fast path.
+            // The one `get_mut` probe both classifies the hit and yields
+            // the mutable slot a store needs — the reference path probes
+            // twice (`get` + `commit_store`'s `peek_mut`). Everything
+            // observable (counters, LRU promotion, events, store budget)
+            // is identical to the reference path below.
+            let epoch = self.vd_epoch[vd.index()];
+            if let Some(l) = self.l1s[core.index()].get_mut(line) {
+                if perm.satisfied_by(l.state) {
+                    self.counters.l1_hits += 1;
+                    if op == MemOp::Store {
+                        debug_assert!(l.state.is_writable(), "store commit requires M/E");
+                        let old_token = l.token;
+                        let old_oid = l.oid;
+                        l.token = token;
+                        l.oid = epoch;
+                        l.state = MesiState::M;
+                        self.events.push(HierarchyEvent::StoreCommitted {
+                            line,
+                            old_token,
+                            old_oid,
+                            new_oid: epoch,
+                            first_in_epoch: old_oid != epoch,
+                        });
+                        let sc = &mut self.store_counts[vd.index()];
+                        *sc += 1;
+                        if *sc >= self.cfg.epoch_size_stores {
+                            *sc = 0;
+                            self.events.push(HierarchyEvent::EpochTrigger { vd });
+                        }
+                        return (lat, token);
+                    }
+                    return (lat, l.token);
                 }
-                return (lat, value);
+            }
+        } else {
+            // Reference path: L1 hit with sufficient permission.
+            let l1_hit = self.l1s[core.index()].get(line).map(|l| (l.state, l.token));
+            if let Some((state, value)) = l1_hit {
+                if perm.satisfied_by(state) {
+                    self.counters.l1_hits += 1;
+                    if op == MemOp::Store {
+                        self.commit_store(core, vd, line, token);
+                        return (lat, token);
+                    }
+                    return (lat, value);
+                }
             }
         }
 
@@ -266,15 +321,12 @@ impl Hierarchy {
         lat += self.cfg.l2.latency;
         lat += self.ensure_l2(vd, line, perm);
 
-        // Intra-VD: resolve sibling L1 copies.
-        lat += self.resolve_sibling_l1s(core, vd, line, op);
-        // After a load-resolve, siblings retain S copies: the new fill
-        // must then also be S (granting E beside a live sharer would let
-        // a later store skip the sibling invalidation).
-        let sibling_retains = op == MemOp::Load
-            && self
-                .local_cores(vd)
-                .any(|c| c != core.0 && self.l1s[c as usize].contains(line));
+        // Intra-VD: resolve sibling L1 copies. After a load-resolve,
+        // siblings retain S copies: the new fill must then also be S
+        // (granting E beside a live sharer would let a later store skip
+        // the sibling invalidation).
+        let (sib_lat, sibling_retains) = self.resolve_sibling_l1s(core, vd, line, op);
+        lat += sib_lat;
 
         // Fill or upgrade the L1.
         let l2_meta = *self.l2s[vd.index()]
@@ -290,21 +342,50 @@ impl Hierarchy {
             },
             MemOp::Store => MesiState::E,
         };
+        // Fill and (for stores) retire in one pass: the commit mutates the
+        // line the fill just placed, so no second probe is needed. Commit
+        // effects and the victim writeback touch different lines and
+        // disjoint event streams, so applying the commit to the stack copy
+        // before the insert is observationally identical to the reference
+        // fill-then-commit sequence.
+        let epoch = self.vd_epoch[vd.index()];
         match self.l1s[core.index()].peek_mut(line) {
             Some(l) => {
                 l.state = fill_state;
                 l.token = l2_meta.token;
                 l.oid = l2_meta.oid;
+                if op == MemOp::Store {
+                    Self::commit_store_line(
+                        l,
+                        vd,
+                        line,
+                        token,
+                        epoch,
+                        self.cfg.epoch_size_stores,
+                        &mut self.store_counts[vd.index()],
+                        &mut self.events,
+                    );
+                }
             }
             None => {
-                let victim = self.l1s[core.index()].insert(
-                    line,
-                    L1Line {
-                        state: fill_state,
-                        token: l2_meta.token,
-                        oid: l2_meta.oid,
-                    },
-                );
+                let mut meta = L1Line {
+                    state: fill_state,
+                    token: l2_meta.token,
+                    oid: l2_meta.oid,
+                };
+                if op == MemOp::Store {
+                    Self::commit_store_line(
+                        &mut meta,
+                        vd,
+                        line,
+                        token,
+                        epoch,
+                        self.cfg.epoch_size_stores,
+                        &mut self.store_counts[vd.index()],
+                        &mut self.events,
+                    );
+                }
+                let victim = self.l1s[core.index()].insert(line, meta);
                 if let Some((vline, vmeta)) = victim {
                     self.l1_writeback(vd, vline, vmeta);
                 }
@@ -312,7 +393,6 @@ impl Hierarchy {
         }
 
         if op == MemOp::Store {
-            self.commit_store(core, vd, line, token);
             return (lat, token);
         }
         (lat, l2_meta.token)
@@ -324,24 +404,49 @@ impl Hierarchy {
         let l = self.l1s[core.index()]
             .peek_mut(line)
             .expect("store commit requires a resident L1 line");
+        Self::commit_store_line(
+            l,
+            vd,
+            line,
+            token,
+            epoch,
+            self.cfg.epoch_size_stores,
+            &mut self.store_counts[vd.index()],
+            &mut self.events,
+        );
+    }
+
+    /// The store-retire body, operating on an already-located L1 slot so
+    /// callers holding the line's `&mut` (the fill path) commit without a
+    /// second probe. Borrows only fields disjoint from the L1 arrays.
+    #[allow(clippy::too_many_arguments)]
+    fn commit_store_line(
+        l: &mut L1Line,
+        vd: VdId,
+        line: LineAddr,
+        token: Token,
+        epoch: EpochId,
+        epoch_size_stores: u64,
+        sc: &mut u64,
+        events: &mut Vec<HierarchyEvent>,
+    ) {
         debug_assert!(l.state.is_writable(), "store commit requires M/E");
         let old_token = l.token;
         let old_oid = l.oid;
         l.token = token;
         l.oid = epoch;
         l.state = MesiState::M;
-        self.events.push(HierarchyEvent::StoreCommitted {
+        events.push(HierarchyEvent::StoreCommitted {
             line,
             old_token,
             old_oid,
             new_oid: epoch,
             first_in_epoch: old_oid != epoch,
         });
-        let sc = &mut self.store_counts[vd.index()];
         *sc += 1;
-        if *sc >= self.cfg.epoch_size_stores {
+        if *sc >= epoch_size_stores {
             *sc = 0;
-            self.events.push(HierarchyEvent::EpochTrigger { vd });
+            events.push(HierarchyEvent::EpochTrigger { vd });
         }
     }
 
@@ -359,35 +464,49 @@ impl Hierarchy {
     }
 
     /// Invalidates or downgrades sibling L1 copies within the VD, folding
-    /// dirty data into the L2. Returns extra latency.
-    fn resolve_sibling_l1s(&mut self, core: CoreId, vd: VdId, line: LineAddr, op: MemOp) -> Cycle {
+    /// dirty data into the L2. Returns extra latency plus whether any
+    /// sibling retains a (Shared) copy afterwards — loads downgrade
+    /// siblings in place, stores invalidate them.
+    fn resolve_sibling_l1s(
+        &mut self,
+        core: CoreId,
+        vd: VdId,
+        line: LineAddr,
+        op: MemOp,
+    ) -> (Cycle, bool) {
         let mut lat = 0;
+        let mut retains = false;
         for c in self.local_cores(vd) {
             if c == core.0 {
                 continue;
             }
             let ci = c as usize;
-            let present = self.l1s[ci].contains(line);
-            if !present {
-                continue;
-            }
-            lat += self.cfg.l1.latency;
             match op {
                 MemOp::Store => {
-                    let meta = self.l1s[ci].remove(line).expect("probed present");
+                    let Some(meta) = self.l1s[ci].remove(line) else {
+                        continue;
+                    };
+                    lat += self.cfg.l1.latency;
                     self.l1_writeback(vd, line, meta);
                 }
                 MemOp::Load => {
-                    let meta = *self.l1s[ci].peek(line).expect("probed present");
+                    let Some(l) = self.l1s[ci].peek_mut(line) else {
+                        continue;
+                    };
+                    lat += self.cfg.l1.latency;
+                    retains = true;
+                    let meta = *l;
                     if meta.state.is_dirty() {
                         self.l1_writeback(vd, line, meta);
+                        let l = self.l1s[ci].peek_mut(line).expect("probed present");
+                        l.state = MesiState::S;
+                    } else {
+                        l.state = MesiState::S;
                     }
-                    let l = self.l1s[ci].peek_mut(line).expect("probed present");
-                    l.state = MesiState::S;
                 }
             }
         }
-        lat
+        (lat, retains)
     }
 
     /// Ensures the VD's L2 holds `line` with permission `perm`. Returns
@@ -881,22 +1000,39 @@ impl Hierarchy {
         let mut token = self.dram.peek(line);
         let mut dirty = false;
         let s = self.slice_of(line);
-        if let Some(m) = self.llc[s].peek(line) {
-            if m.dirty {
-                token = m.token;
-                dirty = true;
+        let llc_holds = match self.llc[s].peek(line) {
+            Some(m) => {
+                if m.dirty {
+                    token = m.token;
+                    dirty = true;
+                }
+                true
             }
-        }
-        for l2 in &self.l2s {
+            None => false,
+        };
+        // The discovery scan records which caches hold the line (typical
+        // flushes touch one VD) so the clean pass below probes only those
+        // instead of re-scanning the whole machine. Machines wider than
+        // the mask clean by full re-scan.
+        let masked = self.l2s.len() <= 128 && self.l1s.len() <= 128;
+        let mut l2_mask: u128 = 0;
+        let mut l1_mask: u128 = 0;
+        for (i, l2) in self.l2s.iter().enumerate() {
             if let Some(m) = l2.peek(line) {
+                if masked {
+                    l2_mask |= 1 << i;
+                }
                 if m.state.is_dirty() {
                     token = m.token;
                     dirty = true;
                 }
             }
         }
-        for l1 in &self.l1s {
+        for (i, l1) in self.l1s.iter().enumerate() {
             if let Some(m) = l1.peek(line) {
+                if masked {
+                    l1_mask |= 1 << i;
+                }
                 if m.state.is_dirty() {
                     token = m.token;
                     dirty = true;
@@ -904,11 +1040,12 @@ impl Hierarchy {
             }
         }
         // Clean every copy and fold the newest data into all of them.
-        if let Some(m) = self.llc[s].peek_mut(line) {
+        if llc_holds {
+            let m = self.llc[s].peek_mut(line).expect("probed above");
             m.dirty = false;
             m.token = token;
         }
-        for l2 in &mut self.l2s {
+        let clean_l2 = |l2: &mut CacheArray<L2Line>| {
             if let Some(m) = l2.peek_mut(line) {
                 if m.state.is_dirty() {
                     // Owned copies stay shared after cleaning.
@@ -920,14 +1057,29 @@ impl Hierarchy {
                 }
                 m.token = token;
             }
-        }
-        for l1 in &mut self.l1s {
+        };
+        let clean_l1 = |l1: &mut CacheArray<L1Line>| {
             if let Some(m) = l1.peek_mut(line) {
                 if m.state.is_dirty() {
                     m.state = MesiState::E;
                 }
                 m.token = token;
             }
+        };
+        if masked {
+            while l2_mask != 0 {
+                let i = l2_mask.trailing_zeros() as usize;
+                l2_mask &= l2_mask - 1;
+                clean_l2(&mut self.l2s[i]);
+            }
+            while l1_mask != 0 {
+                let i = l1_mask.trailing_zeros() as usize;
+                l1_mask &= l1_mask - 1;
+                clean_l1(&mut self.l1s[i]);
+            }
+        } else {
+            self.l2s.iter_mut().for_each(clean_l2);
+            self.l1s.iter_mut().for_each(clean_l1);
         }
         if dirty {
             self.dram.write(line, token);

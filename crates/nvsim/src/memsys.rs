@@ -9,11 +9,9 @@
 
 use crate::addr::{Addr, CoreId, LineAddr, ThreadId, Token};
 use crate::clock::{CoreClock, Cycle};
-use crate::fastmap::FastHashMap;
+use crate::fastmap::FastMap;
 use crate::stats::SystemStats;
-use crate::trace::{Trace, TraceEvent};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use crate::trace::{PackedEvent, PackedTrace, Trace};
 
 /// A memory operation.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -96,7 +94,7 @@ pub struct RunReport {
     /// The final logical memory image (line → last token stored, in the
     /// executed interleaving order). Used as the golden image for recovery
     /// verification.
-    pub golden_image: FastHashMap<LineAddr, Token>,
+    pub golden_image: FastMap<LineAddr, Token>,
 }
 
 /// Deterministic trace runner.
@@ -131,64 +129,101 @@ impl Runner {
 
     /// Replays `trace` against `system`. Thread *i* runs on core *i*.
     ///
+    /// Convenience wrapper: packs the trace and delegates to
+    /// [`Runner::run_packed`] — identical interleaving and results.
+    ///
     /// # Panics
     /// Panics if the trace has more threads than the system has cores is
     /// not checked here; systems index per-core state by `CoreId` and will
     /// panic themselves if overrun.
-    pub fn run(&self, system: &mut dyn MemorySystem, trace: &Trace) -> RunReport {
+    pub fn run<S: MemorySystem + ?Sized>(&self, system: &mut S, trace: &Trace) -> RunReport {
+        self.run_packed(system, &trace.to_packed())
+    }
+
+    /// Replays a packed trace against `system`. This is the real replay
+    /// loop: the per-thread streams are contiguous 16-byte
+    /// [`crate::trace::PackedEvent`]s, so the cursor walk streams through
+    /// one flat vector instead of chasing nested `Vec`s.
+    ///
+    /// # Panics
+    /// See [`Runner::run`].
+    /// Generic over the concrete system type: calling this with a concrete
+    /// `S` monomorphizes the loop and inlines the scheme's access path
+    /// into it; `&mut dyn MemorySystem` still works for callers that hold
+    /// schemes behind a trait object.
+    pub fn run_packed<S: MemorySystem + ?Sized>(
+        &self,
+        system: &mut S,
+        trace: &PackedTrace,
+    ) -> RunReport {
         let n = trace.thread_count();
         let mut clocks: Vec<CoreClock> = (0..n).map(|_| CoreClock::new()).collect();
         let mut cursors = vec![0usize; n];
-        let mut golden: FastHashMap<LineAddr, Token> = FastHashMap::default();
+        // Size the load-value oracle for the trace's store volume up
+        // front; the map holds at most one entry per written line.
+        let mut golden: FastMap<LineAddr, Token> =
+            FastMap::with_capacity((trace.store_count() as usize).min(1 << 20));
         let mut accesses = 0u64;
         let mut load_value_mismatches = 0u64;
+        let streams: Vec<&[PackedEvent]> =
+            (0..n).map(|i| trace.thread(ThreadId(i as u16))).collect();
 
-        // Min-heap of (clock, core). Reverse for min ordering; ties break
-        // by core id, keeping the interleaving fully deterministic.
-        let mut heap: BinaryHeap<Reverse<(Cycle, usize)>> = (0..n)
-            .filter(|&i| !trace.thread(ThreadId(i as u16)).is_empty())
-            .map(|i| Reverse((0, i)))
+        // Next wake time per core, `Cycle::MAX` once its stream is
+        // drained. Core counts are small (≤64), so a linear scan-min
+        // beats a binary heap's branchy sift per event; scanning in
+        // ascending core order with a strict `<` reproduces the
+        // min-heap's (clock, core-id) tie-break exactly.
+        let mut wake: Vec<Cycle> = (0..n)
+            .map(|i| if streams[i].is_empty() { Cycle::MAX } else { 0 })
             .collect();
 
-        while let Some(Reverse((t, i))) = heap.pop() {
-            let thread = ThreadId(i as u16);
+        loop {
+            let mut i = usize::MAX;
+            let mut t = Cycle::MAX;
+            for (c, &w) in wake.iter().enumerate() {
+                if w < t {
+                    t = w;
+                    i = c;
+                }
+            }
+            if i == usize::MAX {
+                break;
+            }
             let core = CoreId(i as u16);
-            let events = trace.thread(thread);
+            let events = streams[i];
             debug_assert_eq!(clocks[i].now(), t);
-            match events[cursors[i]] {
-                TraceEvent::Access { op, addr, token } => {
-                    let out = system.access(core, op, addr, token, t);
-                    let lat = out.latency.max(1);
-                    clocks[i].advance(lat - out.persist_stall.min(lat));
-                    clocks[i].stall(out.persist_stall.min(lat));
-                    clocks[i].advance(self.gap_cycles);
-                    match op {
-                        MemOp::Store => {
-                            golden.insert(addr.line(), token);
-                        }
-                        MemOp::Load => {
-                            let expect = golden.get(&addr.line()).copied().unwrap_or(0);
-                            if out.value != expect {
-                                load_value_mismatches += 1;
-                                debug_assert_eq!(
-                                    out.value, expect,
-                                    "stale load of {addr} on {core}"
-                                );
-                            }
+            let e = events[cursors[i]];
+            if !e.is_mark() {
+                let (op, addr, token) = (e.op(), e.addr(), e.token());
+                let out = system.access(core, op, addr, token, t);
+                let lat = out.latency.max(1);
+                clocks[i].advance(lat - out.persist_stall.min(lat));
+                clocks[i].stall(out.persist_stall.min(lat));
+                clocks[i].advance(self.gap_cycles);
+                match op {
+                    MemOp::Store => {
+                        golden.insert(addr.line(), token);
+                    }
+                    MemOp::Load => {
+                        let expect = golden.get(&addr.line()).copied().unwrap_or(0);
+                        if out.value != expect {
+                            load_value_mismatches += 1;
+                            debug_assert_eq!(out.value, expect, "stale load of {addr} on {core}");
                         }
                     }
-                    accesses += 1;
                 }
-                TraceEvent::EpochMark => {
-                    let stall = system.epoch_mark(core, t);
-                    clocks[i].stall(stall);
-                    clocks[i].advance(1);
-                }
+                accesses += 1;
+            } else {
+                let stall = system.epoch_mark(core, t);
+                clocks[i].stall(stall);
+                clocks[i].advance(1);
             }
             cursors[i] += 1;
-            if cursors[i] < events.len() {
-                heap.push(Reverse((clocks[i].now(), i)));
-            }
+            wake[i] = if cursors[i] < events.len() {
+                clocks[i].now()
+            } else {
+                Cycle::MAX
+            };
         }
 
         let cycles = clocks.iter().map(|c| c.now()).max().unwrap_or(0);

@@ -199,6 +199,205 @@ impl TraceBuilder {
     }
 }
 
+// -------------------------------------------------------------------
+// Packed encoding
+// -------------------------------------------------------------------
+
+const KIND_LOAD: u64 = 0;
+const KIND_STORE: u64 = 1;
+const KIND_MARK: u64 = 2;
+const KIND_BITS: u64 = 2;
+const KIND_MASK: u64 = (1 << KIND_BITS) - 1;
+
+/// One fixed-width trace event: `w0 = (addr << 2) | kind`, `w1 = token`.
+///
+/// 16 bytes per event instead of the 32-byte `TraceEvent` enum variant,
+/// and — more importantly — stored in one flat contiguous vector per
+/// trace, so the replay loop streams through memory instead of chasing
+/// per-thread `Vec` spines.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PackedEvent {
+    w0: u64,
+    w1: u64,
+}
+
+impl PackedEvent {
+    /// Packs one event.
+    ///
+    /// # Panics
+    /// Panics if an access address needs more than 62 bits.
+    pub fn encode(e: &TraceEvent) -> Self {
+        match *e {
+            TraceEvent::Access { op, addr, token } => {
+                let raw = addr.raw();
+                assert!(raw < (1 << 62), "address {raw:#x} exceeds 62 bits");
+                let kind = match op {
+                    MemOp::Load => KIND_LOAD,
+                    MemOp::Store => KIND_STORE,
+                };
+                Self {
+                    w0: (raw << KIND_BITS) | kind,
+                    w1: token,
+                }
+            }
+            TraceEvent::EpochMark => Self {
+                w0: KIND_MARK,
+                w1: 0,
+            },
+        }
+    }
+
+    /// Whether this is an epoch mark.
+    #[inline]
+    pub fn is_mark(self) -> bool {
+        self.w0 & KIND_MASK == KIND_MARK
+    }
+
+    /// The access operation.
+    ///
+    /// # Panics
+    /// Debug-panics on an epoch mark.
+    #[inline]
+    pub fn op(self) -> MemOp {
+        debug_assert!(!self.is_mark());
+        if self.w0 & KIND_MASK == KIND_STORE {
+            MemOp::Store
+        } else {
+            MemOp::Load
+        }
+    }
+
+    /// The byte address accessed (accesses only).
+    #[inline]
+    pub fn addr(self) -> Addr {
+        debug_assert!(!self.is_mark());
+        Addr::new(self.w0 >> KIND_BITS)
+    }
+
+    /// The content token (stores carry it; loads carry what the original
+    /// event carried, normally 0).
+    #[inline]
+    pub fn token(self) -> Token {
+        self.w1
+    }
+
+    /// Unpacks back into the builder/IO representation.
+    pub fn decode(self) -> TraceEvent {
+        if self.is_mark() {
+            TraceEvent::EpochMark
+        } else {
+            TraceEvent::Access {
+                op: self.op(),
+                addr: self.addr(),
+                token: self.token(),
+            }
+        }
+    }
+}
+
+/// A [`Trace`] in packed fixed-width form: all threads' events in one
+/// flat vector with per-thread ranges. This is the replay-side format —
+/// built once per workload (see `nvbench::gen_traces`), shared via `Arc`
+/// across every scheme of a sweep. [`Trace`] stays the builder/IO format;
+/// conversion is lossless both ways.
+#[derive(Clone, Debug, Default)]
+pub struct PackedTrace {
+    events: Vec<PackedEvent>,
+    /// Per-thread `(offset, len)` into `events`.
+    ranges: Vec<(usize, usize)>,
+    accesses: u64,
+    stores: u64,
+}
+
+impl PackedTrace {
+    /// Packs a trace.
+    ///
+    /// # Panics
+    /// Panics if any address needs more than 62 bits.
+    pub fn from_trace(t: &Trace) -> Self {
+        let total: usize = t.threads.iter().map(Vec::len).sum();
+        let mut events = Vec::with_capacity(total);
+        let mut ranges = Vec::with_capacity(t.threads.len());
+        let (mut accesses, mut stores) = (0u64, 0u64);
+        for thread in &t.threads {
+            let offset = events.len();
+            for e in thread {
+                match e {
+                    TraceEvent::Access { op, .. } => {
+                        accesses += 1;
+                        if *op == MemOp::Store {
+                            stores += 1;
+                        }
+                    }
+                    TraceEvent::EpochMark => {}
+                }
+                events.push(PackedEvent::encode(e));
+            }
+            ranges.push((offset, thread.len()));
+        }
+        Self {
+            events,
+            ranges,
+            accesses,
+            stores,
+        }
+    }
+
+    /// Unpacks into the builder/IO representation (lossless).
+    pub fn to_trace(&self) -> Trace {
+        Trace {
+            threads: self
+                .ranges
+                .iter()
+                .map(|&(off, len)| {
+                    self.events[off..off + len]
+                        .iter()
+                        .map(|e| e.decode())
+                        .collect()
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of thread streams.
+    pub fn thread_count(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// The packed event stream of one thread.
+    ///
+    /// # Panics
+    /// Panics if `thread` is out of range.
+    #[inline]
+    pub fn thread(&self, thread: ThreadId) -> &[PackedEvent] {
+        let (off, len) = self.ranges[thread.index()];
+        &self.events[off..off + len]
+    }
+
+    /// Total accesses (loads + stores) across all threads.
+    pub fn access_count(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Total stores across all threads.
+    pub fn store_count(&self) -> u64 {
+        self.stores
+    }
+}
+
+impl From<&Trace> for PackedTrace {
+    fn from(t: &Trace) -> Self {
+        Self::from_trace(t)
+    }
+}
+
+impl Trace {
+    /// Packs this trace for replay (see [`PackedTrace`]).
+    pub fn to_packed(&self) -> PackedTrace {
+        PackedTrace::from_trace(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -240,5 +439,62 @@ mod tests {
     #[should_panic(expected = "at least one thread")]
     fn zero_threads_rejected() {
         let _ = TraceBuilder::new(0);
+    }
+
+    #[test]
+    fn packed_round_trip_is_lossless() {
+        let mut b = TraceBuilder::new(3);
+        b.store(ThreadId(0), Addr::new(0x1234));
+        b.load(ThreadId(1), Addr::new(0xFFFF_FFFF_0040));
+        b.epoch_mark(ThreadId(1));
+        b.store_with_token(ThreadId(2), Addr::new(64), 999);
+        b.load(ThreadId(0), Addr::new(0));
+        let t = b.build();
+        let packed = t.to_packed();
+        assert_eq!(packed.thread_count(), 3);
+        assert_eq!(packed.access_count(), t.access_count());
+        assert_eq!(packed.store_count(), t.store_count());
+        let back = packed.to_trace();
+        for th in 0..3 {
+            assert_eq!(
+                back.thread(ThreadId(th)),
+                t.thread(ThreadId(th)),
+                "thread {th} round trip"
+            );
+        }
+    }
+
+    #[test]
+    fn packed_event_fields_decode() {
+        let e = TraceEvent::Access {
+            op: MemOp::Store,
+            addr: Addr::new(0x40),
+            token: 7,
+        };
+        let p = PackedEvent::encode(&e);
+        assert!(!p.is_mark());
+        assert_eq!(p.op(), MemOp::Store);
+        assert_eq!(p.addr(), Addr::new(0x40));
+        assert_eq!(p.token(), 7);
+        assert_eq!(p.decode(), e);
+        let m = PackedEvent::encode(&TraceEvent::EpochMark);
+        assert!(m.is_mark());
+        assert_eq!(m.decode(), TraceEvent::EpochMark);
+    }
+
+    #[test]
+    fn widest_physical_address_survives_packing() {
+        // `Addr` is capped at the 48-bit physical space, comfortably
+        // inside the 62 address bits the packed word keeps — the widest
+        // legal address must round-trip exactly.
+        let addr = Addr::new((1u64 << 48) - 64);
+        let e = TraceEvent::Access {
+            op: MemOp::Store,
+            addr,
+            token: 7,
+        };
+        let p = PackedEvent::encode(&e);
+        assert_eq!(p.addr(), addr);
+        assert_eq!(p.decode(), e);
     }
 }
