@@ -88,6 +88,14 @@ impl BaselineCore {
         }
     }
 
+    /// Installs a cross-island line at its DRAM home during a sharded
+    /// replay barrier (delegates to
+    /// [`Hierarchy::import_line`]). Baselines share this so every
+    /// scheme's `MemorySystem::import_line` behaves identically.
+    pub fn import_line(&mut self, line: nvsim::addr::LineAddr, token: nvsim::addr::Token) -> bool {
+        self.hier.import_line(line, token)
+    }
+
     /// Copies device counters into the stats block.
     pub fn sync_stats(&mut self) {
         self.stats.nvm = self.nvm.stats().clone();

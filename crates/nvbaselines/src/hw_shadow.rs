@@ -184,6 +184,14 @@ impl MemorySystem for HwShadow {
         stall
     }
 
+    /// ThyNVM-style checkpointing quiesces *every* core at a global
+    /// barrier — there is no per-VD machine to carve islands out of, so
+    /// the scheme declares itself serial-only and `nvbench` falls back
+    /// to the serial replay path.
+    fn shardable(&self) -> bool {
+        false
+    }
+
     fn finish(&mut self, now: Cycle) -> Cycle {
         let end = self.commit_epoch(now);
         let _ = self.core.hier.drain_dirty();

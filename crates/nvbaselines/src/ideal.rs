@@ -3,7 +3,7 @@
 //! snapshotting").
 
 use crate::common::BaselineCore;
-use nvsim::addr::{Addr, CoreId, Token};
+use nvsim::addr::{Addr, CoreId, LineAddr, Token};
 use nvsim::clock::Cycle;
 use nvsim::config::SimConfig;
 use nvsim::memsys::{AccessOutcome, MemOp, MemorySystem};
@@ -52,6 +52,10 @@ impl MemorySystem for IdealSystem {
 
     fn epoch_mark(&mut self, _core: CoreId, _now: Cycle) -> Cycle {
         0
+    }
+
+    fn import_line(&mut self, line: LineAddr, token: Token) -> bool {
+        self.core.import_line(line, token)
     }
 
     fn finish(&mut self, now: Cycle) -> Cycle {

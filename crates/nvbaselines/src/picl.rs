@@ -299,6 +299,10 @@ impl MemorySystem for Picl {
         0
     }
 
+    fn import_line(&mut self, line: LineAddr, token: Token) -> bool {
+        self.core.import_line(line, token)
+    }
+
     fn finish(&mut self, now: Cycle) -> Cycle {
         self.commit_epoch(now);
         // Drain any remaining dirty data (from the epoch just opened).

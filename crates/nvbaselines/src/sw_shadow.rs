@@ -159,6 +159,10 @@ impl MemorySystem for SwShadow {
         stall
     }
 
+    fn import_line(&mut self, line: LineAddr, token: Token) -> bool {
+        self.core.import_line(line, token)
+    }
+
     fn finish(&mut self, now: Cycle) -> Cycle {
         let end = self.commit_epoch(now);
         let _ = self.core.hier.drain_dirty();

@@ -206,6 +206,10 @@ impl MemorySystem for SwUndoLogging {
         stall
     }
 
+    fn import_line(&mut self, line: LineAddr, token: Token) -> bool {
+        self.core.import_line(line, token)
+    }
+
     fn finish(&mut self, now: Cycle) -> Cycle {
         let end = self.commit_epoch(now);
         let _ = self.core.hier.drain_dirty();

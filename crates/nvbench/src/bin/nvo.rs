@@ -2,13 +2,13 @@
 //!
 //! ```text
 //! nvo list
-//! nvo run --workload B+Tree --scheme NVOverlay [--scale quick|standard|full] [--json] [--stats-out s.json]
+//! nvo run --workload B+Tree --scheme NVOverlay [--scale quick|standard|full] [--shards N] [--json] [--stats-out s.json]
 //! nvo run --trace t.nvtr --scheme PiCL
 //! nvo trace-gen --workload kmeans --out t.nvtr [--scale quick]
 //! nvo trace B+Tree --scheme NVOverlay [--scale quick] [--trace-out t.json] [--stats-out s.json]
 //! nvo snapshots --workload RBTree [--scale quick]
 //! nvo chaos B+Tree --scheme nvoverlay --sites 200 --seed 7 [--jobs N] [--out report.json]
-//! nvo perf [--jobs N] [--scale quick|standard|full] [--out BENCH_perf.json] [--baseline <file>]
+//! nvo perf [--jobs N] [--shards N] [--scale quick|standard|full] [--out BENCH_perf.json] [--baseline <file>]
 //! ```
 //!
 //! `nvo trace` needs the `trace` cargo feature
@@ -16,8 +16,8 @@
 //! build compiles the tracer out entirely.
 
 use nvbench::{
-    chrome_trace_json, default_jobs, gen_traces, registry_json, run_matrix_stats, run_scheme_stats,
-    ChromeMeta, EnvScale, ExpResult, Scheme, Spans,
+    chrome_trace_json, default_jobs, gen_traces, registry_json, run_matrix_stats,
+    run_scheme_sharded, run_scheme_stats, ChromeMeta, EnvScale, ExpResult, Scheme, Spans,
 };
 use nvoverlay::system::NvOverlaySystem;
 use nvsim::memsys::Runner;
@@ -31,7 +31,7 @@ use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  nvo list\n  nvo run --workload <name> --scheme <name> [--scale quick|standard|full] [--json] [--stats-out <file>]\n  nvo run --trace <file.nvtr> --scheme <name>\n  nvo trace-gen --workload <name> --out <file.nvtr> [--scale ...]\n  nvo trace <workload> --scheme <name> [--scale ...] [--trace-out <file>] [--stats-out <file>] [--buffer-cap N] [--sample N]\n  nvo snapshots --workload <name> [--scale ...]\n  nvo diff --workload <name> --from <epoch> --to <epoch> [--scale ...]\n  nvo chaos <workload> --scheme nvoverlay|sw-undo [--sites N] [--seed S] [--scale ...] [--jobs N] [--torn-p P] [--flip-p P] [--stress-backpressure] [--broken-recovery] [--out <file>] [--json]\n  nvo perf [--jobs N] [--scale ...] [--out BENCH_perf.json] [--baseline <file>]"
+        "usage:\n  nvo list\n  nvo run --workload <name> --scheme <name> [--scale quick|standard|full] [--shards N] [--json] [--stats-out <file>]\n  nvo run --trace <file.nvtr> --scheme <name>\n  nvo trace-gen --workload <name> --out <file.nvtr> [--scale ...]\n  nvo trace <workload> --scheme <name> [--scale ...] [--trace-out <file>] [--stats-out <file>] [--buffer-cap N] [--sample N]\n  nvo snapshots --workload <name> [--scale ...]\n  nvo diff --workload <name> --from <epoch> --to <epoch> [--scale ...]\n  nvo chaos <workload> --scheme nvoverlay|sw-undo [--sites N] [--seed S] [--scale ...] [--jobs N] [--torn-p P] [--flip-p P] [--stress-backpressure] [--broken-recovery] [--out <file>] [--json]\n  nvo perf [--jobs N] [--shards N] [--scale ...] [--out BENCH_perf.json] [--baseline <file>]"
     );
     exit(2)
 }
@@ -117,7 +117,20 @@ fn cmd_run(flags: HashMap<String, String>) {
         exit(2);
     };
     let cfg = Arc::new(scale.sim_config());
-    let (r, _stats, reg) = run_scheme_stats(scheme, &cfg, &trace.to_packed());
+    // `--shards N` replays through the island-sharded runner. Results
+    // are invariant to N, so CI compares the outputs of different
+    // counts byte-for-byte (sharded results intentionally differ from
+    // the serial path's: islands are independent sub-machines).
+    let (r, reg) = match shards_requested(&flags) {
+        Some(n) => {
+            let run = run_scheme_sharded(scheme, &cfg, &trace.to_packed(), n);
+            (run.result, run.metrics)
+        }
+        None => {
+            let (r, _stats, reg) = run_scheme_stats(scheme, &cfg, &trace.to_packed());
+            (r, reg)
+        }
+    };
     if let Some(path) = flags.get("stats-out") {
         let wname = flags.get("workload").map(String::as_str).unwrap_or("-");
         let json = registry_json(&reg, &[("scheme", scheme.name()), ("workload", wname)]);
@@ -467,11 +480,36 @@ fn jobs_of(flags: &HashMap<String, String>) -> usize {
     }
 }
 
-/// Extracts the `"throughput_maccess_s"` object from a perf-report JSON
-/// (the exact format `nvo perf` writes) as scheme-name → value pairs.
-fn parse_throughput_baseline(json: &str) -> HashMap<String, f64> {
+/// The sharded-replay worker count, if sharding was requested at all:
+/// `--shards` beats `NVO_SHARDS`; neither means the serial replay path.
+/// One worker still runs the sharded algorithm (every island in turn) —
+/// same results as any other worker count, no thread overlap.
+fn shards_requested(flags: &HashMap<String, String>) -> Option<usize> {
+    if let Some(v) = flags.get("shards") {
+        match v.parse::<usize>() {
+            Ok(n) if n >= 1 => return Some(n),
+            _ => {
+                eprintln!("--shards must be a positive integer, got {v:?}");
+                exit(2);
+            }
+        }
+    }
+    if let Ok(v) = std::env::var("NVO_SHARDS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return Some(n);
+            }
+        }
+    }
+    None
+}
+
+/// Extracts a named throughput object (e.g. `"throughput_maccess_s"`)
+/// from a perf-report JSON (the exact format `nvo perf` writes) as
+/// scheme-name → value pairs.
+fn parse_throughput_baseline(json: &str, key: &str) -> HashMap<String, f64> {
     let mut out = HashMap::new();
-    let Some(start) = json.find("\"throughput_maccess_s\"") else {
+    let Some(start) = json.find(&format!("\"{key}\"")) else {
         return out;
     };
     let Some(open) = json[start..].find('{') else {
@@ -493,15 +531,33 @@ fn parse_throughput_baseline(json: &str) -> HashMap<String, f64> {
     out
 }
 
+/// Microseconds for the JSON report. Sub-microsecond readings are below
+/// the monotonic clock's meaningful granularity on the hosts we run on,
+/// so they clamp to zero instead of encoding noise digits.
+fn micros(secs: f64) -> u64 {
+    let us = (secs * 1e6).round();
+    if us < 1.0 {
+        0
+    } else {
+        us as u64
+    }
+}
+
 /// `nvo perf` — times the parallel experiment engine against the serial
 /// driver on a fixed 6-scheme × 4-workload matrix, reports per-scheme
-/// serial replay throughput (Maccesses/s), and writes `BENCH_perf.json`
-/// with the per-phase breakdown. `--baseline <file>` gates the run
-/// against a checked-in report: any scheme dropping more than 20% below
-/// its baseline throughput fails the command.
+/// serial replay throughput (Maccesses/s), then replays the same matrix
+/// through the island-sharded runner at several worker counts
+/// (`--shards`/`NVO_SHARDS` picks the headline count) and reports the
+/// intra-workload sharded throughput and speedup. Writes
+/// `BENCH_perf.json` with the per-phase breakdown. `--baseline <file>`
+/// gates the run against a checked-in report: any scheme dropping more
+/// than 20% below its baseline throughput (serial or sharded) fails the
+/// command; sharded floors are announced-and-skipped on 1-way hosts,
+/// where one worker thread cannot express a sharded speedup.
 fn cmd_perf(flags: HashMap<String, String>) {
     let scale = scale_of(&flags);
     let jobs = jobs_of(&flags);
+    let shards = shards_requested(&flags).unwrap_or(1);
     let out_path = flags
         .get("out")
         .cloned()
@@ -566,12 +622,15 @@ fn cmd_perf(flags: HashMap<String, String>) {
             (cycles, merged)
         });
         let bytes: u64 = NvmWriteKind::ALL.iter().map(|k| merged.nvm.bytes(*k)).sum();
+        // The stats phase is microseconds-scale: print and report it in
+        // µs — seconds with six decimals (`0.000005`) is below the
+        // clock's meaningful resolution and reads as noise.
         println!(
-            "  {}: trace-gen {:.3}s, replay {:.3}s, stats {:.3}s, total {:.3}s (sum cycles {cycles}, sum NVM bytes {bytes})",
+            "  {}: trace-gen {:.3}s, replay {:.3}s, stats {}us, total {:.3}s (sum cycles {cycles}, sum NVM bytes {bytes})",
             if di == 0 { "serial  " } else { "parallel" },
             timing[di].secs("trace_gen"),
             timing[di].secs("replay"),
-            timing[di].secs("stats"),
+            micros(timing[di].secs("stats")),
             timing[di].total_secs(),
         );
     }
@@ -588,7 +647,77 @@ fn cmd_perf(flags: HashMap<String, String>) {
         println!("    {:<12} {:>8.2} Maccess/s", s.name(), maccess[si]);
     }
 
-    let identical = serial_rows == par_rows;
+    // Sharded replay phase: the same matrix through the island-sharded
+    // runner, once per probed worker count. Count 1 is the reference
+    // for both determinism (results must be invariant to the worker
+    // count) and the sharded speedup; 2 is always probed so the
+    // determinism check never degenerates to a self-comparison.
+    let shard_counts: Vec<usize> = {
+        let mut v = vec![1, 2, shards];
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+    let mut sharded_secs = vec![0.0f64; shard_counts.len()];
+    let mut scheme_sharded_secs = vec![0.0f64; schemes.len()];
+    let mut sharded_identical = true;
+    let mut reference: Vec<(ExpResult, SystemStats, String)> = Vec::new();
+    for (ci, &count) in shard_counts.iter().enumerate() {
+        let t0 = Instant::now();
+        let mut cell = 0usize;
+        for trace in &par_traces {
+            for (si, s) in schemes.iter().enumerate() {
+                let ts = Instant::now();
+                let run = run_scheme_sharded(*s, &cfg, trace, count);
+                if count == shards {
+                    scheme_sharded_secs[si] += ts.elapsed().as_secs_f64();
+                }
+                let out = (run.result, run.stats, run.metrics.dump_tree());
+                if ci == 0 {
+                    reference.push(out);
+                } else if reference[cell] != out {
+                    sharded_identical = false;
+                }
+                cell += 1;
+            }
+        }
+        sharded_secs[ci] = t0.elapsed().as_secs_f64();
+    }
+    let ref_secs = sharded_secs[0];
+    let req_secs = sharded_secs[shard_counts.iter().position(|&c| c == shards).unwrap()];
+    let sharded_speedup = ref_secs / req_secs.max(1e-9);
+    let sharded_meaningful = default_host() > 1 && shards > 1;
+    let sharded_maccess: Vec<f64> = scheme_sharded_secs
+        .iter()
+        .map(|s| total_accesses as f64 / 1e6 / s.max(1e-9))
+        .collect();
+    println!("  replay throughput, sharded ({shards} shards):");
+    for (si, s) in schemes.iter().enumerate() {
+        println!(
+            "    {:<12} {:>8.2} Maccess/s",
+            s.name(),
+            sharded_maccess[si]
+        );
+    }
+    println!(
+        "  sharded output identical across {shard_counts:?} shards: {}",
+        if sharded_identical {
+            "yes"
+        } else {
+            "NO — BUG"
+        }
+    );
+    println!(
+        "  sharded speedup: {sharded_speedup:.2}x ({shards} shards vs 1, host parallelism {}){}",
+        default_host(),
+        if sharded_meaningful {
+            ""
+        } else {
+            " — not meaningful on this host, gate skipped"
+        }
+    );
+
+    let identical = serial_rows == par_rows && sharded_identical;
     let totals = [timing[0].total_secs(), timing[1].total_secs()];
     let speedup = totals[0] / totals[1].max(1e-9);
     // A 1-CPU host (or a single-job invocation) cannot show a parallel
@@ -608,31 +737,45 @@ fn cmd_perf(flags: HashMap<String, String>) {
         }
     );
 
-    let throughput_json = schemes
+    let throughput_table = |vals: &[f64]| {
+        schemes
+            .iter()
+            .enumerate()
+            .map(|(si, s)| format!("\"{}\": {:.4}", s.name(), vals[si]))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let shard_counts_json = shard_counts
         .iter()
-        .enumerate()
-        .map(|(si, s)| format!("\"{}\": {:.4}", s.name(), maccess[si]))
+        .map(|c| c.to_string())
         .collect::<Vec<_>>()
         .join(", ");
     let json = format!(
-        "{{\n  \"matrix\": {{\"schemes\": {}, \"workloads\": {}, \"scale\": \"{:?}\"}},\n  \"host_parallelism\": {},\n  \"jobs\": {},\n  \"accesses_per_scheme\": {},\n  \"serial\": {{\"trace_gen_s\": {:.6}, \"replay_s\": {:.6}, \"stats_s\": {:.6}, \"total_s\": {:.6}}},\n  \"parallel\": {{\"trace_gen_s\": {:.6}, \"replay_s\": {:.6}, \"stats_s\": {:.6}, \"total_s\": {:.6}}},\n  \"throughput_maccess_s\": {{{}}},\n  \"speedup\": {:.4},\n  \"speedup_meaningful\": {},\n  \"outputs_identical\": {}\n}}\n",
+        "{{\n  \"matrix\": {{\"schemes\": {}, \"workloads\": {}, \"scale\": \"{:?}\"}},\n  \"host_parallelism\": {},\n  \"jobs\": {},\n  \"shards\": {},\n  \"accesses_per_scheme\": {},\n  \"serial\": {{\"trace_gen_s\": {:.6}, \"replay_s\": {:.6}, \"stats_us\": {}, \"total_s\": {:.6}}},\n  \"parallel\": {{\"trace_gen_s\": {:.6}, \"replay_s\": {:.6}, \"stats_us\": {}, \"total_s\": {:.6}}},\n  \"sharded\": {{\"counts\": [{}], \"replay_1_s\": {:.6}, \"replay_s\": {:.6}}},\n  \"throughput_maccess_s\": {{{}}},\n  \"throughput_sharded_maccess_s\": {{{}}},\n  \"speedup\": {:.4},\n  \"speedup_meaningful\": {},\n  \"sharded_speedup\": {:.4},\n  \"sharded_speedup_meaningful\": {},\n  \"outputs_identical\": {}\n}}\n",
         schemes.len(),
         workloads.len(),
         scale,
         default_host(),
         jobs,
+        shards,
         total_accesses,
         timing[0].secs("trace_gen"),
         timing[0].secs("replay"),
-        timing[0].secs("stats"),
+        micros(timing[0].secs("stats")),
         totals[0],
         timing[1].secs("trace_gen"),
         timing[1].secs("replay"),
-        timing[1].secs("stats"),
+        micros(timing[1].secs("stats")),
         totals[1],
-        throughput_json,
+        shard_counts_json,
+        ref_secs,
+        req_secs,
+        throughput_table(&maccess),
+        throughput_table(&sharded_maccess),
         speedup,
         meaningful,
+        sharded_speedup,
+        sharded_meaningful,
         identical,
     );
     std::fs::write(&out_path, json).unwrap_or_else(|e| {
@@ -648,7 +791,7 @@ fn cmd_perf(flags: HashMap<String, String>) {
             eprintln!("cannot read baseline {path}: {e}");
             exit(1);
         });
-        let base = parse_throughput_baseline(&txt);
+        let base = parse_throughput_baseline(&txt, "throughput_maccess_s");
         if base.is_empty() {
             eprintln!("baseline {path} has no throughput_maccess_s table");
             exit(1);
@@ -667,6 +810,35 @@ fn cmd_perf(flags: HashMap<String, String>) {
                 }
             }
         }
+        // Sharded floors only bind where a sharded speedup is
+        // expressible; a 1-way host announces the skip instead of
+        // silently passing.
+        let base_sharded = parse_throughput_baseline(&txt, "throughput_sharded_maccess_s");
+        if !base_sharded.is_empty() {
+            if !sharded_meaningful {
+                println!(
+                    "  baseline gate: {} sharded floors SKIPPED (host parallelism {}, {} shards)",
+                    base_sharded.len(),
+                    default_host(),
+                    shards
+                );
+            } else {
+                for (si, s) in schemes.iter().enumerate() {
+                    if let Some(&b) = base_sharded.get(s.name()) {
+                        let floor = b * 0.8;
+                        if sharded_maccess[si] < floor {
+                            eprintln!(
+                                "REGRESSION: {} sharded throughput {:.2} Maccess/s is >20% below baseline {:.2}",
+                                s.name(),
+                                sharded_maccess[si],
+                                b
+                            );
+                            regressed = true;
+                        }
+                    }
+                }
+            }
+        }
         if !regressed {
             println!("  baseline gate: all schemes within 20% of {path}");
         }
@@ -676,6 +848,10 @@ fn cmd_perf(flags: HashMap<String, String>) {
     }
     if meaningful && speedup < 1.0 {
         eprintln!("parallel driver slower than serial on a multi-core host");
+        exit(1);
+    }
+    if sharded_meaningful && sharded_speedup < 1.0 {
+        eprintln!("sharded replay slower than one worker on a multi-core host");
         exit(1);
     }
     if regressed {

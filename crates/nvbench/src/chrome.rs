@@ -9,8 +9,16 @@
 //!   one per epoch id), so each VD row shows its epoch timeline;
 //! * `TagWalkStart`/`TagWalkEnd` become **duration spans**
 //!   (`"B"`/`"E"`), nesting under the VD row;
+//! * `ShardBarrier` events become **async spans** covering the barrier
+//!   wait (arrival clock → globally aligned clock), one per rendezvous
+//!   window, on the emitting shard's `system` lane;
 //! * all other kinds become **instant events** (`"i"`) carrying their
 //!   two kind-specific arguments.
+//!
+//! Sharded-replay logs keep distinct per-shard lanes: the shard id is
+//! folded into the track encoding at emit time (see
+//! `nvsim::nvtrace::lane_label`), so a merged log from an 8-island run
+//! renders `shard.0/vd.0`, `shard.1/vd.1`, … as separate thread rows.
 //!
 //! Timestamps: the simulator's cycle count is written directly as the
 //! microsecond field (`ts`), i.e. one trace microsecond == one
@@ -85,7 +93,7 @@ pub fn chrome_trace_json(log: &TraceLog, meta: &ChromeMeta) -> String {
             "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{},\"tid\":{},\"args\":{{\"name\":\"{}\"}}}}",
             PID,
             t,
-            escape(&nvsim::nvtrace::Track::decode(*t).label())
+            escape(&nvsim::nvtrace::lane_label(*t))
         );
     }
 
@@ -123,6 +131,19 @@ pub fn chrome_trace_json(log: &TraceLog, meta: &ChromeMeta) -> String {
                     ",\"args\":{{\"min_ver\":{},\"versions\":{}}}}}",
                     e.a, e.b
                 );
+            }
+            EventKind::ShardBarrier => {
+                // a = window index, b = globally aligned clock; the
+                // span covers this shard's wait at the rendezvous. The
+                // id is the window, so Perfetto groups the per-shard
+                // waits of one barrier together.
+                let name = format!("barrier {}", e.a);
+                sep(&mut out);
+                push_common(&mut out, &name, "b", e.time, e.track);
+                let _ = write!(out, ",\"cat\":\"barrier\",\"id\":{}}}", e.a);
+                sep(&mut out);
+                push_common(&mut out, &name, "e", e.b.max(e.time), e.track);
+                let _ = write!(out, ",\"cat\":\"barrier\",\"id\":{}}}", e.a);
             }
             _ => {
                 sep(&mut out);
@@ -214,6 +235,45 @@ mod tests {
             b.get("tid").unwrap().as_u64(),
             Some(Track::Vd(0).encode() as u64)
         );
+    }
+
+    #[test]
+    fn shard_lanes_render_as_distinct_tracks_with_barrier_spans() {
+        use nvsim::nvtrace::SHARD_SHIFT;
+        let mut buf = TraceBuffer::new(TraceConfig::default());
+        let sys = Track::System.encode();
+        // The same component track on two shard lanes, each emitting
+        // its window-0 barrier wait (a = window, b = aligned clock).
+        for (shard, arrive) in [(1u16, 80u64), (2, 100)] {
+            buf.push(Event {
+                time: arrive,
+                kind: EventKind::ShardBarrier,
+                track: (sys & 0xE000) | (sys & 0x00FF) | (shard << SHARD_SHIFT),
+                a: 0,
+                b: 100,
+            });
+        }
+        let json = chrome_trace_json(&buf.into_log(), &ChromeMeta::default());
+        let doc = parse(&json).expect("chrome export must parse");
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        let names: Vec<&str> = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("M"))
+            .filter_map(|e| e.get("args").and_then(|a| a.get("name")))
+            .filter_map(|n| n.as_str())
+            .collect();
+        assert!(names.contains(&"shard.0/system"), "lanes: {names:?}");
+        assert!(names.contains(&"shard.1/system"), "lanes: {names:?}");
+        // One async b/e pair per shard, grouped by the window id, and
+        // the slower shard's wait collapses to a zero-length span.
+        let b: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("b"))
+            .collect();
+        assert_eq!(b.len(), 2);
+        assert!(b.iter().all(|e| e.get("id").unwrap().as_u64() == Some(0)));
+        assert_eq!(b[0].get("ts").unwrap().as_u64(), Some(80));
+        assert_eq!(b[1].get("ts").unwrap().as_u64(), Some(100));
     }
 
     #[test]

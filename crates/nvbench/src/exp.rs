@@ -215,6 +215,129 @@ pub fn run_scheme_stats(
     }
 }
 
+/// Outcome of one sharded scheme run: the standard result triple plus
+/// the shard-execution summary (zeroed when the scheme fell back to the
+/// serial path).
+#[derive(Clone, Debug)]
+pub struct ShardedSchemeRun {
+    /// The figure-level result.
+    pub result: ExpResult,
+    /// The merged stats block (ascending island order).
+    pub stats: SystemStats,
+    /// The merged metrics registry (ascending island order).
+    pub metrics: Registry,
+    /// Whether the sharded path actually ran (`false`: the scheme is
+    /// serial-only and [`run_scheme_stats`] drove it instead).
+    pub sharded: bool,
+    /// Islands in the plan (0 when serial).
+    pub islands: usize,
+    /// Barrier windows rendezvoused (0 when serial).
+    pub windows: u64,
+    /// Cross-island exchange entries applied (0 when serial).
+    pub imported_lines: u64,
+}
+
+/// Like [`run_scheme_stats`], but replays the trace island-sharded over
+/// `shards` worker threads (see `nvsim::shard`). The result is
+/// invariant to `shards` by construction — the plan, the barrier
+/// protocol, and the exchange maps depend only on the trace and the
+/// machine configuration — which `tests/shard_determinism.rs` pins.
+///
+/// Schemes whose `MemorySystem::shardable` is `false` (HW Shadow's
+/// global checkpoint quiesce) fall back to the serial driver, so every
+/// scheme remains runnable under any `--shards` value.
+pub fn run_scheme_sharded(
+    scheme: Scheme,
+    cfg: &Arc<SimConfig>,
+    trace: &PackedTrace,
+    shards: usize,
+) -> ShardedSchemeRun {
+    if !scheme.build(cfg).shardable() {
+        let (result, stats, metrics) = run_scheme_stats(scheme, cfg, trace);
+        return ShardedSchemeRun {
+            result,
+            stats,
+            metrics,
+            sharded: false,
+            islands: 0,
+            windows: 0,
+            imported_lines: 0,
+        };
+    }
+    let plan = nvsim::ShardPlan::new(trace, cfg);
+    let icfg = Arc::new(cfg.island_config());
+    let c = &icfg;
+    match scheme {
+        Scheme::Ideal => drive_sharded(
+            |_| IdealSystem::new_shared(Arc::clone(c)),
+            trace,
+            &plan,
+            shards,
+        ),
+        Scheme::SwLogging => drive_sharded(
+            |_| SwUndoLogging::new_shared(Arc::clone(c)),
+            trace,
+            &plan,
+            shards,
+        ),
+        Scheme::SwShadow => drive_sharded(
+            |_| SwShadow::new_shared(Arc::clone(c)),
+            trace,
+            &plan,
+            shards,
+        ),
+        Scheme::HwShadow => unreachable!("HW Shadow declares itself serial-only"),
+        Scheme::Picl => drive_sharded(
+            |_| Picl::new_shared(Arc::clone(c), PiclLevel::Llc),
+            trace,
+            &plan,
+            shards,
+        ),
+        Scheme::PiclL2 => drive_sharded(
+            |_| Picl::new_shared(Arc::clone(c), PiclLevel::L2),
+            trace,
+            &plan,
+            shards,
+        ),
+        Scheme::NvOverlay => drive_sharded(
+            |_| NvOverlaySystem::new_shared(Arc::clone(c)),
+            trace,
+            &plan,
+            shards,
+        ),
+        Scheme::NvOverlayBuffered => drive_sharded(
+            |_| NvOverlaySystem::with_omc_buffer_shared(Arc::clone(c)),
+            trace,
+            &plan,
+            shards,
+        ),
+    }
+}
+
+/// Monomorphized sharded driver (see [`drive`] for why).
+fn drive_sharded<S, F>(
+    factory: F,
+    trace: &PackedTrace,
+    plan: &nvsim::ShardPlan,
+    shards: usize,
+) -> ShardedSchemeRun
+where
+    S: MemorySystem,
+    F: Fn(usize) -> S + Sync,
+{
+    let report = Runner::new().run_packed_sharded(factory, trace, plan, shards);
+    let result = ExpResult::from_stats(&report.stats, report.cycles, report.stall_cycles);
+    ShardedSchemeRun {
+        result,
+        stats: report.stats,
+        metrics: report.metrics,
+        sharded: true,
+        islands: report.islands,
+        windows: report.windows,
+        imported_lines: report.imported_lines,
+    }
+}
+
 /// NVOverlay-specific measurements (Fig 13 / Fig 16).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct NvoDetail {

@@ -1428,6 +1428,23 @@ impl VersionedHierarchy {
         }
         best.map(|(_, t)| t).unwrap_or_else(|| self.dram.peek(line))
     }
+
+    /// Installs a cross-island line at its DRAM home during a sharded
+    /// replay barrier (see `nvsim::shard`). Returns `true` if the token
+    /// was written. If any CST level still holds the line, the island's
+    /// own versioned copy is authoritative and the import is skipped —
+    /// the overlay chain and OID tags stay exactly as the island's
+    /// local trace produced them.
+    pub fn import_line(&mut self, line: LineAddr, token: Token) -> bool {
+        if self.l1s.iter().any(|c| c.peek(line).is_some())
+            || self.l2s.iter().any(|c| c.peek(line).is_some())
+            || self.llc[self.slice_of(line)].peek(line).is_some()
+        {
+            return false;
+        }
+        self.dram.write(line, token);
+        true
+    }
 }
 
 impl VersionedHierarchy {

@@ -316,6 +316,37 @@ impl MemorySystem for NvOverlaySystem {
         stall + bp
     }
 
+    fn import_line(&mut self, line: LineAddr, token: Token) -> bool {
+        self.hier.import_line(line, token)
+    }
+
+    fn epoch_floor(&self) -> u64 {
+        (0..self.hier.config().vd_count())
+            .map(|v| self.hier.epoch_abs(VdId(v)))
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn raise_epoch_floor(&mut self, floor: u64, now: Cycle) -> Cycle {
+        // Lamport sync at a shard barrier: every VD whose epoch is
+        // behind the global floor advances with `CoherenceSync` — the
+        // same cause a cross-VD coherence hit would have charged — and
+        // the versions each advance flushes drain through the MNM
+        // exactly as mid-run advances do.
+        let mut stall = 0;
+        for v in 0..self.hier.config().vd_count() {
+            let vd = VdId(v);
+            while self.hier.epoch_abs(vd) < floor {
+                stall += self
+                    .hier
+                    .advance_epoch_explicit(vd, AdvanceCause::CoherenceSync);
+                stall += self.drain_events(now + stall);
+            }
+        }
+        self.stats.persist_stall_cycles += stall;
+        stall
+    }
+
     fn finish(&mut self, now: Cycle) -> Cycle {
         let versions = self.hier.drain();
         for v in versions {

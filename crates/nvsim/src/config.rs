@@ -200,6 +200,34 @@ impl SimConfig {
         self.llc.size_bytes / self.llc_slices as u64
     }
 
+    /// The configuration of one replay island: the slice of this
+    /// machine owned by a single Versioned Domain. The island keeps the
+    /// VD's cores, L1s and L2 exactly, and takes a proportional share of
+    /// the shared back end (LLC slices, DRAM controllers, NVM banks).
+    /// `epoch_size_stores` and `bandwidth_bucket_cycles` are unchanged so
+    /// the per-VD epoch cadence and the bandwidth-series bucket width —
+    /// which merged series must agree on — are preserved.
+    ///
+    /// If the proportional LLC share does not divide into a power-of-two
+    /// set count, the island keeps the aggregate LLC geometry instead
+    /// (capacity fidelity is a modeling choice; validity is not).
+    pub fn island_config(&self) -> SimConfig {
+        let islands = self.vd_count().max(1);
+        let mut c = self.clone();
+        c.cores = self.cores_per_vd;
+        c.llc_slices = (self.llc_slices / islands).max(1);
+        let min_llc = LINE_BYTES * c.llc.ways as u64 * c.llc_slices as u64;
+        c.llc.size_bytes = (self.llc.size_bytes / islands as u64).max(min_llc);
+        c.nvm_banks = (self.nvm_banks / islands).max(1);
+        c.dram_controllers = (self.dram_controllers / islands).max(1);
+        if c.validate().is_err() {
+            c.llc = self.llc;
+            c.llc_slices = self.llc_slices;
+        }
+        debug_assert!(c.validate().is_ok(), "island config must stay valid");
+        c
+    }
+
     /// Validates the configuration.
     ///
     /// # Errors

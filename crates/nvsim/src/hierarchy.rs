@@ -1209,6 +1209,23 @@ impl Hierarchy {
         // Clean copies equal memory.
         self.dram.peek(line)
     }
+
+    /// Installs a cross-island line at its DRAM home during a sharded
+    /// replay barrier (see [`crate::shard`]). Returns `true` if the
+    /// token was written. If any cache level still holds the line, the
+    /// island's own copy is authoritative and the import is skipped —
+    /// keeping the island's coherence lattice untouched is what lets
+    /// each island evolve exactly as its local trace dictates.
+    pub fn import_line(&mut self, line: LineAddr, token: Token) -> bool {
+        if self.l1s.iter().any(|c| c.peek(line).is_some())
+            || self.l2s.iter().any(|c| c.peek(line).is_some())
+            || self.llc[self.slice_of(line)].peek(line).is_some()
+        {
+            return false;
+        }
+        self.dram.write(line, token);
+        true
+    }
 }
 
 impl std::fmt::Debug for Hierarchy {

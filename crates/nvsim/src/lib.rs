@@ -32,6 +32,10 @@
 //!   write with logical payloads, in-flight windows, and prefix-closed
 //!   crash cuts with torn-write boundaries. Drives the `nvchaos`
 //!   crash-site explorer.
+//! * [`shard`] — island-sharded replay planning: partitions a packed
+//!   trace by VD into independent sub-machines with epoch-barrier
+//!   windows and canonical cross-island exchange maps, all derived from
+//!   the trace alone so results are invariant to the worker count.
 //! * [`rng`] — deterministic xoshiro256++ randomness (no external crates).
 //! * [`nvtrace`] — structured event tracing into a per-thread ring
 //!   buffer (flight recorder). Compiled out without the `trace` cargo
@@ -67,6 +71,7 @@ pub mod noc;
 pub mod nvm;
 pub mod nvtrace;
 pub mod rng;
+pub mod shard;
 pub mod stats;
 pub mod trace;
 pub mod trace_io;
@@ -74,4 +79,5 @@ pub mod trace_io;
 pub use addr::{Addr, CoreId, LineAddr, PageAddr, ThreadId, Token, VdId};
 pub use clock::Cycle;
 pub use config::SimConfig;
-pub use memsys::{AccessOutcome, MemOp, MemorySystem, RunReport, Runner};
+pub use memsys::{AccessOutcome, MemOp, MemorySystem, RunReport, Runner, ShardedRunReport};
+pub use shard::ShardPlan;

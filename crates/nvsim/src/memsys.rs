@@ -71,6 +71,38 @@ pub trait MemorySystem {
         self.stats().metrics_into(&mut reg, "sys");
         reg
     }
+
+    /// Whether the scheme supports island-sharded replay
+    /// ([`Runner::run_packed_sharded`]). Schemes whose persistence
+    /// mechanism is inherently machine-global (e.g. whole-machine
+    /// shadow checkpointing) return `false` and are replayed serially.
+    fn shardable(&self) -> bool {
+        true
+    }
+
+    /// Deposits `token` as the home-memory content of `line` — the
+    /// epoch-barrier import of a remote island's write. Applied only if
+    /// no cache in this system holds the line (a cached local copy is
+    /// newer by the sharded-replay ordering); returns whether the
+    /// deposit was applied so the caller can mirror it into its golden
+    /// model. The default (no home memory to write) applies nothing.
+    fn import_line(&mut self, _line: LineAddr, _token: Token) -> bool {
+        false
+    }
+
+    /// The scheme's most advanced epoch, published at shard barriers so
+    /// islands can Lamport-sync. Schemes without epoch state report 0.
+    fn epoch_floor(&self) -> u64 {
+        0
+    }
+
+    /// Raises every epoch domain to at least `floor` (the barrier's
+    /// Lamport sync: a domain observing a newer epoch advances to it).
+    /// Returns the stall this imposes on the scheme's cores. The
+    /// default (no epoch state) does nothing.
+    fn raise_epoch_floor(&mut self, _floor: u64, _now: Cycle) -> Cycle {
+        0
+    }
 }
 
 /// Summary of one [`Runner::run`].
@@ -236,6 +268,352 @@ impl Runner {
             accesses,
             load_value_mismatches,
             golden_image: golden,
+        }
+    }
+
+    /// Replays a packed trace sharded across islands (see
+    /// [`crate::shard::ShardPlan`]): each island drives its own
+    /// sub-machine (built by `factory` from the island configuration)
+    /// through the plan's windows, rendezvousing at epoch barriers to
+    /// align clocks, Lamport-sync epochs, and import the canonical
+    /// cross-island exchange.
+    ///
+    /// `workers` is purely an execution knob: islands are fixed by the
+    /// plan, barriers are max-reductions over all islands, and imports
+    /// are trace-derived, so the report is **byte-identical for every
+    /// worker count** (the differential tests pin 1 vs 2 vs 4 vs 8).
+    /// Per-island stats, metrics and golden images are merged on the
+    /// calling thread in ascending island order; worker-thread trace
+    /// recorders are absorbed into the caller's recorder (per-kind
+    /// event counts are worker-invariant, event order is not).
+    ///
+    /// # Panics
+    /// Panics if the plan and trace disagree (wrong thread count) or if
+    /// the factory builds a system with fewer cores than an island has
+    /// threads.
+    pub fn run_packed_sharded<S, F>(
+        &self,
+        factory: F,
+        trace: &PackedTrace,
+        plan: &crate::shard::ShardPlan,
+        workers: usize,
+    ) -> ShardedRunReport
+    where
+        S: MemorySystem,
+        F: Fn(usize) -> S + Sync,
+    {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::{Barrier, Mutex};
+
+        let islands = plan.island_count();
+        let windows = plan.window_count();
+        let nworkers = workers.clamp(1, islands.max(1));
+        let gap = self.gap_cycles;
+
+        let clock_pub: Vec<AtomicU64> = (0..islands).map(|_| AtomicU64::new(0)).collect();
+        let epoch_pub: Vec<AtomicU64> = (0..islands).map(|_| AtomicU64::new(0)).collect();
+        let barrier = Barrier::new(nworkers);
+        let slots: Vec<Mutex<Option<IslandOutcome>>> =
+            (0..islands).map(|_| Mutex::new(None)).collect();
+        let trace_cfg = crate::nvtrace::active_config();
+        let worker_logs: Vec<Mutex<Option<crate::nvtrace::TraceLog>>> =
+            (0..nworkers).map(|_| Mutex::new(None)).collect();
+
+        std::thread::scope(|scope| {
+            for wid in 0..nworkers {
+                let factory = &factory;
+                let clock_pub = &clock_pub;
+                let epoch_pub = &epoch_pub;
+                let barrier = &barrier;
+                let slots = &slots;
+                let worker_logs = &worker_logs;
+                scope.spawn(move || {
+                    if let Some(tc) = trace_cfg {
+                        crate::nvtrace::install(tc);
+                    }
+                    // This worker's islands, ascending.
+                    let mine: Vec<usize> = (wid..islands).step_by(nworkers).collect();
+                    let mut runs: Vec<IslandRun<'_, S>> = mine
+                        .iter()
+                        .map(|&i| IslandRun::new(factory(i), trace, plan, i))
+                        .collect();
+                    for w in 0..windows {
+                        for run in &mut runs {
+                            crate::nvtrace::set_shard(run.island as u16 + 1);
+                            run.run_window(plan, w, gap);
+                            clock_pub[run.island].store(run.max_clock(), Ordering::Relaxed);
+                            epoch_pub[run.island].store(run.sys.epoch_floor(), Ordering::Relaxed);
+                        }
+                        // Rendezvous 1: every island's clock and epoch
+                        // floor is published. The max-reductions below
+                        // are order-independent, so every worker
+                        // computes identical barrier targets.
+                        barrier.wait();
+                        let t_max = clock_pub.iter().map(|c| c.load(Ordering::Relaxed)).max();
+                        let e_max = epoch_pub.iter().map(|c| c.load(Ordering::Relaxed)).max();
+                        let (t_max, e_max) = (t_max.unwrap_or(0), e_max.unwrap_or(0));
+                        // Rendezvous 2: nobody republishes for window
+                        // w+1 until everyone has read window w's maxima.
+                        barrier.wait();
+                        for run in &mut runs {
+                            crate::nvtrace::set_shard(run.island as u16 + 1);
+                            run.barrier_sync(plan, w, t_max, e_max);
+                        }
+                    }
+                    for run in runs {
+                        let island = run.island;
+                        *slots[island].lock().expect("island slot") = Some(run.finish());
+                    }
+                    crate::nvtrace::set_shard(0);
+                    if trace_cfg.is_some() {
+                        *worker_logs[wid].lock().expect("log slot") = crate::nvtrace::take();
+                    }
+                });
+            }
+        });
+
+        // Absorb worker trace logs into the caller's recorder.
+        for slot in worker_logs {
+            if let Some(log) = slot.into_inner().expect("log slot") {
+                crate::nvtrace::absorb(&log);
+            }
+        }
+
+        // Merge island outcomes in ascending island order — fixed
+        // regardless of which worker ran which island.
+        let mut report = ShardedRunReport {
+            cycles: 0,
+            persist_done: 0,
+            stall_cycles: 0,
+            accesses: 0,
+            load_value_mismatches: 0,
+            imported_lines: 0,
+            islands,
+            workers: nworkers,
+            windows: windows as u64,
+            stats: SystemStats::default(),
+            metrics: crate::metrics::Registry::new(),
+            golden_image: FastMap::default(),
+        };
+        let mut first = true;
+        for slot in slots {
+            let o = slot
+                .into_inner()
+                .expect("island slot")
+                .expect("every island ran");
+            report.cycles = report.cycles.max(o.cycles);
+            report.persist_done = report.persist_done.max(o.persist_done);
+            report.stall_cycles += o.stall_cycles;
+            report.accesses += o.accesses;
+            report.load_value_mismatches += o.mismatches;
+            report.imported_lines += o.imported;
+            if first {
+                report.stats = o.stats;
+                report.metrics = crate::metrics::Registry::from_frozen(o.metrics);
+                first = false;
+            } else {
+                report.stats.merge(&o.stats);
+                report
+                    .metrics
+                    .merge(&crate::metrics::Registry::from_frozen(o.metrics));
+            }
+            for (line, token) in &o.golden {
+                report.golden_image.insert(*line, *token);
+            }
+        }
+        report
+    }
+}
+
+/// Summary of one [`Runner::run_packed_sharded`].
+#[derive(Clone, Debug)]
+pub struct ShardedRunReport {
+    /// Wall-clock cycles: the maximum island clock at the final barrier.
+    pub cycles: Cycle,
+    /// Latest island persist-done time.
+    pub persist_done: Cycle,
+    /// Persistence stalls summed over all islands' cores.
+    pub stall_cycles: Cycle,
+    /// Accesses executed across all islands.
+    pub accesses: u64,
+    /// Island-local golden-model mismatches (must be zero).
+    pub load_value_mismatches: u64,
+    /// Cross-island exchange entries applied (per-run determinism aid).
+    pub imported_lines: u64,
+    /// Number of islands in the plan.
+    pub islands: usize,
+    /// Worker threads actually used.
+    pub workers: usize,
+    /// Barrier windows rendezvoused.
+    pub windows: u64,
+    /// All islands' stats merged in ascending island order.
+    pub stats: SystemStats,
+    /// All islands' metrics merged in ascending island order.
+    pub metrics: crate::metrics::Registry,
+    /// Island golden images merged in ascending island order
+    /// (diagnostic; not the serial interleaving's image).
+    pub golden_image: FastMap<LineAddr, Token>,
+}
+
+/// Plain-data result of one island, returned from its worker.
+struct IslandOutcome {
+    cycles: Cycle,
+    persist_done: Cycle,
+    stall_cycles: Cycle,
+    accesses: u64,
+    mismatches: u64,
+    imported: u64,
+    stats: SystemStats,
+    metrics: crate::metrics::FrozenRegistry,
+    golden: FastMap<LineAddr, Token>,
+}
+
+/// One island mid-replay: its sub-machine plus local runner state.
+struct IslandRun<'t, S> {
+    sys: S,
+    island: usize,
+    clocks: Vec<CoreClock>,
+    cursors: Vec<usize>,
+    streams: Vec<&'t [PackedEvent]>,
+    golden: FastMap<LineAddr, Token>,
+    accesses: u64,
+    mismatches: u64,
+    imported: u64,
+}
+
+impl<'t, S: MemorySystem> IslandRun<'t, S> {
+    fn new(sys: S, trace: &'t PackedTrace, plan: &crate::shard::ShardPlan, island: usize) -> Self {
+        let ip = plan.island(island);
+        let streams: Vec<&[PackedEvent]> = ip.threads.iter().map(|&t| trace.thread(t)).collect();
+        let n = streams.len();
+        Self {
+            sys,
+            island,
+            clocks: (0..n).map(|_| CoreClock::new()).collect(),
+            cursors: vec![0; n],
+            streams,
+            golden: FastMap::default(),
+            accesses: 0,
+            mismatches: 0,
+            imported: 0,
+        }
+    }
+
+    fn max_clock(&self) -> Cycle {
+        self.clocks.iter().map(|c| c.now()).max().unwrap_or(0)
+    }
+
+    /// Replays this island's slice of window `w`: the scan-min loop of
+    /// [`Runner::run_packed`] over the island's local cores, bounded by
+    /// the plan's window cuts.
+    fn run_window(&mut self, plan: &crate::shard::ShardPlan, w: usize, gap: Cycle) {
+        let cuts = &plan.island(self.island).cuts;
+        let n = self.streams.len();
+        let mut wake: Vec<Cycle> = (0..n)
+            .map(|l| {
+                if self.cursors[l] < cuts[l][w] {
+                    self.clocks[l].now()
+                } else {
+                    Cycle::MAX
+                }
+            })
+            .collect();
+        loop {
+            let mut i = usize::MAX;
+            let mut t = Cycle::MAX;
+            for (c, &wk) in wake.iter().enumerate() {
+                if wk < t {
+                    t = wk;
+                    i = c;
+                }
+            }
+            if i == usize::MAX {
+                break;
+            }
+            let core = CoreId(i as u16);
+            let e = self.streams[i][self.cursors[i]];
+            if !e.is_mark() {
+                let (op, addr, token) = (e.op(), e.addr(), e.token());
+                let out = self.sys.access(core, op, addr, token, t);
+                let lat = out.latency.max(1);
+                self.clocks[i].advance(lat - out.persist_stall.min(lat));
+                self.clocks[i].stall(out.persist_stall.min(lat));
+                self.clocks[i].advance(gap);
+                match op {
+                    MemOp::Store => {
+                        self.golden.insert(addr.line(), token);
+                    }
+                    MemOp::Load => {
+                        let expect = self.golden.get(&addr.line()).copied().unwrap_or(0);
+                        if out.value != expect {
+                            self.mismatches += 1;
+                            debug_assert_eq!(
+                                out.value, expect,
+                                "stale load of {addr} on island {} {core}",
+                                self.island
+                            );
+                        }
+                    }
+                }
+                self.accesses += 1;
+            } else {
+                let stall = self.sys.epoch_mark(core, t);
+                self.clocks[i].stall(stall);
+                self.clocks[i].advance(1);
+            }
+            self.cursors[i] += 1;
+            wake[i] = if self.cursors[i] < cuts[i][w] {
+                self.clocks[i].now()
+            } else {
+                Cycle::MAX
+            };
+        }
+    }
+
+    /// Applies the barrier's effects: emit the rendezvous event, align
+    /// island clocks to the global maximum (idle wait, not stall),
+    /// Lamport-sync the epoch floor, and import the window's canonical
+    /// cross-island exchange.
+    fn barrier_sync(&mut self, plan: &crate::shard::ShardPlan, w: usize, t_max: Cycle, e_max: u64) {
+        crate::nvtrace::TraceScope::new(crate::nvtrace::Track::System).emit(
+            crate::nvtrace::EventKind::ShardBarrier,
+            self.max_clock(),
+            w as u64,
+            t_max,
+        );
+        for c in &mut self.clocks {
+            let now = c.now();
+            if now < t_max {
+                c.advance(t_max - now);
+            }
+        }
+        let stall = self.sys.raise_epoch_floor(e_max, t_max);
+        if stall > 0 {
+            for c in &mut self.clocks {
+                c.stall(stall);
+            }
+        }
+        for entry in plan.exchange(w) {
+            if entry.src as usize != self.island && self.sys.import_line(entry.line, entry.token) {
+                self.golden.insert(entry.line, entry.token);
+                self.imported += 1;
+            }
+        }
+    }
+
+    fn finish(mut self) -> IslandOutcome {
+        let cycles = self.max_clock();
+        let persist_done = self.sys.finish(cycles);
+        IslandOutcome {
+            cycles,
+            persist_done,
+            stall_cycles: self.clocks.iter().map(|c| c.stall_cycles()).sum(),
+            accesses: self.accesses,
+            mismatches: self.mismatches,
+            imported: self.imported,
+            stats: self.sys.stats().clone(),
+            metrics: self.sys.metrics().into_frozen(),
+            golden: self.golden,
         }
     }
 }

@@ -295,7 +295,29 @@ impl Registry {
         }
         out
     }
+
+    /// Freezes the registry and returns a thread-portable snapshot.
+    pub fn into_frozen(mut self) -> FrozenRegistry {
+        self.freeze();
+        FrozenRegistry(self.map)
+    }
+
+    /// Rebuilds a registry (with no live cells) from a snapshot.
+    pub fn from_frozen(f: FrozenRegistry) -> Self {
+        Self {
+            map: f.0,
+            cells: Vec::new(),
+        }
+    }
 }
+
+/// A frozen, thread-portable registry snapshot: the recorded name →
+/// value map with every live cell already folded in. [`Registry`]
+/// itself is not `Send` (live [`CounterCell`]s are `Rc`-shared), so
+/// sharded-replay workers ship one of these back to the merge thread
+/// and the caller rehydrates with [`Registry::from_frozen`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FrozenRegistry(BTreeMap<String, MetricValue>);
 
 #[cfg(test)]
 mod tests {

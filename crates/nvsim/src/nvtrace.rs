@@ -62,11 +62,16 @@ pub enum EventKind {
     /// write id, `b` = fault code: 0 = crash cut, 1 = torn write,
     /// 2 = bit flip, 3 = dropped write).
     FaultInjected,
+    /// A replay island reached an epoch-barrier rendezvous (`a` =
+    /// window index, `b` = the globally aligned clock after the
+    /// barrier). `time` is the island's clock on arrival, so the
+    /// `time..b` gap is the island's barrier wait.
+    ShardBarrier,
 }
 
 impl EventKind {
     /// All kinds, in a stable order.
-    pub const ALL: [EventKind; 11] = [
+    pub const ALL: [EventKind; 12] = [
         EventKind::EpochAdvance,
         EventKind::TagWalkStart,
         EventKind::TagWalkEnd,
@@ -78,6 +83,7 @@ impl EventKind {
         EventKind::LogWrite,
         EventKind::RecoveryStep,
         EventKind::FaultInjected,
+        EventKind::ShardBarrier,
     ];
 
     /// Stable index (array slot) of this kind.
@@ -94,6 +100,7 @@ impl EventKind {
             EventKind::LogWrite => 8,
             EventKind::RecoveryStep => 9,
             EventKind::FaultInjected => 10,
+            EventKind::ShardBarrier => 11,
         }
     }
 
@@ -123,6 +130,7 @@ impl EventKind {
             EventKind::LogWrite => "log-write",
             EventKind::RecoveryStep => "recovery-step",
             EventKind::FaultInjected => "fault-injected",
+            EventKind::ShardBarrier => "shard-barrier",
         }
     }
 }
@@ -155,6 +163,32 @@ pub enum Track {
     Fault,
 }
 
+/// Bit position of the shard-lane field inside an encoded track.
+pub const SHARD_SHIFT: u16 = 8;
+/// Width mask of the shard-lane field (5 bits: shards 1–31; 0 means
+/// "unsharded", preserving the legacy encoding bit-for-bit).
+pub const SHARD_MASK: u16 = 0x1F;
+
+/// The shard lane of an encoded track id (0 = unsharded). Sharded
+/// replay stamps the emitting island's 1-based id into bits 12..8 of
+/// every track (see [`set_shard`]); component indices then occupy the
+/// low 8 bits.
+pub fn shard_of(raw: u16) -> u16 {
+    (raw >> SHARD_SHIFT) & SHARD_MASK
+}
+
+/// Display label of an encoded track id including its shard lane, e.g.
+/// `shard.2/vd.0`. Falls back to the plain [`Track::label`] for
+/// unsharded ids.
+pub fn lane_label(raw: u16) -> String {
+    let s = shard_of(raw);
+    if s == 0 {
+        Track::decode(raw).label()
+    } else {
+        format!("shard.{}/{}", s - 1, Track::decode(raw).label())
+    }
+}
+
 impl Track {
     const TAG_SYSTEM: u16 = 0;
     const TAG_VD: u16 = 1;
@@ -180,9 +214,14 @@ impl Track {
         (tag << 13) | (ix & 0x1FFF)
     }
 
-    /// Reverses [`Track::encode`].
+    /// Reverses [`Track::encode`]. For sharded ids (see [`shard_of`])
+    /// only the low 8 component-index bits are decoded.
     pub fn decode(raw: u16) -> Track {
-        let ix = raw & 0x1FFF;
+        let ix = if shard_of(raw) == 0 {
+            raw & 0x1FFF
+        } else {
+            raw & 0xFF
+        };
         match raw >> 13 {
             Self::TAG_VD => Track::Vd(ix),
             Self::TAG_CORE => Track::Core(ix),
@@ -382,8 +421,70 @@ impl TraceLog {
     }
 }
 
+impl TraceBuffer {
+    /// The buffer's knobs.
+    pub fn config(&self) -> TraceConfig {
+        self.cfg
+    }
+
+    /// Appends every event of a harvested log (already sampled — no
+    /// re-sampling) and folds its loss accounting into this buffer.
+    /// Used to merge per-worker recorders after a sharded replay.
+    pub fn absorb(&mut self, log: &TraceLog) {
+        for e in &log.events {
+            self.accepted += 1;
+            if self.ring.len() < self.cfg.capacity {
+                self.ring.push(*e);
+                self.head = self.ring.len() % self.cfg.capacity;
+            } else {
+                self.ring[self.head] = *e;
+                self.head = (self.head + 1) % self.cfg.capacity;
+            }
+        }
+        self.accepted += log.overwritten;
+        for (k, n) in log.sampled_out.iter().enumerate() {
+            self.sampled_out[k] += n;
+        }
+    }
+}
+
 thread_local! {
     static RECORDER: RefCell<Option<TraceBuffer>> = const { RefCell::new(None) };
+    static SHARD: std::cell::Cell<u16> = const { std::cell::Cell::new(0) };
+}
+
+/// Sets the current thread's shard lane: 0 = unsharded (the default),
+/// `s > 0` stamps island `s - 1` into bits 12..8 of every subsequently
+/// emitted track so merged exports keep distinct per-shard rows.
+/// Component indices are truncated to 8 bits while a lane is active.
+pub fn set_shard(s: u16) {
+    SHARD.with(|c| c.set(s & SHARD_MASK));
+}
+
+/// The current thread's shard lane (see [`set_shard`]).
+pub fn current_shard() -> u16 {
+    SHARD.with(|c| c.get())
+}
+
+/// The installed recorder's configuration, if tracing is active on this
+/// thread. Sharded replay uses this to install matching recorders on
+/// its worker threads.
+pub fn active_config() -> Option<TraceConfig> {
+    if !is_active() {
+        return None;
+    }
+    RECORDER.with(|r| r.borrow().as_ref().map(TraceBuffer::config))
+}
+
+/// Merges a harvested log into the current thread's recorder (no-op if
+/// none is installed). Event order follows absorption order; per-kind
+/// counts are what sharded differential tests pin.
+pub fn absorb(log: &TraceLog) {
+    RECORDER.with(|r| {
+        if let Some(buf) = r.borrow_mut().as_mut() {
+            buf.absorb(log);
+        }
+    });
 }
 
 #[cfg(feature = "trace")]
@@ -456,7 +557,12 @@ impl TraceScope {
         if !ACTIVE.with(|f| f.get()) {
             return;
         }
-        let track = self.track;
+        // With a shard lane active, keep the tag (bits 15..13) and the
+        // low 8 component-index bits, and stamp the lane into bits 12..8.
+        let track = match SHARD.with(|c| c.get()) {
+            0 => self.track,
+            s => (self.track & 0xE000) | (self.track & 0x00FF) | (s << SHARD_SHIFT),
+        };
         RECORDER.with(|r| {
             if let Some(buf) = r.borrow_mut().as_mut() {
                 buf.push(Event {

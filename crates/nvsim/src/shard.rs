@@ -1,0 +1,293 @@
+//! Island-sharded replay planning.
+//!
+//! A [`ShardPlan`] partitions one packed trace into per-VD **islands** —
+//! each island is a complete sub-machine (the VD's cores, their private
+//! L1s, the VD's L2, and a proportional slice of LLC/DRAM/NVM capacity,
+//! see [`crate::config::SimConfig::island_config`]) — and cuts every
+//! thread's event stream into **windows** of a fixed store budget.
+//! Islands replay their windows independently; at the window boundary
+//! they rendezvous at an epoch barrier, align clocks, raise their epoch
+//! floor (Lamport sync across domains), and exchange the lines written
+//! during the window in a canonical order.
+//!
+//! Everything in the plan — island membership, window cuts, and the
+//! per-window exchange maps — is derived from the trace and the machine
+//! configuration alone, **never** from runtime state. That is what makes
+//! sharded replay invariant to the worker count: a plan replayed by 1
+//! worker and by 8 workers performs the same island steps against the
+//! same imported data at the same barrier points, so every statistic,
+//! metric, and trace-event count comes out byte-identical (enforced by
+//! `nvbench/tests/shard_determinism.rs`).
+
+use crate::addr::{LineAddr, ThreadId, Token};
+use crate::config::SimConfig;
+use crate::memsys::MemOp;
+use crate::trace::PackedTrace;
+use std::collections::BTreeMap;
+
+/// One island: a VD's worth of threads plus their window cuts.
+#[derive(Clone, Debug)]
+pub struct IslandPlan {
+    /// The VD this island models (index into the full machine).
+    pub vd: u16,
+    /// Global trace threads driven by this island, ascending. Local core
+    /// `l` of the island machine runs `threads[l]`.
+    pub threads: Vec<ThreadId>,
+    /// Per local thread: cumulative end index (exclusive) of each
+    /// window's event segment; `cuts[l][w]` is one past the last event
+    /// of window `w`. Every row has the plan's window count, padded with
+    /// the stream length once the stream is exhausted.
+    pub cuts: Vec<Vec<usize>>,
+}
+
+/// One entry of a window's exchange map: the canonical last writer of a
+/// line during that window.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExchangeEntry {
+    /// The written line.
+    pub line: LineAddr,
+    /// The winning token.
+    pub token: Token,
+    /// The island that wrote it (entries are skipped by their writer at
+    /// import time).
+    pub src: u16,
+}
+
+/// A deterministic sharded-replay schedule over one packed trace.
+#[derive(Clone, Debug)]
+pub struct ShardPlan {
+    islands: Vec<IslandPlan>,
+    windows: usize,
+    window_stores: u64,
+    /// Per window, the merged cross-island exchange map, ascending by
+    /// line address (canonical import order).
+    exchanges: Vec<Vec<ExchangeEntry>>,
+}
+
+impl ShardPlan {
+    /// Derives the plan for `trace` on the machine `cfg` describes.
+    ///
+    /// Threads map to cores 1:1 (thread *i* runs on core *i*), so island
+    /// membership follows the machine's VD topology: island *v* owns the
+    /// threads of cores `[v·cores_per_vd, (v+1)·cores_per_vd)`. Windows
+    /// cut each thread's stream every `epoch_size_stores / cores_per_vd`
+    /// stores — the per-thread share of a VD's epoch budget — so barrier
+    /// cadence tracks the machine's epoch cadence.
+    ///
+    /// # Panics
+    /// Panics if the trace has more threads than the machine has cores.
+    pub fn new(trace: &PackedTrace, cfg: &SimConfig) -> Self {
+        let threads = trace.thread_count();
+        assert!(
+            threads <= cfg.cores as usize,
+            "trace has {threads} threads but the machine has {} cores",
+            cfg.cores
+        );
+        let cpv = cfg.cores_per_vd.max(1) as usize;
+        let window_stores = (cfg.epoch_size_stores / cpv as u64).max(1);
+
+        // Cut every thread's stream after each `window_stores` stores.
+        let mut islands: Vec<IslandPlan> = Vec::new();
+        let mut windows = 1usize;
+        for t0 in (0..threads).step_by(cpv) {
+            let vd = (t0 / cpv) as u16;
+            let members: Vec<ThreadId> = (t0..(t0 + cpv).min(threads))
+                .map(|t| ThreadId(t as u16))
+                .collect();
+            let mut cuts: Vec<Vec<usize>> = Vec::with_capacity(members.len());
+            for &tid in &members {
+                let stream = trace.thread(tid);
+                let mut row = Vec::new();
+                let mut stores = 0u64;
+                for (i, e) in stream.iter().enumerate() {
+                    if !e.is_mark() && e.op() == MemOp::Store {
+                        stores += 1;
+                        if stores == window_stores {
+                            row.push(i + 1);
+                            stores = 0;
+                        }
+                    }
+                }
+                // The remainder (trailing loads/marks, or a short final
+                // store run) always closes the last window.
+                if row.last() != Some(&stream.len()) {
+                    row.push(stream.len());
+                }
+                windows = windows.max(row.len());
+                cuts.push(row);
+            }
+            islands.push(IslandPlan {
+                vd,
+                threads: members,
+                cuts,
+            });
+        }
+        // Pad every cut row to the global window count: exhausted
+        // streams contribute empty segments to the remaining windows.
+        for isl in &mut islands {
+            for row in &mut isl.cuts {
+                let end = *row.last().expect("every row has a final cut");
+                row.resize(windows, end);
+            }
+        }
+
+        // Per-window exchange maps: the canonical last writer of every
+        // line written in the window. Canonical order: islands ascending,
+        // island threads ascending, events in stream order — later
+        // writers overwrite, so the winner is the highest-ranked writer
+        // in that fixed order regardless of how replay interleaves.
+        let mut exchanges: Vec<Vec<ExchangeEntry>> = Vec::with_capacity(windows);
+        for w in 0..windows {
+            let mut map: BTreeMap<u64, (Token, u16)> = BTreeMap::new();
+            for (ii, isl) in islands.iter().enumerate() {
+                for (l, &tid) in isl.threads.iter().enumerate() {
+                    let stream = trace.thread(tid);
+                    let lo = if w == 0 { 0 } else { isl.cuts[l][w - 1] };
+                    let hi = isl.cuts[l][w];
+                    for e in &stream[lo..hi] {
+                        if !e.is_mark() && e.op() == MemOp::Store {
+                            map.insert(e.addr().line().raw(), (e.token(), ii as u16));
+                        }
+                    }
+                }
+            }
+            exchanges.push(
+                map.into_iter()
+                    .map(|(line, (token, src))| ExchangeEntry {
+                        line: LineAddr::new(line),
+                        token,
+                        src,
+                    })
+                    .collect(),
+            );
+        }
+
+        Self {
+            islands,
+            windows,
+            window_stores,
+            exchanges,
+        }
+    }
+
+    /// Number of islands (= populated VDs).
+    pub fn island_count(&self) -> usize {
+        self.islands.len()
+    }
+
+    /// Number of barrier windows.
+    pub fn window_count(&self) -> usize {
+        self.windows
+    }
+
+    /// The per-thread store budget of one window.
+    pub fn window_stores(&self) -> u64 {
+        self.window_stores
+    }
+
+    /// One island's schedule.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn island(&self, i: usize) -> &IslandPlan {
+        &self.islands[i]
+    }
+
+    /// The canonical exchange map of window `w`, ascending by line.
+    ///
+    /// # Panics
+    /// Panics if `w` is out of range.
+    pub fn exchange(&self, w: usize) -> &[ExchangeEntry] {
+        &self.exchanges[w]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Addr;
+    use crate::trace::TraceBuilder;
+
+    fn cfg() -> SimConfig {
+        SimConfig::builder()
+            .cores(4, 2)
+            .l1(1024, 2, 4)
+            .l2(4096, 4, 8)
+            .llc(16 * 1024, 4, 30, 2)
+            .epoch_size_stores(4)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn islands_follow_vd_topology() {
+        let mut b = TraceBuilder::new(4);
+        for i in 0..10u64 {
+            b.store(ThreadId((i % 4) as u16), Addr::new(i * 64));
+        }
+        let plan = ShardPlan::new(&b.build().to_packed(), &cfg());
+        assert_eq!(plan.island_count(), 2);
+        assert_eq!(plan.island(0).threads, vec![ThreadId(0), ThreadId(1)]);
+        assert_eq!(plan.island(1).threads, vec![ThreadId(2), ThreadId(3)]);
+        assert_eq!(plan.window_stores(), 2, "epoch budget split per thread");
+    }
+
+    #[test]
+    fn window_cuts_cover_every_event_exactly_once() {
+        let mut b = TraceBuilder::new(4);
+        for i in 0..37u64 {
+            let t = ThreadId((i % 3) as u16); // thread 3 stays empty
+            if i % 5 == 0 {
+                b.load(t, Addr::new(i * 64));
+            } else {
+                b.store(t, Addr::new(i * 64));
+            }
+        }
+        let trace = b.build().to_packed();
+        let plan = ShardPlan::new(&trace, &cfg());
+        for ii in 0..plan.island_count() {
+            let isl = plan.island(ii);
+            for (l, &tid) in isl.threads.iter().enumerate() {
+                let stream = trace.thread(tid);
+                assert_eq!(isl.cuts[l].len(), plan.window_count());
+                let mut prev = 0;
+                for &c in &isl.cuts[l] {
+                    assert!(c >= prev, "cuts are monotone");
+                    prev = c;
+                }
+                assert_eq!(prev, stream.len(), "final cut closes the stream");
+            }
+        }
+    }
+
+    #[test]
+    fn exchange_picks_canonical_last_writer() {
+        let mut b = TraceBuilder::new(4);
+        // Same line written by threads 0 (island 0) and 2 (island 1)
+        // within window 0: the higher island wins the exchange slot.
+        let _t0 = b.store(ThreadId(0), Addr::new(0));
+        let t2 = b.store(ThreadId(2), Addr::new(0));
+        let plan = ShardPlan::new(&b.build().to_packed(), &cfg());
+        let ex = plan.exchange(0);
+        assert_eq!(ex.len(), 1);
+        assert_eq!(ex[0].line, LineAddr::new(0));
+        assert_eq!(ex[0].token, t2);
+        assert_eq!(ex[0].src, 1);
+    }
+
+    #[test]
+    fn plan_is_deterministic() {
+        let mut b = TraceBuilder::new(4);
+        for i in 0..200u64 {
+            b.store(ThreadId((i % 4) as u16), Addr::new((i % 23) * 64));
+        }
+        let trace = b.build().to_packed();
+        let c = cfg();
+        let p1 = ShardPlan::new(&trace, &c);
+        let p2 = ShardPlan::new(&trace, &c);
+        assert_eq!(p1.window_count(), p2.window_count());
+        for w in 0..p1.window_count() {
+            assert_eq!(p1.exchange(w), p2.exchange(w));
+        }
+    }
+}
