@@ -235,6 +235,9 @@ pub struct ShardedSchemeRun {
     pub windows: u64,
     /// Cross-island exchange entries applied (0 when serial).
     pub imported_lines: u64,
+    /// Stall-attribution profile (`Some` only when profiling was
+    /// requested *and* the sharded path actually ran).
+    pub profile: Option<nvsim::ShardProfile>,
 }
 
 /// Like [`run_scheme_stats`], but replays the trace island-sharded over
@@ -252,6 +255,21 @@ pub fn run_scheme_sharded(
     trace: &PackedTrace,
     shards: usize,
 ) -> ShardedSchemeRun {
+    run_scheme_sharded_prof(scheme, cfg, trace, shards, false)
+}
+
+/// [`run_scheme_sharded`] with optional stall-attribution profiling.
+/// With `profiled` set (and the scheme actually shardable), the returned
+/// [`ShardedSchemeRun::profile`] carries the full
+/// [`nvsim::ShardProfile`]; the replay results are byte-identical either
+/// way.
+pub fn run_scheme_sharded_prof(
+    scheme: Scheme,
+    cfg: &Arc<SimConfig>,
+    trace: &PackedTrace,
+    shards: usize,
+    profiled: bool,
+) -> ShardedSchemeRun {
     if !scheme.build(cfg).shardable() {
         let (result, stats, metrics) = run_scheme_stats(scheme, cfg, trace);
         return ShardedSchemeRun {
@@ -262,6 +280,7 @@ pub fn run_scheme_sharded(
             islands: 0,
             windows: 0,
             imported_lines: 0,
+            profile: None,
         };
     }
     let plan = nvsim::ShardPlan::new(trace, cfg);
@@ -273,18 +292,21 @@ pub fn run_scheme_sharded(
             trace,
             &plan,
             shards,
+            profiled,
         ),
         Scheme::SwLogging => drive_sharded(
             |_| SwUndoLogging::new_shared(Arc::clone(c)),
             trace,
             &plan,
             shards,
+            profiled,
         ),
         Scheme::SwShadow => drive_sharded(
             |_| SwShadow::new_shared(Arc::clone(c)),
             trace,
             &plan,
             shards,
+            profiled,
         ),
         Scheme::HwShadow => unreachable!("HW Shadow declares itself serial-only"),
         Scheme::Picl => drive_sharded(
@@ -292,24 +314,28 @@ pub fn run_scheme_sharded(
             trace,
             &plan,
             shards,
+            profiled,
         ),
         Scheme::PiclL2 => drive_sharded(
             |_| Picl::new_shared(Arc::clone(c), PiclLevel::L2),
             trace,
             &plan,
             shards,
+            profiled,
         ),
         Scheme::NvOverlay => drive_sharded(
             |_| NvOverlaySystem::new_shared(Arc::clone(c)),
             trace,
             &plan,
             shards,
+            profiled,
         ),
         Scheme::NvOverlayBuffered => drive_sharded(
             |_| NvOverlaySystem::with_omc_buffer_shared(Arc::clone(c)),
             trace,
             &plan,
             shards,
+            profiled,
         ),
     }
 }
@@ -320,12 +346,14 @@ fn drive_sharded<S, F>(
     trace: &PackedTrace,
     plan: &nvsim::ShardPlan,
     shards: usize,
+    profiled: bool,
 ) -> ShardedSchemeRun
 where
     S: MemorySystem,
     F: Fn(usize) -> S + Sync,
 {
-    let report = Runner::new().run_packed_sharded(factory, trace, plan, shards);
+    let (report, profile) =
+        Runner::new().run_packed_sharded_prof(factory, trace, plan, shards, profiled);
     let result = ExpResult::from_stats(&report.stats, report.cycles, report.stall_cycles);
     ShardedSchemeRun {
         result,
@@ -335,6 +363,7 @@ where
         islands: report.islands,
         windows: report.windows,
         imported_lines: report.imported_lines,
+        profile,
     }
 }
 

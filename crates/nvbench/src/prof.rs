@@ -1,17 +1,30 @@
-//! Reusable phase timing for drivers and the `nvo` CLI.
+//! Phase timing and stall-attribution reporting for drivers and `nvo`.
 //!
 //! [`Spans`] generalizes the hand-rolled `Instant` bookkeeping `nvo
 //! perf` used to do: name a phase, run it, and read back per-phase and
-//! total wall-clock seconds. Spans of the same name accumulate, so a
+//! total wall-clock time. Spans of the same name accumulate, so a
 //! driver can re-enter a phase (e.g. per-round replay) and still report
-//! one line per phase, in first-entry order.
+//! one line per phase, in first-entry order. Phases nest: a
+//! [`Spans::push`]/[`Spans::pop`] prefix turns subsequent charges into
+//! `parent/child` paths, and output is available at µs resolution — the
+//! same resolution the profiler emitters below report in.
+//!
+//! The rest of the module renders an [`nvsim::ShardProfile`] (produced
+//! by `Runner::run_packed_sharded_prof`) for humans and machines:
+//! [`bottleneck_table`] (where did the wall-time go, who straggled),
+//! [`profile_json`] (the full machine-readable profile), and
+//! [`profile_structural_json`] (only the deterministic counters, for
+//! byte-identity comparison across runs and shard counts).
 
+use nvsim::prof::{ProfBucket, ShardProfile};
+use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
-/// Named wall-clock phase accumulator.
+/// Named wall-clock phase accumulator with nesting support.
 #[derive(Clone, Debug, Default)]
 pub struct Spans {
     spans: Vec<(String, Duration)>,
+    prefix: Vec<String>,
 }
 
 impl Spans {
@@ -20,7 +33,19 @@ impl Spans {
         Self::default()
     }
 
-    /// Times `f` and charges it to the phase `name`.
+    /// Opens a nesting level: subsequent [`Spans::time`]/[`Spans::add`]
+    /// charges land under `name/…` until the matching [`Spans::pop`].
+    pub fn push(&mut self, name: &str) {
+        self.prefix.push(name.to_string());
+    }
+
+    /// Closes the innermost nesting level (no-op at top level).
+    pub fn pop(&mut self) {
+        self.prefix.pop();
+    }
+
+    /// Times `f` and charges it to the phase `name` (under the current
+    /// nesting prefix).
     pub fn time<T>(&mut self, name: &str, f: impl FnOnce() -> T) -> T {
         let t0 = Instant::now();
         let out = f();
@@ -28,15 +53,22 @@ impl Spans {
         out
     }
 
-    /// Charges a pre-measured duration to `name`.
+    /// Charges a pre-measured duration to `name` (under the current
+    /// nesting prefix).
     pub fn add(&mut self, name: &str, d: Duration) {
-        match self.spans.iter_mut().find(|(n, _)| n == name) {
+        let path = if self.prefix.is_empty() {
+            name.to_string()
+        } else {
+            format!("{}/{}", self.prefix.join("/"), name)
+        };
+        match self.spans.iter_mut().find(|(n, _)| *n == path) {
             Some((_, acc)) => *acc += d,
-            None => self.spans.push((name.to_string(), d)),
+            None => self.spans.push((path, d)),
         }
     }
 
-    /// Seconds charged to `name` so far (0.0 if never entered).
+    /// Seconds charged to the phase path `name` so far (0.0 if never
+    /// entered).
     pub fn secs(&self, name: &str) -> f64 {
         self.spans
             .iter()
@@ -44,17 +76,268 @@ impl Spans {
             .map_or(0.0, |(_, d)| d.as_secs_f64())
     }
 
-    /// Total seconds across all phases.
+    /// Microseconds charged to the phase path `name` so far.
+    pub fn micros(&self, name: &str) -> u64 {
+        self.spans
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, d)| d.as_micros() as u64)
+    }
+
+    /// Total seconds across all phases. Nested phases are charged to
+    /// their own path only, so parents that wrap children double-count
+    /// here exactly as they always did for re-entered flat phases.
     pub fn total_secs(&self) -> f64 {
         self.spans.iter().map(|(_, d)| d.as_secs_f64()).sum()
     }
 
-    /// Phases in first-entry order.
+    /// Total microseconds across all phases.
+    pub fn total_micros(&self) -> u64 {
+        self.spans.iter().map(|(_, d)| d.as_micros() as u64).sum()
+    }
+
+    /// Phase paths in first-entry order, as seconds.
     pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> + '_ {
         self.spans
             .iter()
             .map(|(n, d)| (n.as_str(), d.as_secs_f64()))
     }
+
+    /// Phase paths in first-entry order, as microseconds.
+    pub fn iter_micros(&self) -> impl Iterator<Item = (&str, u64)> + '_ {
+        self.spans
+            .iter()
+            .map(|(n, d)| (n.as_str(), d.as_micros() as u64))
+    }
+}
+
+fn us(ns: u64) -> u64 {
+    ns / 1_000
+}
+
+/// Renders only the deterministic part of a profile: structural
+/// counters derived from the shard plan and the simulation, plus the
+/// straggler/imbalance analysis computed from them. Byte-identical
+/// across runs and across worker counts for the same workload and
+/// configuration — CI `cmp`s this output directly.
+pub fn profile_structural_json(p: &ShardProfile) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"schema\": \"nvo-profile-structural-v1\",");
+    let _ = writeln!(out, "  \"islands\": {},", p.islands);
+    let _ = writeln!(out, "  \"windows\": {},", p.windows);
+    let _ = writeln!(out, "  \"window_stores\": {},", p.window_stores);
+    let _ = writeln!(out, "  \"exchange_entries\": {:?},", p.exchange_entries);
+    let _ = writeln!(out, "  \"stragglers\": {:?},", p.stragglers());
+    let _ = writeln!(out, "  \"straggler_counts\": {:?},", p.straggler_counts());
+    out.push_str("  \"wait_blame_cycles\": [");
+    for (i, (w, b)) in p.wait_blame_cycles().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "[{w},{b}]");
+    }
+    out.push_str("],\n");
+    let _ = writeln!(out, "  \"imbalance_permille\": {},", p.imbalance_permille());
+    out.push_str("  \"islands_detail\": [\n");
+    for (i, ip) in p.island_profiles.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        let _ = write!(
+            out,
+            "    {{\"island\": {}, \"final_clock\": {}, \"cells\": [",
+            ip.island, ip.final_clock
+        );
+        for (w, c) in ip.cells.iter().enumerate() {
+            if w > 0 {
+                out.push(',');
+            }
+            // Per-window structural tuple: [events, arrive_clock,
+            // aligned_clock, epoch_floor, sync_stall_cycles,
+            // imports_applied, imports_skipped].
+            let _ = write!(
+                out,
+                "[{},{},{},{},{},{},{}]",
+                c.events,
+                c.arrive_clock,
+                c.aligned_clock,
+                c.epoch_floor,
+                c.sync_stall_cycles,
+                c.imports_applied,
+                c.imports_skipped
+            );
+        }
+        out.push_str("]}");
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// Renders the wall-clock half of a profile (µs resolution). Host time:
+/// real on every run, never compared for identity.
+fn profile_wall_json(p: &ShardProfile) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"workers\": {},", p.workers);
+    let b = p.bucket_ns();
+    out.push_str("  \"buckets_us\": {");
+    for (i, bucket) in ProfBucket::ALL.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "\"{}\": {}", bucket.name(), us(b[i]));
+    }
+    out.push_str("},\n");
+    let _ = writeln!(out, "  \"accountable_us\": {},", us(p.accountable_ns()));
+    let _ = writeln!(
+        out,
+        "  \"attributed_fraction\": {:.4},",
+        p.attributed_fraction()
+    );
+    let _ = writeln!(out, "  \"serial_fraction\": {:.6},", p.serial_fraction());
+    out.push_str("  \"predicted_speedup\": {");
+    for (i, k) in [2usize, 4, 8, 16].iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "\"{}\": {:.4}", k, p.predicted_speedup(*k));
+    }
+    out.push_str("},\n");
+    let _ = writeln!(out, "  \"merge_us\": {},", us(p.merge_ns));
+    let _ = writeln!(out, "  \"total_us\": {},", us(p.total_ns));
+    out.push_str("  \"workers_detail\": [");
+    for (i, wp) in p.worker_profiles.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"worker\": {}, \"compute_us\": {}, \"barrier_us\": {}, \"exchange_us\": {}, \
+             \"package_us\": {}, \"elapsed_us\": {}}}",
+            wp.worker,
+            us(wp.compute_ns),
+            us(wp.barrier_ns),
+            us(wp.exchange_ns),
+            us(wp.package_ns),
+            us(wp.elapsed_ns)
+        );
+    }
+    out.push_str("],\n");
+    out.push_str("  \"islands_detail\": [");
+    for (i, ip) in p.island_profiles.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let compute: u64 = ip.cells.iter().map(|c| c.compute_ns).sum();
+        let exchange: u64 = ip.cells.iter().map(|c| c.exchange_ns).sum();
+        let sync: u64 = ip.cells.iter().map(|c| c.sync_ns).sum();
+        let _ = write!(
+            out,
+            "{{\"island\": {}, \"setup_us\": {}, \"compute_us\": {}, \"exchange_us\": {}, \
+             \"sync_us\": {}, \"finish_us\": {}, \"package_us\": {}}}",
+            ip.island,
+            us(ip.setup_ns),
+            us(compute),
+            us(exchange),
+            us(sync),
+            us(ip.finish_ns),
+            us(ip.package_ns)
+        );
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// Renders the full machine-readable profile: run metadata, the
+/// deterministic structural section, and the wall-clock section —
+/// strictly segregated so consumers can identity-check the former and
+/// must never identity-check the latter.
+pub fn profile_json(p: &ShardProfile, meta: &[(&str, &str)]) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "\"schema\": \"nvo-profile-v1\",");
+    for (k, v) in meta {
+        let _ = writeln!(
+            out,
+            "\"{}\": \"{}\",",
+            crate::json::escape(k),
+            crate::json::escape(v)
+        );
+    }
+    let _ = write!(
+        out,
+        "\"structural\": {},",
+        profile_structural_json(p).trim_end()
+    );
+    let _ = write!(out, "\n\"wall\": {}", profile_wall_json(p).trim_end());
+    out.push_str("\n}\n");
+    out
+}
+
+/// Renders the human-readable bottleneck table: the five-bucket
+/// wall-time decomposition, the attribution coverage, the Amdahl-style
+/// scaling forecast, and the straggler diagnosis.
+pub fn bottleneck_table(p: &ShardProfile) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "stall attribution · {} islands × {} windows · {} workers",
+        p.islands, p.windows, p.workers
+    );
+    let b = p.bucket_ns();
+    let acc = p.accountable_ns().max(1);
+    let _ = writeln!(out, "  {:<16}{:>12}  {:>6}", "bucket", "wall µs", "share");
+    for (i, bucket) in ProfBucket::ALL.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  {:<16}{:>12}  {:>5.1}%",
+            bucket.name(),
+            us(b[i]),
+            100.0 * b[i] as f64 / acc as f64
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  attributed {:.1}% of {} µs accountable ({} worker threads + merge)",
+        100.0 * p.attributed_fraction(),
+        us(p.accountable_ns()),
+        p.workers
+    );
+    let _ = writeln!(
+        out,
+        "scaling model: serial fraction {:.2}% · window imbalance {}‰ · predicted speedup \
+         2→{:.2}x 4→{:.2}x 8→{:.2}x 16→{:.2}x (capped at {} islands)",
+        100.0 * p.serial_fraction(),
+        p.imbalance_permille(),
+        p.predicted_speedup(2),
+        p.predicted_speedup(4),
+        p.predicted_speedup(8),
+        p.predicted_speedup(16),
+        p.islands
+    );
+    let counts = p.straggler_counts();
+    let blame = p.wait_blame_cycles();
+    let mut order: Vec<usize> = (0..p.islands).collect();
+    order.sort_by_key(|&i| (std::cmp::Reverse(counts[i]), i));
+    out.push_str("stragglers (critical-path island per window, simulated clocks):\n");
+    for &i in order.iter().take(p.islands.min(8)) {
+        if counts[i] == 0 {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "  island {i} gates {}/{} windows · waited {} cy · others waited {} cy on it",
+            counts[i], p.windows, blame[i].0, blame[i].1
+        );
+    }
+    let totals = p.island_totals();
+    out.push_str("per-island structural totals:\n");
+    for (i, (events, applied, skipped, stall)) in totals.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  island {i}: {events} events · imports {applied} applied / {skipped} skipped · \
+             epoch-sync stall {stall} cy",
+        );
+    }
+    out
 }
 
 #[cfg(test)]
@@ -80,5 +363,130 @@ mod tests {
         let v = s.time("work", || 41 + 1);
         assert_eq!(v, 42);
         assert!(s.secs("work") >= 0.0);
+    }
+
+    #[test]
+    fn nested_phases_chart_under_their_parent_path() {
+        let mut s = Spans::new();
+        s.push("sharded");
+        s.add("replay", Duration::from_micros(1500));
+        s.push("merge");
+        s.add("stats", Duration::from_micros(250));
+        s.pop();
+        s.pop();
+        s.add("replay", Duration::from_micros(10));
+        let names: Vec<&str> = s.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, ["sharded/replay", "sharded/merge/stats", "replay"]);
+        assert_eq!(s.micros("sharded/replay"), 1500);
+        assert_eq!(s.micros("sharded/merge/stats"), 250);
+        assert_eq!(s.total_micros(), 1760);
+        // Over-popping is harmless.
+        s.pop();
+        s.add("tail", Duration::from_micros(1));
+        assert_eq!(s.micros("tail"), 1);
+    }
+
+    fn sample_profile() -> ShardProfile {
+        use nvsim::prof::{IslandProfile, WindowCell, WorkerProfile};
+        let cell = |events, arrive, aligned| WindowCell {
+            events,
+            arrive_clock: arrive,
+            aligned_clock: aligned,
+            imports_applied: 1,
+            imports_skipped: 2,
+            compute_ns: 4_000,
+            exchange_ns: 500,
+            sync_ns: 300,
+            ..Default::default()
+        };
+        ShardProfile {
+            islands: 2,
+            windows: 2,
+            workers: 2,
+            window_stores: 64,
+            exchange_entries: vec![3, 3],
+            island_profiles: vec![
+                IslandProfile {
+                    island: 0,
+                    cells: vec![cell(10, 70, 100), cell(12, 190, 200)],
+                    setup_ns: 900,
+                    finish_ns: 600,
+                    package_ns: 200,
+                    final_clock: 210,
+                },
+                IslandProfile {
+                    island: 1,
+                    cells: vec![cell(30, 100, 100), cell(28, 200, 200)],
+                    setup_ns: 900,
+                    finish_ns: 600,
+                    package_ns: 200,
+                    final_clock: 230,
+                },
+            ],
+            worker_profiles: vec![
+                WorkerProfile {
+                    worker: 0,
+                    compute_ns: 9_500,
+                    barrier_ns: 2_000,
+                    exchange_ns: 1_600,
+                    package_ns: 200,
+                    elapsed_ns: 13_400,
+                },
+                WorkerProfile {
+                    worker: 1,
+                    compute_ns: 9_500,
+                    barrier_ns: 100,
+                    exchange_ns: 1_600,
+                    package_ns: 200,
+                    elapsed_ns: 12_500,
+                },
+            ],
+            merge_ns: 1_500,
+            total_ns: 16_000,
+        }
+    }
+
+    #[test]
+    fn profile_json_round_trips() {
+        let p = sample_profile();
+        let json = profile_json(&p, &[("scheme", "NVOverlay"), ("workload", "btree")]);
+        let doc = crate::json::parse(&json).expect("profile JSON must parse");
+        assert_eq!(doc.get("schema").unwrap().as_str(), Some("nvo-profile-v1"));
+        assert_eq!(doc.get("scheme").unwrap().as_str(), Some("NVOverlay"));
+        let s = doc.get("structural").unwrap();
+        assert_eq!(s.get("islands").unwrap().as_u64(), Some(2));
+        assert_eq!(
+            s.get("stragglers")
+                .unwrap()
+                .as_array()
+                .unwrap()
+                .iter()
+                .map(|v| v.as_u64().unwrap())
+                .collect::<Vec<_>>(),
+            [1, 1]
+        );
+        let w = doc.get("wall").unwrap();
+        assert_eq!(w.get("workers").unwrap().as_u64(), Some(2));
+        assert!(w.get("buckets_us").unwrap().get("compute").is_some());
+        assert!(w.get("attributed_fraction").unwrap().as_f64().unwrap() > 0.9);
+    }
+
+    #[test]
+    fn structural_json_has_no_wall_fields() {
+        let json = profile_structural_json(&sample_profile());
+        assert!(!json.contains("_us"), "no µs fields in structural output");
+        assert!(!json.contains("_ns"), "no ns fields in structural output");
+        assert!(!json.contains("worker"), "workers are wall-side context");
+        crate::json::parse(&json).expect("structural JSON must parse");
+    }
+
+    #[test]
+    fn bottleneck_table_names_buckets_and_stragglers() {
+        let table = bottleneck_table(&sample_profile());
+        for b in ProfBucket::ALL {
+            assert!(table.contains(b.name()), "missing bucket {}", b.name());
+        }
+        assert!(table.contains("island 1 gates 2/2 windows"));
+        assert!(table.contains("predicted speedup"));
     }
 }

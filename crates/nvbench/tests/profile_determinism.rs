@@ -1,0 +1,128 @@
+//! Differential tests for `nvprof`: the profiler's structural section
+//! must be *run- and worker-count invisible*, and profiling itself must
+//! be invisible to the simulation.
+//!
+//! The profile strictly segregates two kinds of data (see
+//! `nvsim::prof`): structural counters (event counts, simulated
+//! arrival/aligned clocks, import tallies, straggler diagnosis) derive
+//! from the shard plan and the simulation alone, so they are compared
+//! byte-for-byte here — across repeated runs and across 1/2/4/8 worker
+//! groupings. Wall-clock fields are host time and are deliberately
+//! excluded from every identity check; `profile_structural_json` is the
+//! boundary that keeps them out.
+
+use nvbench::{
+    profile_json, profile_structural_json, run_scheme_sharded, run_scheme_sharded_prof, EnvScale,
+    Scheme,
+};
+use nvworkloads::Workload;
+
+const SHARDS: [usize; 4] = [1, 2, 4, 8];
+
+#[test]
+fn profile_structural_section_is_run_and_worker_count_invisible() {
+    let cfg = std::sync::Arc::new(EnvScale::Quick.sim_config());
+    let params = EnvScale::Quick.suite_params();
+    let trace = nvworkloads::generate(Workload::BTree, &params).to_packed();
+
+    let base_run = run_scheme_sharded_prof(Scheme::NvOverlay, &cfg, &trace, SHARDS[0], true);
+    let base = profile_structural_json(base_run.profile.as_ref().expect("sharded scheme profiles"));
+    // Same run, repeated: byte-identical.
+    let again = run_scheme_sharded_prof(Scheme::NvOverlay, &cfg, &trace, SHARDS[0], true);
+    assert_eq!(
+        base,
+        profile_structural_json(again.profile.as_ref().expect("sharded scheme profiles")),
+        "structural profile diverged between two identical runs"
+    );
+    // Every worker grouping: byte-identical to the 1-worker reference.
+    for &n in &SHARDS[1..] {
+        let run = run_scheme_sharded_prof(Scheme::NvOverlay, &cfg, &trace, n, true);
+        assert!(run.sharded);
+        assert_eq!(
+            base,
+            profile_structural_json(run.profile.as_ref().expect("sharded scheme profiles")),
+            "structural profile diverged at {n} workers"
+        );
+    }
+}
+
+#[test]
+fn profiling_is_invisible_to_the_simulation() {
+    let cfg = std::sync::Arc::new(EnvScale::Quick.sim_config());
+    let params = EnvScale::Quick.suite_params();
+    let trace = nvworkloads::generate(Workload::HashTable, &params).to_packed();
+
+    let plain = run_scheme_sharded(Scheme::NvOverlay, &cfg, &trace, 4);
+    let profiled = run_scheme_sharded_prof(Scheme::NvOverlay, &cfg, &trace, 4, true);
+    assert_eq!(plain.result, profiled.result, "profiling changed the run");
+    assert_eq!(plain.stats, profiled.stats, "profiling changed the stats");
+    assert_eq!(
+        plain.metrics.dump_tree(),
+        profiled.metrics.dump_tree(),
+        "profiling changed the metrics tree"
+    );
+    // And the unprofiled path carries no profile at all.
+    let none = run_scheme_sharded_prof(Scheme::NvOverlay, &cfg, &trace, 4, false);
+    assert!(
+        none.profile.is_none(),
+        "unprofiled run must not allocate a profile"
+    );
+
+    // Soft attribution sanity (the hard >= 95% gate lives in
+    // `nvo perf --profile`, where wall-clock conditions are controlled):
+    // with contiguous worker laps the buckets must explain most of the
+    // accountable wall-time even on a noisy test host.
+    let p = profiled.profile.expect("sharded scheme profiles");
+    assert!(
+        p.attributed_fraction() > 0.80,
+        "attribution collapsed: {:.3}",
+        p.attributed_fraction()
+    );
+}
+
+#[test]
+fn profile_json_round_trips_and_segregates_wall_clock() {
+    let cfg = std::sync::Arc::new(EnvScale::Quick.sim_config());
+    let params = EnvScale::Quick.suite_params();
+    let trace = nvworkloads::generate(Workload::Kmeans, &params).to_packed();
+    let run = run_scheme_sharded_prof(Scheme::NvOverlay, &cfg, &trace, 2, true);
+    let p = run.profile.expect("sharded scheme profiles");
+
+    // End-to-end: the emitted document must parse with the crate's own
+    // JSON reader and carry both sections.
+    let json = profile_json(&p, &[("scheme", "NVOverlay"), ("workload", "Kmeans")]);
+    let doc = nvbench::json::parse(&json).expect("nvo profile JSON must parse");
+    assert_eq!(doc.get("schema").unwrap().as_str(), Some("nvo-profile-v1"));
+    assert_eq!(doc.get("workload").unwrap().as_str(), Some("Kmeans"));
+    let s = doc.get("structural").unwrap();
+    assert_eq!(
+        s.get("islands").unwrap().as_u64(),
+        Some(p.islands as u64),
+        "structural island count survives the round trip"
+    );
+    assert_eq!(
+        s.get("stragglers").unwrap().as_array().unwrap().len(),
+        p.windows,
+        "one straggler verdict per window"
+    );
+    let w = doc.get("wall").unwrap();
+    assert!(
+        w.get("buckets_us").is_some(),
+        "wall section carries buckets"
+    );
+
+    // The standalone structural export is the identity-checkable
+    // artifact: no wall-clock or worker fields may leak into it.
+    let structural = profile_structural_json(&p);
+    let sdoc = nvbench::json::parse(&structural).expect("structural JSON must parse");
+    assert_eq!(
+        sdoc.get("schema").unwrap().as_str(),
+        Some("nvo-profile-structural-v1")
+    );
+    for leak in ["_us", "_ns", "worker"] {
+        assert!(
+            !structural.contains(leak),
+            "structural export leaked a wall-clock/worker field: {leak}"
+        );
+    }
+}

@@ -57,6 +57,12 @@ pub struct NvOverlaySystem {
     /// Recycled event buffer for the per-access drain (swapped with the
     /// hierarchy's buffer instead of allocating each access).
     ev_scratch: Vec<CstEvent>,
+    /// Epoch advances forced by shard-barrier Lamport sync
+    /// (`raise_epoch_floor`), for the profiler's epoch-sync attribution.
+    /// Deterministic: the barrier schedule depends only on the plan.
+    sync_epoch_raises: u64,
+    /// Stall cycles charged by those forced advances.
+    sync_stall_cycles: Cycle,
 }
 
 impl NvOverlaySystem {
@@ -101,6 +107,8 @@ impl NvOverlaySystem {
             opts,
             stats: SystemStats::new(bucket),
             ev_scratch: Vec::new(),
+            sync_epoch_raises: 0,
+            sync_stall_cycles: 0,
         }
     }
 
@@ -341,9 +349,11 @@ impl MemorySystem for NvOverlaySystem {
                     .hier
                     .advance_epoch_explicit(vd, AdvanceCause::CoherenceSync);
                 stall += self.drain_events(now + stall);
+                self.sync_epoch_raises += 1;
             }
         }
         self.stats.persist_stall_cycles += stall;
+        self.sync_stall_cycles += stall;
         stall
     }
 
@@ -414,6 +424,11 @@ impl MemorySystem for NvOverlaySystem {
         self.hier.metrics_into(&mut reg, "cst");
         self.mnm.metrics_into(&mut reg, "mnm");
         self.nvm.metrics_into(&mut reg, "nvm");
+        // Shard-barrier epoch-sync attribution (0 on serial runs; under
+        // sharding the values depend only on the plan, so they stay
+        // byte-identical across worker counts).
+        reg.set_counter("sync.epoch_raises", self.sync_epoch_raises);
+        reg.set_counter("sync.stall_cycles", self.sync_stall_cycles);
         reg
     }
 }

@@ -42,6 +42,10 @@
 //!   feature; a single branch when compiled in but idle.
 //! * [`metrics`] — hierarchical named counters/gauges/histograms with a
 //!   deterministic tree dump and cheap cross-run merging.
+//! * [`prof`] — stall attribution for sharded replay: per-shard,
+//!   per-window wall-time accounting over {compute, barrier-wait,
+//!   exchange-apply, epoch-sync, merge}, deterministic straggler
+//!   analysis from simulated clocks, and an Amdahl-style scaling model.
 //!
 //! ## Example
 //!
@@ -70,6 +74,7 @@ pub mod metrics;
 pub mod noc;
 pub mod nvm;
 pub mod nvtrace;
+pub mod prof;
 pub mod rng;
 pub mod shard;
 pub mod stats;
@@ -80,4 +85,5 @@ pub use addr::{Addr, CoreId, LineAddr, PageAddr, ThreadId, Token, VdId};
 pub use clock::Cycle;
 pub use config::SimConfig;
 pub use memsys::{AccessOutcome, MemOp, MemorySystem, RunReport, Runner, ShardedRunReport};
+pub use prof::{ProfBucket, ShardProfile};
 pub use shard::ShardPlan;

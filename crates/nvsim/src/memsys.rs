@@ -302,9 +302,52 @@ impl Runner {
         S: MemorySystem,
         F: Fn(usize) -> S + Sync,
     {
+        self.run_packed_sharded_prof(factory, trace, plan, workers, false)
+            .0
+    }
+
+    /// [`Runner::run_packed_sharded`] with optional stall attribution.
+    ///
+    /// With `profiled` set, every island accumulates a
+    /// [`crate::prof::WindowCell`] per barrier window (events replayed,
+    /// simulated arrival/aligned clocks, import tallies, and the
+    /// wall-time of its compute / exchange-apply / epoch-sync phases),
+    /// every worker accumulates its rendezvous wait, and the caller
+    /// times the ascending-island merge; the assembled
+    /// [`crate::prof::ShardProfile`] rides back next to the report. The
+    /// accumulators are thread-local to the owning worker and read the
+    /// monotonic clock only at window granularity, so the profiled path
+    /// stays within a few per-window `Instant` reads of the unprofiled
+    /// one — and the simulation itself is untouched either way: the
+    /// report is byte-identical with and without profiling, and the
+    /// profile's structural counters are byte-identical across worker
+    /// counts (`nvbench/tests/profile_determinism.rs`).
+    ///
+    /// Independently of profiling, setting `NVO_PROGRESS` (to a
+    /// heartbeat interval in seconds; any non-numeric value means 5)
+    /// spawns a watchdog that reports per-shard windows-completed with
+    /// an ETA on stderr and flags a barrier that has stopped making
+    /// progress instead of letting the run hang silently.
+    ///
+    /// # Panics
+    /// See [`Runner::run_packed_sharded`].
+    pub fn run_packed_sharded_prof<S, F>(
+        &self,
+        factory: F,
+        trace: &PackedTrace,
+        plan: &crate::shard::ShardPlan,
+        workers: usize,
+        profiled: bool,
+    ) -> (ShardedRunReport, Option<crate::prof::ShardProfile>)
+    where
+        S: MemorySystem,
+        F: Fn(usize) -> S + Sync,
+    {
         use std::sync::atomic::{AtomicU64, Ordering};
         use std::sync::{Barrier, Mutex};
+        use std::time::Instant;
 
+        let run_t0 = profiled.then(Instant::now);
         let islands = plan.island_count();
         let windows = plan.window_count();
         let nworkers = workers.clamp(1, islands.max(1));
@@ -318,6 +361,9 @@ impl Runner {
         let trace_cfg = crate::nvtrace::active_config();
         let worker_logs: Vec<Mutex<Option<crate::nvtrace::TraceLog>>> =
             (0..nworkers).map(|_| Mutex::new(None)).collect();
+        let worker_profs: Vec<Mutex<Option<crate::prof::WorkerProfile>>> =
+            (0..nworkers).map(|_| Mutex::new(None)).collect();
+        let watchdog = ProgressWatchdog::from_env(islands, windows as u64);
 
         std::thread::scope(|scope| {
             for wid in 0..nworkers {
@@ -327,7 +373,19 @@ impl Runner {
                 let barrier = &barrier;
                 let slots = &slots;
                 let worker_logs = &worker_logs;
+                let worker_profs = &worker_profs;
+                let watchdog = &watchdog;
                 scope.spawn(move || {
+                    let worker_t0 = profiled.then(Instant::now);
+                    // Contiguous lap clock: each boundary charges the
+                    // segment since the previous boundary, so the phase
+                    // counters tile the worker's lifetime and loop
+                    // overhead cannot escape attribution.
+                    let mut last = worker_t0;
+                    let mut wp = crate::prof::WorkerProfile {
+                        worker: wid,
+                        ..Default::default()
+                    };
                     if let Some(tc) = trace_cfg {
                         crate::nvtrace::install(tc);
                     }
@@ -335,8 +393,16 @@ impl Runner {
                     let mine: Vec<usize> = (wid..islands).step_by(nworkers).collect();
                     let mut runs: Vec<IslandRun<'_, S>> = mine
                         .iter()
-                        .map(|&i| IslandRun::new(factory(i), trace, plan, i))
+                        .map(|&i| {
+                            let t0 = profiled.then(Instant::now);
+                            let mut run = IslandRun::new(factory(i), trace, plan, i, profiled);
+                            if let (Some(t0), Some(p)) = (t0, run.prof.as_mut()) {
+                                p.setup_ns = t0.elapsed().as_nanos() as u64;
+                            }
+                            run
+                        })
                         .collect();
+                    wp.compute_ns += lap(&mut last);
                     for w in 0..windows {
                         for run in &mut runs {
                             crate::nvtrace::set_shard(run.island as u16 + 1);
@@ -344,6 +410,7 @@ impl Runner {
                             clock_pub[run.island].store(run.max_clock(), Ordering::Relaxed);
                             epoch_pub[run.island].store(run.sys.epoch_floor(), Ordering::Relaxed);
                         }
+                        wp.compute_ns += lap(&mut last);
                         // Rendezvous 1: every island's clock and epoch
                         // floor is published. The max-reductions below
                         // are order-independent, so every worker
@@ -355,22 +422,49 @@ impl Runner {
                         // Rendezvous 2: nobody republishes for window
                         // w+1 until everyone has read window w's maxima.
                         barrier.wait();
+                        wp.barrier_ns += lap(&mut last);
                         for run in &mut runs {
                             crate::nvtrace::set_shard(run.island as u16 + 1);
                             run.barrier_sync(plan, w, t_max, e_max);
                         }
+                        wp.exchange_ns += lap(&mut last);
+                        if let Some(wd) = watchdog {
+                            for run in &runs {
+                                wd.board.windows_done[run.island]
+                                    .store(w as u64 + 1, Ordering::Relaxed);
+                            }
+                        }
                     }
+                    let mut pkg_ns = 0u64;
                     for run in runs {
                         let island = run.island;
-                        *slots[island].lock().expect("island slot") = Some(run.finish());
+                        let out = run.finish();
+                        if let Some(p) = out.prof.as_ref() {
+                            pkg_ns += p.package_ns;
+                        }
+                        *slots[island].lock().expect("island slot") = Some(out);
                     }
+                    // The finish laps mix the persistence drain
+                    // (compute) with outcome packaging; the islands'
+                    // own package_ns splits the segment.
+                    let seg = lap(&mut last);
+                    let pkg = pkg_ns.min(seg);
+                    wp.package_ns += pkg;
+                    wp.compute_ns += seg - pkg;
                     crate::nvtrace::set_shard(0);
                     if trace_cfg.is_some() {
                         *worker_logs[wid].lock().expect("log slot") = crate::nvtrace::take();
                     }
+                    if let Some(t0) = worker_t0 {
+                        wp.elapsed_ns = t0.elapsed().as_nanos() as u64;
+                        *worker_profs[wid].lock().expect("prof slot") = Some(wp);
+                    }
                 });
             }
         });
+        if let Some(wd) = watchdog {
+            wd.finish();
+        }
 
         // Absorb worker trace logs into the caller's recorder.
         for slot in worker_logs {
@@ -381,6 +475,8 @@ impl Runner {
 
         // Merge island outcomes in ascending island order — fixed
         // regardless of which worker ran which island.
+        let merge_t0 = profiled.then(Instant::now);
+        let mut island_profiles: Vec<crate::prof::IslandProfile> = Vec::new();
         let mut report = ShardedRunReport {
             cycles: 0,
             persist_done: 0,
@@ -420,8 +516,149 @@ impl Runner {
             for (line, token) in &o.golden {
                 report.golden_image.insert(*line, *token);
             }
+            if let Some(p) = o.prof {
+                island_profiles.push(p);
+            }
         }
-        report
+        let profile = merge_t0.map(|t0| {
+            let merge_ns = t0.elapsed().as_nanos() as u64;
+            crate::prof::ShardProfile {
+                islands,
+                windows,
+                workers: nworkers,
+                window_stores: plan.window_stores(),
+                exchange_entries: (0..windows)
+                    .map(|w| plan.exchange(w).len() as u64)
+                    .collect(),
+                island_profiles,
+                worker_profiles: worker_profs
+                    .into_iter()
+                    .map(|s| s.into_inner().expect("prof slot").expect("worker profiled"))
+                    .collect(),
+                merge_ns,
+                total_ns: run_t0.expect("profiled").elapsed().as_nanos() as u64,
+            }
+        });
+        (report, profile)
+    }
+}
+
+/// Advance a contiguous lap clock: charge the segment since the last
+/// boundary and move the boundary to now. `None` (unprofiled) charges
+/// nothing and reads no clock.
+fn lap(last: &mut Option<std::time::Instant>) -> u64 {
+    match last {
+        Some(t0) => {
+            let now = std::time::Instant::now();
+            let d = now.duration_since(*t0).as_nanos() as u64;
+            *last = Some(now);
+            d
+        }
+        None => 0,
+    }
+}
+
+/// Shared state between the replay workers and the `NVO_PROGRESS`
+/// monitor thread.
+struct ProgressBoard {
+    /// Per-island windows completed (Relaxed — diagnostic only).
+    windows_done: Vec<std::sync::atomic::AtomicU64>,
+    stop: std::sync::Mutex<bool>,
+    cv: std::sync::Condvar,
+}
+
+/// The `NVO_PROGRESS` heartbeat: a monitor thread that reads per-island
+/// windows-completed counters on an interval, reports progress with an
+/// ETA, and flags a rendezvous that has stopped advancing (a stuck
+/// barrier surfaces as a warning naming the laggard islands instead of
+/// a silent hang). The monitor is a plain (non-scoped) thread so it can
+/// be woken and joined after the replay scope ends.
+struct ProgressWatchdog {
+    board: std::sync::Arc<ProgressBoard>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ProgressWatchdog {
+    /// Arms the watchdog if `NVO_PROGRESS` is set (value = heartbeat
+    /// seconds; non-numeric or non-positive values mean 5).
+    fn from_env(islands: usize, total_windows: u64) -> Option<Self> {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let interval = std::env::var("NVO_PROGRESS").ok().map(|v| {
+            v.trim()
+                .parse::<f64>()
+                .ok()
+                .filter(|s| *s > 0.0)
+                .unwrap_or(5.0)
+        })?;
+        let board = std::sync::Arc::new(ProgressBoard {
+            windows_done: (0..islands).map(|_| AtomicU64::new(0)).collect(),
+            stop: std::sync::Mutex::new(false),
+            cv: std::sync::Condvar::new(),
+        });
+        let monitor = std::sync::Arc::clone(&board);
+        let handle = std::thread::spawn(move || {
+            let t0 = std::time::Instant::now();
+            let tick = std::time::Duration::from_secs_f64(interval);
+            let mut last_min = 0u64;
+            let mut stopped = monitor.stop.lock().expect("watchdog lock");
+            loop {
+                let (guard, _) = monitor
+                    .cv
+                    .wait_timeout(stopped, tick)
+                    .expect("watchdog wait");
+                stopped = guard;
+                if *stopped {
+                    break;
+                }
+                let done: Vec<u64> = monitor
+                    .windows_done
+                    .iter()
+                    .map(|c| c.load(Ordering::Relaxed))
+                    .collect();
+                let min = done.iter().copied().min().unwrap_or(0);
+                let max = done.iter().copied().max().unwrap_or(0);
+                let elapsed = t0.elapsed().as_secs_f64();
+                if min == last_min && min < total_windows {
+                    let laggards: Vec<usize> = done
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, &d)| d == min)
+                        .map(|(i, _)| i)
+                        .collect();
+                    eprintln!(
+                        "NVO_PROGRESS: no window progress in {interval:.1}s — possible stuck \
+                         barrier at window {min}/{total_windows}; waiting on islands {laggards:?}"
+                    );
+                } else {
+                    let eta = if min > 0 {
+                        format!(
+                            "~{:.1}s",
+                            (total_windows.saturating_sub(min)) as f64 * elapsed / min as f64
+                        )
+                    } else {
+                        "?".to_string()
+                    };
+                    eprintln!(
+                        "NVO_PROGRESS: windows {min}/{total_windows} complete on every island \
+                         (fastest at {max}), elapsed {elapsed:.1}s, eta {eta}"
+                    );
+                }
+                last_min = min;
+            }
+        });
+        Some(Self {
+            board,
+            handle: Some(handle),
+        })
+    }
+
+    /// Stops and joins the monitor thread (all islands finished).
+    fn finish(mut self) {
+        *self.board.stop.lock().expect("watchdog lock") = true;
+        self.board.cv.notify_all();
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
     }
 }
 
@@ -466,6 +703,7 @@ struct IslandOutcome {
     stats: SystemStats,
     metrics: crate::metrics::FrozenRegistry,
     golden: FastMap<LineAddr, Token>,
+    prof: Option<crate::prof::IslandProfile>,
 }
 
 /// One island mid-replay: its sub-machine plus local runner state.
@@ -479,10 +717,19 @@ struct IslandRun<'t, S> {
     accesses: u64,
     mismatches: u64,
     imported: u64,
+    /// Stall-attribution accumulator, owned by this island's worker
+    /// (thread-local by construction — no synchronization needed).
+    prof: Option<crate::prof::IslandProfile>,
 }
 
 impl<'t, S: MemorySystem> IslandRun<'t, S> {
-    fn new(sys: S, trace: &'t PackedTrace, plan: &crate::shard::ShardPlan, island: usize) -> Self {
+    fn new(
+        sys: S,
+        trace: &'t PackedTrace,
+        plan: &crate::shard::ShardPlan,
+        island: usize,
+        profiled: bool,
+    ) -> Self {
         let ip = plan.island(island);
         let streams: Vec<&[PackedEvent]> = ip.threads.iter().map(|&t| trace.thread(t)).collect();
         let n = streams.len();
@@ -496,6 +743,11 @@ impl<'t, S: MemorySystem> IslandRun<'t, S> {
             accesses: 0,
             mismatches: 0,
             imported: 0,
+            prof: profiled.then(|| crate::prof::IslandProfile {
+                island,
+                cells: Vec::with_capacity(plan.window_count()),
+                ..Default::default()
+            }),
         }
     }
 
@@ -507,6 +759,14 @@ impl<'t, S: MemorySystem> IslandRun<'t, S> {
     /// [`Runner::run_packed`] over the island's local cores, bounded by
     /// the plan's window cuts.
     fn run_window(&mut self, plan: &crate::shard::ShardPlan, w: usize, gap: Cycle) {
+        // Events replayed are counted by cursor-sum delta around the
+        // whole window — zero per-event cost, profiled or not.
+        let prof_t0 = self.prof.is_some().then(|| {
+            (
+                std::time::Instant::now(),
+                self.cursors.iter().sum::<usize>(),
+            )
+        });
         let cuts = &plan.island(self.island).cuts;
         let n = self.streams.len();
         let mut wake: Vec<Cycle> = (0..n)
@@ -568,6 +828,15 @@ impl<'t, S: MemorySystem> IslandRun<'t, S> {
                 Cycle::MAX
             };
         }
+        if let Some((t0, events_before)) = prof_t0 {
+            let cell = crate::prof::WindowCell {
+                events: (self.cursors.iter().sum::<usize>() - events_before) as u64,
+                arrive_clock: self.max_clock(),
+                compute_ns: t0.elapsed().as_nanos() as u64,
+                ..Default::default()
+            };
+            self.prof.as_mut().expect("profiled").cells.push(cell);
+        }
     }
 
     /// Applies the barrier's effects: emit the rendezvous event, align
@@ -587,33 +856,81 @@ impl<'t, S: MemorySystem> IslandRun<'t, S> {
                 c.advance(t_max - now);
             }
         }
+        let sync_t0 = self.prof.is_some().then(std::time::Instant::now);
         let stall = self.sys.raise_epoch_floor(e_max, t_max);
         if stall > 0 {
             for c in &mut self.clocks {
                 c.stall(stall);
             }
         }
+        let exch_t0 = sync_t0.map(|t0| (t0.elapsed().as_nanos() as u64, std::time::Instant::now()));
+        let imported_before = self.imported;
         for entry in plan.exchange(w) {
             if entry.src as usize != self.island && self.sys.import_line(entry.line, entry.token) {
                 self.golden.insert(entry.line, entry.token);
                 self.imported += 1;
             }
         }
+        if let Some((sync_ns, exch_t0)) = exch_t0 {
+            let applied = self.imported - imported_before;
+            let cell = self.prof.as_mut().expect("profiled").cells[w];
+            // Every window's cell is pushed by run_window before its
+            // barrier_sync, so index w is always present.
+            let cell = crate::prof::WindowCell {
+                aligned_clock: t_max,
+                epoch_floor: e_max,
+                sync_stall_cycles: stall,
+                imports_applied: applied,
+                imports_skipped: plan.exchange(w).len() as u64 - applied,
+                sync_ns,
+                exchange_ns: exch_t0.elapsed().as_nanos() as u64,
+                ..cell
+            };
+            self.prof.as_mut().expect("profiled").cells[w] = cell;
+        }
     }
 
-    fn finish(mut self) -> IslandOutcome {
-        let cycles = self.max_clock();
-        let persist_done = self.sys.finish(cycles);
+    fn finish(self) -> IslandOutcome {
+        let IslandRun {
+            mut sys,
+            clocks,
+            golden,
+            accesses,
+            mismatches,
+            imported,
+            mut prof,
+            ..
+        } = self;
+        let cycles = clocks.iter().map(|c| c.now()).max().unwrap_or(0);
+        let finish_t0 = prof.is_some().then(std::time::Instant::now);
+        let persist_done = sys.finish(cycles);
+        if let (Some(t0), Some(p)) = (finish_t0, prof.as_mut()) {
+            p.finish_ns = t0.elapsed().as_nanos() as u64;
+            p.final_clock = cycles;
+        }
+        let package_t0 = prof.is_some().then(std::time::Instant::now);
+        let stall_cycles = clocks.iter().map(|c| c.stall_cycles()).sum();
+        let stats = sys.stats().clone();
+        let metrics = sys.metrics().into_frozen();
+        // Deallocating the island sub-machine is real per-island wall
+        // time (NVOverlay's device maps run to megabytes) — charge it
+        // to outcome packaging rather than letting it leak out of the
+        // attribution.
+        drop(sys);
+        if let (Some(t0), Some(p)) = (package_t0, prof.as_mut()) {
+            p.package_ns = t0.elapsed().as_nanos() as u64;
+        }
         IslandOutcome {
             cycles,
             persist_done,
-            stall_cycles: self.clocks.iter().map(|c| c.stall_cycles()).sum(),
-            accesses: self.accesses,
-            mismatches: self.mismatches,
-            imported: self.imported,
-            stats: self.sys.stats().clone(),
-            metrics: self.sys.metrics().into_frozen(),
-            golden: self.golden,
+            stall_cycles,
+            accesses,
+            mismatches,
+            imported,
+            stats,
+            metrics,
+            golden,
+            prof,
         }
     }
 }

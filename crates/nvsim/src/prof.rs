@@ -1,0 +1,449 @@
+//! `nvprof` — stall attribution for island-sharded replay.
+//!
+//! [`crate::memsys::Runner::run_packed_sharded_prof`] threads a
+//! [`ShardProfile`] through the sharded replay loop: every island
+//! accumulates one [`WindowCell`] per barrier window (thread-local
+//! monotonic accumulators — islands are owned by exactly one worker, so
+//! the cells need no synchronization), every worker accumulates its
+//! rendezvous wait, and the caller accounts the final merge. The profile
+//! answers the question the scaling curve alone cannot: where did a
+//! sharded run's wall-time go — compute, barrier waits, exchange
+//! application, epoch (Lamport) sync, or the island merge?
+//!
+//! ## Two strictly separated kinds of data
+//!
+//! * **Structural counters** — event counts, import tallies, simulated
+//!   arrival clocks, epoch-sync stall cycles, exchange sizes. These are
+//!   derived from the shard plan and the simulation alone, so they are
+//!   **byte-identical across runs and across worker counts** (pinned by
+//!   `nvbench/tests/profile_determinism.rs` and the CI cmp matrix).
+//! * **Wall-clock fields** (`*_ns`) — monotonic host time. Real on every
+//!   run, never compared for identity.
+//!
+//! Straggler analysis uses *simulated* arrival clocks, so the
+//! critical-path island of every window is itself deterministic: the
+//! diagnosis ("island 3 gates 7 of 12 windows") reproduces even though
+//! the host timings around it do not.
+
+use crate::clock::Cycle;
+
+/// The attribution buckets sharded replay wall-time decomposes into.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ProfBucket {
+    /// Island window replay (including sub-machine construction and the
+    /// final persistence drain — simulated work).
+    Compute,
+    /// Time parked at the two-phase epoch-barrier rendezvous.
+    BarrierWait,
+    /// Applying the canonical cross-island exchange map.
+    ExchangeApply,
+    /// Lamport epoch sync (`raise_epoch_floor`) at the barrier.
+    EpochSync,
+    /// Packaging island outcomes (including sub-machine teardown) and
+    /// folding them into the merged report (stats/metrics/golden
+    /// merges, ascending island order).
+    Merge,
+}
+
+impl ProfBucket {
+    /// All buckets, display order.
+    pub const ALL: [ProfBucket; 5] = [
+        ProfBucket::Compute,
+        ProfBucket::BarrierWait,
+        ProfBucket::ExchangeApply,
+        ProfBucket::EpochSync,
+        ProfBucket::Merge,
+    ];
+
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProfBucket::Compute => "compute",
+            ProfBucket::BarrierWait => "barrier-wait",
+            ProfBucket::ExchangeApply => "exchange-apply",
+            ProfBucket::EpochSync => "epoch-sync",
+            ProfBucket::Merge => "merge",
+        }
+    }
+}
+
+/// One island's accounting for one barrier window.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WindowCell {
+    // --- structural (deterministic) ---
+    /// Trace events replayed by the island in this window.
+    pub events: u64,
+    /// The island's simulated clock on barrier arrival.
+    pub arrive_clock: Cycle,
+    /// The globally aligned clock after the rendezvous (`max` over all
+    /// islands' arrivals — identical for every island of the window).
+    pub aligned_clock: Cycle,
+    /// The Lamport epoch floor the barrier raised this island to.
+    pub epoch_floor: u64,
+    /// Simulated stall cycles `raise_epoch_floor` charged at this
+    /// barrier.
+    pub sync_stall_cycles: Cycle,
+    /// Exchange entries imported into this island (deposit applied).
+    pub imports_applied: u64,
+    /// Exchange entries skipped (own writes, or a newer cached copy).
+    pub imports_skipped: u64,
+    // --- wall-clock (host time, never identity-compared) ---
+    /// Host nanoseconds replaying the window.
+    pub compute_ns: u64,
+    /// Host nanoseconds applying the exchange map.
+    pub exchange_ns: u64,
+    /// Host nanoseconds in `raise_epoch_floor`.
+    pub sync_ns: u64,
+}
+
+/// One island's full profile: a [`WindowCell`] per window plus the
+/// island's bracketing phases.
+#[derive(Clone, Debug, Default)]
+pub struct IslandProfile {
+    /// The island (ascending, = VD index).
+    pub island: usize,
+    /// Per-window accounting, window order.
+    pub cells: Vec<WindowCell>,
+    /// Host nanoseconds building the island sub-machine.
+    pub setup_ns: u64,
+    /// Host nanoseconds in the final `MemorySystem::finish` drain
+    /// (simulated work — attributed to the compute bucket).
+    pub finish_ns: u64,
+    /// Host nanoseconds packaging the island outcome (stats clone,
+    /// metrics freeze, sub-machine teardown — attributed to the merge
+    /// bucket).
+    pub package_ns: u64,
+    /// The island's final simulated clock.
+    pub final_clock: Cycle,
+}
+
+impl IslandProfile {
+    /// Sum of a wall field over all windows.
+    fn sum_ns(&self, f: impl Fn(&WindowCell) -> u64) -> u64 {
+        self.cells.iter().map(f).sum()
+    }
+}
+
+/// One worker thread's accounting (wall-clock only: which OS thread ran
+/// which island is an execution detail, not part of the deterministic
+/// schedule).
+///
+/// The four phase counters are *contiguous laps* of one running clock:
+/// each boundary reads the monotonic clock once and charges the segment
+/// since the previous boundary, so the laps tile the worker's lifetime
+/// and loop overhead lands in the adjacent phase instead of escaping
+/// attribution.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WorkerProfile {
+    /// Worker index.
+    pub worker: usize,
+    /// Host nanoseconds replaying windows (island setup, event replay,
+    /// clock publication, and the final persistence drain).
+    pub compute_ns: u64,
+    /// Host nanoseconds parked at barrier rendezvous (both phases).
+    pub barrier_ns: u64,
+    /// Host nanoseconds in post-barrier sync (exchange application plus
+    /// the epoch-sync share the island cells break out).
+    pub exchange_ns: u64,
+    /// Host nanoseconds packaging island outcomes (stats clone, metrics
+    /// freeze, sub-machine teardown).
+    pub package_ns: u64,
+    /// Host nanoseconds from worker start to worker exit.
+    pub elapsed_ns: u64,
+}
+
+/// The complete profile of one sharded replay.
+#[derive(Clone, Debug, Default)]
+pub struct ShardProfile {
+    /// Islands in the plan.
+    pub islands: usize,
+    /// Barrier windows rendezvoused.
+    pub windows: usize,
+    /// Worker threads used (wall-clock context; not structural).
+    pub workers: usize,
+    /// The plan's per-thread window store budget.
+    pub window_stores: u64,
+    /// Exchange-map size per window (structural, from the plan).
+    pub exchange_entries: Vec<u64>,
+    /// Per-island profiles, ascending island order.
+    pub island_profiles: Vec<IslandProfile>,
+    /// Per-worker profiles, worker order.
+    pub worker_profiles: Vec<WorkerProfile>,
+    /// Host nanoseconds merging island outcomes on the calling thread.
+    pub merge_ns: u64,
+    /// Host nanoseconds for the whole sharded replay call.
+    pub total_ns: u64,
+}
+
+impl ShardProfile {
+    /// The critical-path (straggler) island of window `w`: the latest
+    /// simulated arrival, ties to the lowest island. Deterministic.
+    ///
+    /// # Panics
+    /// Panics if `w` is out of range or the profile has no islands.
+    pub fn straggler(&self, w: usize) -> usize {
+        let mut best = 0usize;
+        let mut best_clock = 0u64;
+        for ip in &self.island_profiles {
+            let c = ip.cells[w].arrive_clock;
+            if c > best_clock {
+                best_clock = c;
+                best = ip.island;
+            }
+        }
+        best
+    }
+
+    /// The straggler island of every window, window order.
+    pub fn stragglers(&self) -> Vec<usize> {
+        (0..self.windows).map(|w| self.straggler(w)).collect()
+    }
+
+    /// Per island: windows in which it was the straggler.
+    pub fn straggler_counts(&self) -> Vec<u64> {
+        let mut counts = vec![0u64; self.islands];
+        for w in 0..self.windows {
+            counts[self.straggler(w)] += 1;
+        }
+        counts
+    }
+
+    /// "Who waited on whom", aggregated over the run, in simulated
+    /// cycles: per island, (`waited`, `blamed`) — cycles it spent
+    /// waiting for stragglers, and cycles every *other* island spent
+    /// waiting while it was the window's critical path. Deterministic.
+    pub fn wait_blame_cycles(&self) -> Vec<(u64, u64)> {
+        let mut out = vec![(0u64, 0u64); self.islands];
+        for w in 0..self.windows {
+            let s = self.straggler(w);
+            for ip in &self.island_profiles {
+                let cell = &ip.cells[w];
+                let wait = cell.aligned_clock.saturating_sub(cell.arrive_clock);
+                out[ip.island].0 += wait;
+                if ip.island != s {
+                    out[s].1 += wait;
+                }
+            }
+        }
+        out
+    }
+
+    /// Total wall nanoseconds charged to each bucket
+    /// ([`ProfBucket::ALL`] order).
+    ///
+    /// Sourced from the workers' contiguous lap counters (which tile
+    /// each worker's lifetime) plus the caller-side merge; the island
+    /// cells refine the workers' exchange laps into their epoch-sync
+    /// share. The island cells' other wall fields are per-island detail
+    /// and deliberately not double-counted here.
+    pub fn bucket_ns(&self) -> [u64; 5] {
+        let mut b = [0u64; 5];
+        for wp in &self.worker_profiles {
+            b[0] += wp.compute_ns;
+            b[1] += wp.barrier_ns;
+            b[2] += wp.exchange_ns;
+            b[4] += wp.package_ns;
+        }
+        let sync: u64 = self
+            .island_profiles
+            .iter()
+            .map(|ip| ip.sum_ns(|c| c.sync_ns))
+            .sum();
+        let sync = sync.min(b[2]);
+        b[2] -= sync;
+        b[3] += sync;
+        b[4] += self.merge_ns;
+        b
+    }
+
+    /// The wall-time the buckets are attributed against: the sum of all
+    /// worker-thread lifetimes plus the caller-side merge.
+    pub fn accountable_ns(&self) -> u64 {
+        self.worker_profiles
+            .iter()
+            .map(|w| w.elapsed_ns)
+            .sum::<u64>()
+            + self.merge_ns
+    }
+
+    /// Fraction of accountable wall-time the five buckets explain
+    /// (the acceptance gate asks for ≥ 0.95).
+    pub fn attributed_fraction(&self) -> f64 {
+        let acc = self.accountable_ns();
+        if acc == 0 {
+            return 1.0;
+        }
+        (self.bucket_ns().iter().sum::<u64>() as f64 / acc as f64).min(1.0)
+    }
+
+    /// The measured serial fraction of the *work* (Amdahl's `s`): the
+    /// caller-side merge over all work buckets. Per-island packaging
+    /// runs concurrently on the workers and so counts as parallel work
+    /// in the denominator only. Barrier wait is excluded on both sides
+    /// — it is idleness caused by imbalance, not work, and the
+    /// imbalance is reported separately.
+    pub fn serial_fraction(&self) -> f64 {
+        let b = self.bucket_ns();
+        let work = b[0] + b[2] + b[3] + b[4];
+        if work == 0 {
+            0.0
+        } else {
+            self.merge_ns as f64 / work as f64
+        }
+    }
+
+    /// Window imbalance in permille, from simulated clocks: `1000 ×
+    /// Σ_w max_i(window cycles) / Σ_w mean_i(window cycles)`. 1000 means
+    /// perfectly balanced windows; 2000 means the critical island does
+    /// twice the mean. Integer so the structural export stays exact.
+    pub fn imbalance_permille(&self) -> u64 {
+        if self.islands == 0 || self.windows == 0 {
+            return 1000;
+        }
+        let mut sum_max = 0u128;
+        let mut sum_all = 0u128;
+        for w in 0..self.windows {
+            let mut mx = 0u64;
+            let mut total = 0u128;
+            for ip in &self.island_profiles {
+                let start = if w == 0 {
+                    0
+                } else {
+                    ip.cells[w - 1].aligned_clock
+                };
+                let cycles = ip.cells[w].arrive_clock.saturating_sub(start);
+                mx = mx.max(cycles);
+                total += cycles as u128;
+            }
+            sum_max += mx as u128;
+            sum_all += total;
+        }
+        if sum_all == 0 {
+            return 1000;
+        }
+        // mean per window = sum_all / islands; imbalance = sum_max/mean.
+        ((sum_max * self.islands as u128 * 1000) / sum_all) as u64
+    }
+
+    /// Amdahl-style predicted speedup at `k` shards from the measured
+    /// serial fraction: `1 / (s + (1 - s) / min(k, islands))`. The
+    /// imbalance factor ([`ShardProfile::imbalance_permille`]) bounds
+    /// the parallel term further when `k` reaches the island count; it
+    /// is reported alongside rather than folded in (DESIGN.md §8f).
+    pub fn predicted_speedup(&self, k: usize) -> f64 {
+        let s = self.serial_fraction();
+        let keff = k.clamp(1, self.islands.max(1)) as f64;
+        1.0 / (s + (1.0 - s) / keff)
+    }
+
+    /// Structural totals per island, ascending: `(events,
+    /// imports_applied, imports_skipped, sync_stall_cycles)`.
+    pub fn island_totals(&self) -> Vec<(u64, u64, u64, u64)> {
+        self.island_profiles
+            .iter()
+            .map(|ip| {
+                (
+                    ip.cells.iter().map(|c| c.events).sum(),
+                    ip.cells.iter().map(|c| c.imports_applied).sum(),
+                    ip.cells.iter().map(|c| c.imports_skipped).sum(),
+                    ip.cells.iter().map(|c| c.sync_stall_cycles).sum(),
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 2 islands × 2 windows: island 1 is always the straggler.
+    fn sample() -> ShardProfile {
+        let cell = |arrive, aligned, events| WindowCell {
+            events,
+            arrive_clock: arrive,
+            aligned_clock: aligned,
+            ..Default::default()
+        };
+        ShardProfile {
+            islands: 2,
+            windows: 2,
+            workers: 2,
+            window_stores: 4,
+            exchange_entries: vec![3, 1],
+            island_profiles: vec![
+                IslandProfile {
+                    island: 0,
+                    cells: vec![cell(60, 100, 10), cell(160, 200, 10)],
+                    ..Default::default()
+                },
+                IslandProfile {
+                    island: 1,
+                    cells: vec![cell(100, 100, 30), cell(200, 200, 30)],
+                    ..Default::default()
+                },
+            ],
+            worker_profiles: vec![WorkerProfile::default(); 2],
+            merge_ns: 0,
+            total_ns: 0,
+        }
+    }
+
+    #[test]
+    fn straggler_is_latest_arrival() {
+        let p = sample();
+        assert_eq!(p.stragglers(), vec![1, 1]);
+        assert_eq!(p.straggler_counts(), vec![0, 2]);
+    }
+
+    #[test]
+    fn wait_blame_is_symmetric() {
+        let p = sample();
+        let wb = p.wait_blame_cycles();
+        // Island 0 waited 40 cycles per window; island 1 never waited
+        // and is blamed for island 0's 80 total cycles of waiting.
+        assert_eq!(wb[0], (80, 0));
+        assert_eq!(wb[1], (0, 80));
+    }
+
+    #[test]
+    fn imbalance_reflects_uneven_windows() {
+        let p = sample();
+        // Window cycles: island 0 runs 60 then 60; island 1 runs 100
+        // then 100. max sum = 200, mean sum = 160 -> 1250 permille.
+        assert_eq!(p.imbalance_permille(), 1250);
+    }
+
+    #[test]
+    fn amdahl_model_degenerates_sanely() {
+        let mut p = sample();
+        // No wall data at all: serial fraction 0, ideal scaling up to
+        // the island count, flat beyond it.
+        assert_eq!(p.serial_fraction(), 0.0);
+        assert!((p.predicted_speedup(2) - 2.0).abs() < 1e-12);
+        assert!((p.predicted_speedup(16) - 2.0).abs() < 1e-12);
+        // All-serial work: no speedup at any count.
+        p.merge_ns = 1_000;
+        assert!((p.serial_fraction() - 1.0).abs() < 1e-12);
+        assert!((p.predicted_speedup(8) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn buckets_fold_worker_laps_and_island_sync_detail() {
+        let mut p = sample();
+        // Worker laps tile the worker's lifetime; the island cell's
+        // sync_ns detail splits the exchange lap into its epoch-sync
+        // share.
+        p.worker_profiles[0].compute_ns = 110;
+        p.worker_profiles[0].barrier_ns = 50;
+        p.worker_profiles[0].exchange_ns = 15;
+        p.worker_profiles[0].package_ns = 2;
+        p.island_profiles[0].cells[0].sync_ns = 5;
+        p.merge_ns = 20;
+        let b = p.bucket_ns();
+        assert_eq!(b, [110, 50, 10, 5, 22]);
+        p.worker_profiles[0].elapsed_ns = 177;
+        assert_eq!(p.accountable_ns(), 197);
+        assert!((p.attributed_fraction() - 1.0).abs() < 1e-9);
+    }
+}
