@@ -9,7 +9,9 @@
 //! nvo snapshots --workload RBTree [--scale quick]
 //! nvo chaos B+Tree --scheme nvoverlay --sites 200 --seed 7 [--jobs N] [--out report.json]
 //! nvo profile B+Tree --scheme NVOverlay --shards 4 [--scale quick] [--out p.json] [--structural-out s.json] [--chrome c.json]
-//! nvo perf [--jobs N] [--shards N] [--profile] [--scale quick|standard|full] [--out BENCH_perf.json] [--baseline <file>]
+//! nvo serve B+Tree --sessions 8 --batch 32 --epochs all --workers 4 [--seed S] [--out serve.json] [--stats-out s.json]
+//! nvo query B+Tree --key 0x1f40 --epoch 7
+//! nvo perf [--jobs N] [--shards N] [--profile] [--serve] [--scale quick|standard|full] [--out BENCH_perf.json] [--baseline <file>]
 //! ```
 //!
 //! `nvo trace` needs the `trace` cargo feature
@@ -22,6 +24,7 @@ use nvbench::{
     run_scheme_sharded_prof, run_scheme_stats, ChromeMeta, EnvScale, ExpResult, Scheme, Spans,
 };
 use nvoverlay::system::NvOverlaySystem;
+use nvserve::{driver as serve_driver, server as serve_engine, EpochSelect, Mount, ServeConfig};
 use nvsim::memsys::Runner;
 use nvsim::stats::{NvmWriteKind, SystemStats};
 use nvsim::trace::Trace;
@@ -33,7 +36,7 @@ use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  nvo list\n  nvo run --workload <name> --scheme <name> [--scale quick|standard|full] [--shards N] [--json] [--stats-out <file>]\n  nvo run --trace <file.nvtr> --scheme <name>\n  nvo trace-gen --workload <name> --out <file.nvtr> [--scale ...]\n  nvo trace <workload> --scheme <name> [--scale ...] [--trace-out <file>] [--stats-out <file>] [--buffer-cap N] [--sample N]\n  nvo snapshots --workload <name> [--scale ...]\n  nvo diff --workload <name> --from <epoch> --to <epoch> [--scale ...]\n  nvo chaos <workload> --scheme nvoverlay|sw-undo [--sites N] [--seed S] [--scale ...] [--jobs N] [--torn-p P] [--flip-p P] [--stress-backpressure] [--broken-recovery] [--out <file>] [--json]\n  nvo profile <workload> [--scheme <name>] [--shards N] [--scale ...] [--out <file>] [--structural-out <file>] [--chrome <file>] [--json]\n  nvo perf [--jobs N] [--shards N] [--profile] [--scale ...] [--out BENCH_perf.json] [--baseline <file>]"
+        "usage:\n  nvo list\n  nvo run --workload <name> --scheme <name> [--scale quick|standard|full] [--shards N] [--json] [--stats-out <file>]\n  nvo run --trace <file.nvtr> --scheme <name>\n  nvo trace-gen --workload <name> --out <file.nvtr> [--scale ...]\n  nvo trace <workload> --scheme <name> [--scale ...] [--trace-out <file>] [--stats-out <file>] [--buffer-cap N] [--sample N]\n  nvo snapshots --workload <name> [--scale ...]\n  nvo diff --workload <name> --from <epoch> --to <epoch> [--scale ...]\n  nvo chaos <workload> --scheme nvoverlay|sw-undo [--sites N] [--seed S] [--scale ...] [--jobs N] [--torn-p P] [--flip-p P] [--stress-backpressure] [--broken-recovery] [--out <file>] [--json]\n  nvo profile <workload> [--scheme <name>] [--shards N] [--scale ...] [--out <file>] [--structural-out <file>] [--chrome <file>] [--json]\n  nvo serve <workload> [--sessions N] [--batches K] [--batch B] [--epochs all|latest|A..B] [--workers W] [--cache-cap C] [--subshards S] [--seed S] [--theta T] [--no-probes] [--scale ...] [--out <file>] [--stats-out <file>] [--json]\n  nvo query <workload> --key <byte-addr> [--epoch E|latest] [--scale ...]\n  nvo perf [--jobs N] [--shards N] [--profile] [--serve] [--scale ...] [--out BENCH_perf.json] [--serve-out BENCH_serve.json] [--baseline <file>]"
     );
     exit(2)
 }
@@ -48,6 +51,8 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
                 || key == "stress-backpressure"
                 || key == "broken-recovery"
                 || key == "profile"
+                || key == "serve"
+                || key == "no-probes"
             {
                 out.insert(key.to_string(), "1".into());
                 i += 1;
@@ -649,6 +654,198 @@ fn cmd_profile(flags: HashMap<String, String>) {
     }
 }
 
+/// Builds a [`ServeConfig`] from CLI flags (defaults from
+/// `ServeConfig::default`, workers from `--workers`).
+fn serve_config_of(flags: &HashMap<String, String>) -> ServeConfig {
+    let mut cfg = ServeConfig::default();
+    for (flag, slot) in [
+        ("sessions", &mut cfg.sessions),
+        ("batches", &mut cfg.batches),
+        ("batch", &mut cfg.batch),
+        ("workers", &mut cfg.workers),
+        ("cache-cap", &mut cfg.cache_cap),
+        ("subshards", &mut cfg.subshards),
+    ] {
+        if let Some(v) = flags.get(flag) {
+            match v.parse::<usize>() {
+                Ok(n) if n >= 1 => *slot = n,
+                _ => {
+                    eprintln!("--{flag} must be a positive integer, got {v:?}");
+                    exit(2);
+                }
+            }
+        }
+    }
+    if let Some(v) = flags.get("seed") {
+        match v.parse::<u64>() {
+            Ok(n) => cfg.seed = n,
+            _ => {
+                eprintln!("--seed must be an integer, got {v:?}");
+                exit(2);
+            }
+        }
+    }
+    if let Some(v) = flags.get("theta") {
+        match v.parse::<f64>() {
+            Ok(t) if (0.0..=5.0).contains(&t) => cfg.theta = t,
+            _ => {
+                eprintln!("--theta must be a skew in [0, 5], got {v:?}");
+                exit(2);
+            }
+        }
+    }
+    if let Some(v) = flags.get("epochs") {
+        cfg.epochs = match v.as_str() {
+            "all" => EpochSelect::All,
+            "latest" => EpochSelect::Latest,
+            other => match other.split_once("..") {
+                Some((lo, hi)) => match (lo.parse::<u64>(), hi.parse::<u64>()) {
+                    (Ok(lo), Ok(hi)) if lo <= hi => EpochSelect::Range(lo, hi),
+                    _ => {
+                        eprintln!("--epochs range must be <lo>..<hi>, got {v:?}");
+                        exit(2);
+                    }
+                },
+                None => {
+                    eprintln!("--epochs must be all, latest, or <lo>..<hi>, got {v:?}");
+                    exit(2);
+                }
+            },
+        };
+    }
+    cfg.error_probes = !flags.contains_key("no-probes");
+    cfg
+}
+
+/// Replays the workload through NVOverlay and mounts the resulting
+/// durable state for serving.
+fn mounted_system(flags: &HashMap<String, String>, scale: EnvScale) -> NvOverlaySystem {
+    let trace = load_workload(flags, scale);
+    let cfg = scale.sim_config();
+    let mut sys = NvOverlaySystem::new(&cfg);
+    let _ = Runner::new().run(&mut sys, &trace);
+    sys
+}
+
+/// `nvo serve` — mounts the recovered image left behind by one NVOverlay
+/// run and serves a scripted concurrent load of batched point-in-time
+/// reads against it. The report (and `--out` file) is deterministic:
+/// byte-identical across `--workers` counts and repeated runs of one
+/// seed; wall-clock throughput goes to stdout only.
+fn cmd_serve(flags: HashMap<String, String>) {
+    let scale = scale_of(&flags);
+    let scfg = serve_config_of(&flags);
+    let sys = mounted_system(&flags, scale);
+    let mount = Mount::new(sys.mnm(), scfg.subshards).unwrap_or_else(|e| {
+        eprintln!("cannot mount: {e}");
+        exit(1);
+    });
+    let Some(plan) = serve_driver::plan(&mount, &scfg) else {
+        eprintln!("nothing to serve: the image is empty or no epoch matches --epochs");
+        exit(1);
+    };
+    let out = serve_engine::serve(&mount, &plan, &scfg);
+    let wname = flags.get("workload").map(String::as_str).unwrap_or("-");
+    let json = out.report.to_json(wname, "NVOverlay");
+    if let Some(path) = flags.get("out") {
+        std::fs::write(path, &json).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            exit(1);
+        });
+    }
+    if let Some(path) = flags.get("stats-out") {
+        let mut reg = nvsim::metrics::Registry::new();
+        out.report.metrics_into(&mut reg, "serve");
+        let stats = registry_json(&reg, &[("scheme", "NVOverlay"), ("workload", wname)]);
+        std::fs::write(path, stats).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            exit(1);
+        });
+    }
+    if flags.contains_key("json") {
+        print!("{json}");
+        return;
+    }
+    let r = &out.report;
+    println!(
+        "served {wname}: {} sessions x {} batches x {} keys over {} shards ({} workers)",
+        r.sessions, r.batches_per_session, r.batch, r.shards, scfg.workers,
+    );
+    println!(
+        "  mount: rec-epoch {} (max seen {}, lag {}), {} image lines, {} servable epochs",
+        r.rec_epoch, r.max_epoch_seen, r.lag, r.image_lines, r.epochs_servable
+    );
+    println!(
+        "  answered {} of {} enqueued ({} hit a version, {} empty); {} probe batches rejected",
+        r.answered,
+        r.enqueued,
+        r.answers_some,
+        r.answers_none,
+        r.errors.iter().map(|(_, v)| v).sum::<u64>(),
+    );
+    println!(
+        "  mapping cache: {:.1}% hits ({} hits / {} misses / {} evictions)",
+        100.0 * r.hit_rate(),
+        r.cache.hits,
+        r.cache.misses,
+        r.cache.evictions
+    );
+    println!(
+        "  {:.0} queries/s ({:.3}s wall), digest {:016x}",
+        out.queries_per_sec(),
+        out.wall_secs,
+        r.digest
+    );
+}
+
+/// `nvo query` — a one-shot point-in-time read: `GET key AS OF epoch`.
+/// Typed epoch rejections (`QueryError`) print to stderr and exit 1.
+fn cmd_query(flags: HashMap<String, String>) {
+    let scale = scale_of(&flags);
+    let Some(keystr) = flags.get("key") else {
+        eprintln!("--key <byte-addr> is required");
+        usage();
+    };
+    let byte = match keystr.strip_prefix("0x") {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => keystr.parse::<u64>(),
+    }
+    .unwrap_or_else(|_| {
+        eprintln!("--key must be a byte address (decimal or 0x-hex), got {keystr:?}");
+        exit(2);
+    });
+    let line = nvsim::addr::Addr::new(byte).line();
+    let sys = mounted_system(&flags, scale);
+    let mount = Mount::new(sys.mnm(), 1).unwrap_or_else(|e| {
+        eprintln!("cannot mount: {e}");
+        exit(1);
+    });
+    let epoch = match flags.get("epoch").map(String::as_str) {
+        None | Some("latest") => mount.dir().recoverable(),
+        Some(v) => v.parse::<u64>().unwrap_or_else(|_| {
+            eprintln!("--epoch must be an epoch number or `latest`, got {v:?}");
+            exit(2);
+        }),
+    };
+    match mount.dir().resolve(epoch) {
+        Err(e) => {
+            eprintln!("query rejected: {e}");
+            exit(1);
+        }
+        Ok(view) => match mount.mnm().time_travel(line, view.epoch()) {
+            Some(token) => {
+                println!("{byte:#012x} @ epoch {}: {token}", view.epoch());
+            }
+            None => {
+                println!(
+                    "{byte:#012x} @ epoch {}: no version at or before this epoch",
+                    view.epoch()
+                );
+            }
+        },
+    }
+}
+
 /// `nvo perf` — times the parallel experiment engine against the serial
 /// driver on a fixed 6-scheme × 4-workload matrix, reports per-scheme
 /// serial replay throughput (Maccesses/s), then replays the same matrix
@@ -941,6 +1138,159 @@ fn cmd_perf(flags: HashMap<String, String>) {
         );
     }
 
+    // Serving-layer pass (--serve): replay each workload through
+    // NVOverlay once, mount the durable state, and serve the default
+    // scripted load at `jobs` workers and again at 1 worker. Gates:
+    // the two reports must be byte-identical (worker-count
+    // determinism), and the zipfian load must keep the mapping-table
+    // cache at ≥90% hits. Writes `BENCH_serve.json` with queries/s,
+    // hit rate, and recoverable-epoch lag per workload; `--baseline`
+    // additionally enforces `serve_queries_s` floors (>20% drop
+    // fails), skipped on 1-way hosts like the other threaded floors.
+    let serve_enabled = flags.contains_key("serve");
+    let mut serve_failed = false;
+    if serve_enabled {
+        let serve_out_path = flags
+            .get("serve-out")
+            .cloned()
+            .unwrap_or_else(|| "BENCH_serve.json".to_string());
+        let scfg = ServeConfig {
+            workers: jobs,
+            ..ServeConfig::default()
+        };
+        let scfg_ref = ServeConfig {
+            workers: 1,
+            ..scfg.clone()
+        };
+        let mut serve_identical = true;
+        let mut hit_rate_min = 1.0f64;
+        let mut qps = vec![0.0f64; workloads.len()];
+        let mut hit_rates = vec![0.0f64; workloads.len()];
+        let mut lags = vec![0u64; workloads.len()];
+        let mut answered = vec![0u64; workloads.len()];
+        for (ti, trace) in par_traces.iter().enumerate() {
+            let mut sys = NvOverlaySystem::new(&cfg);
+            let _ = Runner::new().run_packed(&mut sys, trace);
+            let mount = Mount::new(sys.mnm(), scfg.subshards).unwrap_or_else(|e| {
+                eprintln!("SERVE: cannot mount {}: {e}", workloads[ti]);
+                exit(1);
+            });
+            let Some(plan) = serve_driver::plan(&mount, &scfg) else {
+                eprintln!("SERVE: nothing to serve for {}", workloads[ti]);
+                exit(1);
+            };
+            let wname = workloads[ti].name();
+            let out = serve_engine::serve(&mount, &plan, &scfg);
+            let ref_out = serve_engine::serve(&mount, &plan, &scfg_ref);
+            if out.report.to_json(wname, "NVOverlay") != ref_out.report.to_json(wname, "NVOverlay")
+            {
+                serve_identical = false;
+            }
+            hit_rate_min = hit_rate_min.min(out.report.hit_rate());
+            qps[ti] = out.queries_per_sec();
+            hit_rates[ti] = out.report.hit_rate();
+            lags[ti] = out.report.lag;
+            answered[ti] = out.report.answered;
+        }
+        println!("  serve pass ({jobs} workers vs 1, default load):");
+        for (ti, w) in workloads.iter().enumerate() {
+            println!(
+                "    {:<12} {:>10.0} queries/s, {:>5.1}% cache hits, lag {} epochs",
+                w.name(),
+                qps[ti],
+                100.0 * hit_rates[ti],
+                lags[ti]
+            );
+        }
+        println!(
+            "  serve output identical across worker counts: {}",
+            if serve_identical { "yes" } else { "NO — BUG" }
+        );
+        if !serve_identical {
+            eprintln!("SERVE: worker count changed the serve report");
+            serve_failed = true;
+        }
+        if hit_rate_min < 0.90 {
+            eprintln!(
+                "SERVE: mapping-table cache hit rate {:.1}% fell below the 90% floor",
+                100.0 * hit_rate_min
+            );
+            serve_failed = true;
+        }
+        let table_of = |vals: &[f64]| {
+            workloads
+                .iter()
+                .enumerate()
+                .map(|(ti, w)| format!("\"{}\": {:.4}", w.name(), vals[ti]))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        let u64_table_of = |vals: &[u64]| {
+            workloads
+                .iter()
+                .enumerate()
+                .map(|(ti, w)| format!("\"{}\": {}", w.name(), vals[ti]))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        let serve_json = format!(
+            "{{\n  \"scale\": \"{:?}\",\n  \"workers\": {},\n  \"config\": {{\"sessions\": {}, \"batches\": {}, \"batch\": {}, \"cache_cap\": {}, \"subshards\": {}, \"seed\": {}, \"theta\": {:.4}, \"epochs\": \"{}\"}},\n  \"serve_queries_s\": {{{}}},\n  \"hit_rate\": {{{}}},\n  \"lag_epochs\": {{{}}},\n  \"answered\": {{{}}},\n  \"hit_rate_min\": {:.6},\n  \"outputs_identical\": {}\n}}\n",
+            scale,
+            jobs,
+            scfg.sessions,
+            scfg.batches,
+            scfg.batch,
+            scfg.cache_cap,
+            scfg.subshards,
+            scfg.seed,
+            scfg.theta,
+            scfg.epochs,
+            table_of(&qps),
+            table_of(&hit_rates),
+            u64_table_of(&lags),
+            u64_table_of(&answered),
+            hit_rate_min,
+            serve_identical,
+        );
+        std::fs::write(&serve_out_path, serve_json).unwrap_or_else(|e| {
+            eprintln!("cannot write {serve_out_path}: {e}");
+            exit(1);
+        });
+        println!("  wrote {serve_out_path}");
+        if let Some(path) = flags.get("baseline") {
+            let txt = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read baseline {path}: {e}");
+                exit(1);
+            });
+            let base = parse_throughput_baseline(&txt, "serve_queries_s");
+            if base.is_empty() {
+                println!("  serve baseline gate: no serve_queries_s table in {path}, skipped");
+            } else if default_host() <= 1 {
+                println!(
+                    "  serve baseline gate: {} floors SKIPPED (host parallelism 1)",
+                    base.len()
+                );
+            } else {
+                for (ti, w) in workloads.iter().enumerate() {
+                    if let Some(&b) = base.get(w.name()) {
+                        if qps[ti] < b * 0.8 {
+                            eprintln!(
+                                "REGRESSION: {} serve throughput {:.0} queries/s is >20% below baseline {:.0}",
+                                w.name(),
+                                qps[ti],
+                                b
+                            );
+                            serve_failed = true;
+                        }
+                    }
+                }
+                if !serve_failed {
+                    println!("  serve baseline gate: all workloads within 20% of {path}");
+                }
+            }
+        }
+    }
+
     let identical = serial_rows == par_rows && sharded_identical;
     let totals = [timing[0].total_secs(), timing[1].total_secs()];
     let speedup = totals[0] / totals[1].max(1e-9);
@@ -1100,7 +1450,7 @@ fn cmd_perf(flags: HashMap<String, String>) {
         eprintln!("sharded replay slower than one worker on a multi-core host");
         exit(1);
     }
-    if regressed || profile_failed {
+    if regressed || profile_failed || serve_failed {
         exit(1);
     }
 }
@@ -1111,56 +1461,34 @@ fn default_host() -> usize {
         .unwrap_or(1)
 }
 
+/// Parses `<subcommand> [<workload>] --flags ...` — an optional
+/// positional workload name before the flags (trace, chaos, profile,
+/// serve, and query all accept it).
+fn flags_with_positional_workload(args: &[String]) -> HashMap<String, String> {
+    let (positional, rest) = match args.first() {
+        Some(a) if !a.starts_with("--") => (Some(a.clone()), &args[1..]),
+        _ => (None, args),
+    };
+    let mut flags = parse_flags(rest);
+    if let Some(w) = positional {
+        flags.entry("workload".to_string()).or_insert(w);
+    }
+    flags
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("list") => cmd_list(),
         Some("run") => cmd_run(parse_flags(&args[1..])),
         Some("trace-gen") => cmd_trace_gen(parse_flags(&args[1..])),
-        Some("trace") => {
-            // `nvo trace <workload> ...`: an optional positional
-            // workload name before the flags.
-            let rest = &args[1..];
-            let (positional, rest) = match rest.first() {
-                Some(a) if !a.starts_with("--") => (Some(a.clone()), &rest[1..]),
-                _ => (None, rest),
-            };
-            let mut flags = parse_flags(rest);
-            if let Some(w) = positional {
-                flags.entry("workload".to_string()).or_insert(w);
-            }
-            cmd_trace(flags)
-        }
+        Some("trace") => cmd_trace(flags_with_positional_workload(&args[1..])),
         Some("snapshots") => cmd_snapshots(parse_flags(&args[1..])),
         Some("diff") => cmd_diff(parse_flags(&args[1..])),
-        Some("chaos") => {
-            // `nvo chaos <workload> ...`: an optional positional
-            // workload name before the flags.
-            let rest = &args[1..];
-            let (positional, rest) = match rest.first() {
-                Some(a) if !a.starts_with("--") => (Some(a.clone()), &rest[1..]),
-                _ => (None, rest),
-            };
-            let mut flags = parse_flags(rest);
-            if let Some(w) = positional {
-                flags.entry("workload".to_string()).or_insert(w);
-            }
-            cmd_chaos(flags)
-        }
-        Some("profile") => {
-            // `nvo profile <workload> ...`: an optional positional
-            // workload name before the flags.
-            let rest = &args[1..];
-            let (positional, rest) = match rest.first() {
-                Some(a) if !a.starts_with("--") => (Some(a.clone()), &rest[1..]),
-                _ => (None, rest),
-            };
-            let mut flags = parse_flags(rest);
-            if let Some(w) = positional {
-                flags.entry("workload".to_string()).or_insert(w);
-            }
-            cmd_profile(flags)
-        }
+        Some("chaos") => cmd_chaos(flags_with_positional_workload(&args[1..])),
+        Some("profile") => cmd_profile(flags_with_positional_workload(&args[1..])),
+        Some("serve") => cmd_serve(flags_with_positional_workload(&args[1..])),
+        Some("query") => cmd_query(flags_with_positional_workload(&args[1..])),
         Some("perf") => cmd_perf(parse_flags(&args[1..])),
         _ => usage(),
     }

@@ -58,5 +58,5 @@ pub mod store;
 pub mod system;
 
 pub use epoch::Epoch;
-pub use store::SnapshotStore;
+pub use store::{QueryError, SnapshotStore, EPOCH_SENSE_WINDOW};
 pub use system::NvOverlaySystem;

@@ -64,16 +64,33 @@ impl Mnm {
         }
     }
 
-    fn route(&self, line: LineAddr) -> usize {
-        // Address-interleave at *page* granularity: every line of a page
-        // maps to the same OMC, so leaf mapping nodes stay dense (finer
-        // interleaving would halve Fig 13's leaf occupancy per OMC).
+    /// The OMC index owning `line`'s address partition.
+    ///
+    /// Address-interleave at *page* granularity: every line of a page
+    /// maps to the same OMC, so leaf mapping nodes stay dense (finer
+    /// interleaving would halve Fig 13's leaf occupancy per OMC). This is
+    /// the single routing function — every read and write path, and the
+    /// `nvserve` shard planner, must agree on it.
+    pub fn route(&self, line: LineAddr) -> usize {
         (line.page().raw() % self.omcs.len() as u64) as usize
+    }
+
+    /// The OMC owning `line` (the shared routing helper behind every
+    /// line-addressed read path).
+    fn omc_for(&self, line: LineAddr) -> &Omc {
+        &self.omcs[self.route(line)]
     }
 
     /// The persisted recoverable epoch (0 = nothing recoverable yet).
     pub fn rec_epoch(&self) -> u64 {
         self.rec_epoch
+    }
+
+    /// The highest epoch any version was ever received for. The gap to
+    /// [`Mnm::rec_epoch`] is the recoverable-epoch lag a serving layer
+    /// reports: captured-but-not-yet-durable history.
+    pub fn max_epoch_seen(&self) -> u64 {
+        self.max_epoch_seen
     }
 
     /// The OMCs (stats, inspection).
@@ -193,12 +210,12 @@ impl Mnm {
 
     /// Reads the recoverable image's version of a line.
     pub fn read_master(&self, line: LineAddr) -> Option<Token> {
-        self.omcs[self.route(line)].read_master(line)
+        self.omc_for(line).read_master(line)
     }
 
     /// Time-travel read at `epoch` (§V-E).
     pub fn time_travel(&self, line: LineAddr, epoch: u64) -> Option<Token> {
-        self.omcs[self.route(line)].time_travel(line, epoch)
+        self.omc_for(line).time_travel(line, epoch)
     }
 
     /// Iterates the full recoverable image across all OMCs.

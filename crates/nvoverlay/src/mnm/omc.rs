@@ -560,11 +560,19 @@ impl Omc {
         }
     }
 
+    /// Resolves a mapping-table location to its stored version — the one
+    /// shared helper behind every read path (master reads, time-travel
+    /// fall-through, epoch deltas, image iteration), so the
+    /// location-to-data step cannot drift between them.
+    #[inline]
+    fn read_loc(&self, loc: NvmLoc) -> Option<Token> {
+        self.pool.read(loc)
+    }
+
     /// Reads the current consistent image's version of `line` (via the
     /// master table), as crash recovery does.
     pub fn read_master(&self, line: LineAddr) -> Option<Token> {
-        let loc = self.master.get(line)?;
-        self.pool.read(loc)
+        self.master.get(line).and_then(|loc| self.read_loc(loc))
     }
 
     /// Time-travel read (§V-E): the version of `line` visible at `epoch`,
@@ -587,7 +595,7 @@ impl Omc {
             }
             if let Some(t) = st.table.as_ref() {
                 if let Some(loc) = t.get(line) {
-                    return self.pool.read(loc);
+                    return self.read_loc(loc);
                 }
             }
         }
@@ -612,7 +620,7 @@ impl Omc {
         let t = st.table.as_ref()?;
         Some(
             t.iter()
-                .filter_map(|(l, loc)| self.pool.read(loc).map(|tok| (l, tok))),
+                .filter_map(|(l, loc)| self.read_loc(loc).map(|tok| (l, tok))),
         )
     }
 
@@ -621,7 +629,7 @@ impl Omc {
         self.master
             .tree()
             .iter()
-            .filter_map(|(l, loc)| self.pool.read(loc).map(|t| (l, t)))
+            .filter_map(|(l, loc)| self.read_loc(loc).map(|t| (l, t)))
     }
 
     /// The buffer, if configured (statistics).

@@ -9,6 +9,76 @@
 use crate::mnm::Mnm;
 use nvsim::addr::{LineAddr, Token, VdId};
 use nvsim::fastmap::FastHashMap;
+use std::fmt;
+
+/// How far back of the recoverable epoch a snapshot can be addressed
+/// before the 16-bit OID epoch-sense tags wrap and version provenance
+/// becomes ambiguous (paper §IV-B). Requests older than this window are
+/// rejected with [`QueryError::Wrapped`] rather than answered with data
+/// whose epoch tags may alias a later generation.
+pub const EPOCH_SENSE_WINDOW: u64 = 1 << 16;
+
+/// Why a point-in-time read request cannot be served (typed — callers
+/// never see a panic for a bad epoch).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueryError {
+    /// Epoch 0 is the pre-history sentinel (`rec-epoch == 0` means
+    /// "nothing recoverable"), never an addressable snapshot.
+    EpochZero,
+    /// The requested epoch lies beyond the recoverable epoch: its
+    /// versions may still be unpersisted in the caches, so no consistent
+    /// snapshot exists for it yet.
+    NotYetRecoverable {
+        /// The epoch the caller asked for.
+        requested: u64,
+        /// The newest epoch that is fully durable (0 = none).
+        recoverable: u64,
+    },
+    /// The epoch was captured but its per-epoch mapping tables were
+    /// reclaimed ([`crate::mnm::SnapshotRetention::DropMerged`]) or
+    /// compacted away, so it can no longer be served exactly.
+    NotRetained {
+        /// The epoch whose tables are gone.
+        epoch: u64,
+    },
+    /// The epoch is older than the 16-bit epoch-sense window below the
+    /// recoverable epoch: its OID tags have wrapped and can alias a
+    /// later generation.
+    Wrapped {
+        /// The epoch the caller asked for.
+        requested: u64,
+        /// The recoverable epoch the window is anchored at.
+        recoverable: u64,
+    },
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::EpochZero => f.write_str("epoch 0 is not an addressable snapshot"),
+            QueryError::NotYetRecoverable {
+                requested,
+                recoverable,
+            } => write!(
+                f,
+                "epoch {requested} is not yet recoverable (recoverable epoch is {recoverable})"
+            ),
+            QueryError::NotRetained { epoch } => write!(
+                f,
+                "epoch {epoch}'s per-epoch tables were reclaimed or compacted"
+            ),
+            QueryError::Wrapped {
+                requested,
+                recoverable,
+            } => write!(
+                f,
+                "epoch {requested} is beyond the epoch-sense window ({EPOCH_SENSE_WINDOW} epochs below {recoverable})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
 
 /// One line's change between two epochs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -47,6 +117,49 @@ impl<'a> SnapshotStore<'a> {
     /// Reads one line as of `epoch` (fall-through semantics, §V-E).
     pub fn read_at(&self, line: LineAddr, epoch: u64) -> Option<Token> {
         self.mnm.time_travel(line, epoch)
+    }
+
+    /// Validates that `epoch` names a servable snapshot: non-zero, at or
+    /// below the recoverable epoch, inside the epoch-sense window, and
+    /// (when the epoch captured versions) with its tables still retained.
+    ///
+    /// # Errors
+    /// Any [`QueryError`] variant; see each for the rejected class.
+    pub fn resolve_epoch(&self, epoch: u64) -> Result<u64, QueryError> {
+        if epoch == 0 {
+            return Err(QueryError::EpochZero);
+        }
+        let recoverable = self.recoverable_epoch();
+        if epoch > recoverable {
+            return Err(QueryError::NotYetRecoverable {
+                requested: epoch,
+                recoverable,
+            });
+        }
+        if recoverable - epoch >= EPOCH_SENSE_WINDOW {
+            return Err(QueryError::Wrapped {
+                requested: epoch,
+                recoverable,
+            });
+        }
+        if self
+            .epochs()
+            .iter()
+            .any(|(e, readable)| *e == epoch && !readable)
+        {
+            return Err(QueryError::NotRetained { epoch });
+        }
+        Ok(epoch)
+    }
+
+    /// [`SnapshotStore::read_at`] with the epoch validated first: the
+    /// serving-layer read path (`nvserve`). `Ok(None)` means the epoch is
+    /// servable but the line was never written at or before it.
+    ///
+    /// # Errors
+    /// Any [`QueryError`] variant (see [`SnapshotStore::resolve_epoch`]).
+    pub fn read_at_checked(&self, line: LineAddr, epoch: u64) -> Result<Option<Token>, QueryError> {
+        self.resolve_epoch(epoch).map(|e| self.read_at(line, e))
     }
 
     /// The incremental delta captured in exactly `epoch` — what a
@@ -176,6 +289,114 @@ mod tests {
         assert_eq!(store.context(VdId(0), 5), Some(0xAA));
         assert_eq!(store.context(VdId(1), 5), Some(0xBB));
         assert_eq!(store.context(VdId(0), 4), None);
+    }
+
+    #[test]
+    fn checked_reads_accept_exactly_the_recoverable_range() {
+        let (mut m, mut n) = setup();
+        m.receive_version(&mut n, 0, line(1), 10, 1);
+        m.receive_version(&mut n, 0, line(1), 20, 2);
+        m.finish(&mut n, 0, 2);
+        let store = SnapshotStore::new(&m);
+        // Boundary: epoch 0 is the sentinel, never servable.
+        assert_eq!(
+            store.read_at_checked(line(1), 0),
+            Err(QueryError::EpochZero)
+        );
+        // Boundaries: 1 and rec-epoch are both servable.
+        assert_eq!(store.read_at_checked(line(1), 1), Ok(Some(10)));
+        assert_eq!(store.read_at_checked(line(1), 2), Ok(Some(20)));
+        // Boundary: rec-epoch + 1 is not yet recoverable.
+        assert_eq!(
+            store.read_at_checked(line(1), 3),
+            Err(QueryError::NotYetRecoverable {
+                requested: 3,
+                recoverable: 2
+            })
+        );
+        // A servable epoch where the line was never written is Ok(None),
+        // distinct from every error.
+        assert_eq!(store.read_at_checked(line(999), 2), Ok(None));
+    }
+
+    #[test]
+    fn checked_reads_reject_nothing_recoverable() {
+        let (m, _) = setup();
+        let store = SnapshotStore::new(&m);
+        assert_eq!(
+            store.read_at_checked(line(1), 1),
+            Err(QueryError::NotYetRecoverable {
+                requested: 1,
+                recoverable: 0
+            })
+        );
+    }
+
+    #[test]
+    fn checked_reads_reject_wrapped_epochs() {
+        let (mut m, mut n) = setup();
+        let newest = EPOCH_SENSE_WINDOW + 5;
+        m.receive_version(&mut n, 0, line(1), 10, 4);
+        m.receive_version(&mut n, 0, line(1), 20, newest);
+        m.finish(&mut n, 0, newest);
+        let store = SnapshotStore::new(&m);
+        // Boundary: exactly window-many epochs below rec is wrapped...
+        assert_eq!(
+            store.resolve_epoch(newest - EPOCH_SENSE_WINDOW),
+            Err(QueryError::Wrapped {
+                requested: 5,
+                recoverable: newest
+            })
+        );
+        // ...one epoch newer is still addressable.
+        assert_eq!(store.resolve_epoch(newest - EPOCH_SENSE_WINDOW + 1), Ok(6));
+        assert_eq!(store.read_at_checked(line(1), newest), Ok(Some(20)));
+    }
+
+    #[test]
+    fn checked_reads_reject_reclaimed_epochs() {
+        use crate::mnm::SnapshotRetention;
+        let mut m = Mnm::new(
+            1,
+            1,
+            OmcConfig {
+                pool_pages: 16,
+                retention: SnapshotRetention::DropMerged,
+                ..OmcConfig::default()
+            },
+        );
+        let mut n = Nvm::new(4, 400, 200, 8, 100_000);
+        m.receive_version(&mut n, 0, line(1), 10, 1);
+        m.finish(&mut n, 0, 1);
+        let store = SnapshotStore::new(&m);
+        assert_eq!(
+            store.resolve_epoch(1),
+            Err(QueryError::NotRetained { epoch: 1 })
+        );
+        assert_eq!(
+            store.read_at_checked(line(1), 1),
+            Err(QueryError::NotRetained { epoch: 1 })
+        );
+    }
+
+    #[test]
+    fn query_error_display_is_stable() {
+        assert_eq!(
+            QueryError::EpochZero.to_string(),
+            "epoch 0 is not an addressable snapshot"
+        );
+        assert_eq!(
+            QueryError::NotYetRecoverable {
+                requested: 9,
+                recoverable: 4
+            }
+            .to_string(),
+            "epoch 9 is not yet recoverable (recoverable epoch is 4)"
+        );
+        assert_eq!(
+            QueryError::NotRetained { epoch: 3 }.to_string(),
+            "epoch 3's per-epoch tables were reclaimed or compacted"
+        );
     }
 
     #[test]

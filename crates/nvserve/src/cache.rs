@@ -1,0 +1,221 @@
+//! Bounded per-epoch mapping-table cache with deterministic LRU eviction.
+//!
+//! Each serving shard keeps one [`EpochTableCache`]: a map from epoch
+//! number to that shard's materialized slice of the epoch's overlay
+//! mapping table. The cache is the serving layer's working set — a
+//! fall-through walk touches one table per visited epoch, and under
+//! zipfian key skew the newest few epochs absorb nearly all touches, so
+//! a small cache yields a high hit rate (the perf gate demands ≥ 90%).
+//!
+//! Eviction is least-recently-used with a strictly monotonic logical
+//! tick, so the eviction sequence is a pure function of the lookup
+//! sequence — byte-identical stats across worker counts and runs.
+
+use nvsim::fastmap::FastMap;
+use nvsim::{LineAddr, Token};
+
+/// Hit/miss/eviction counters for one cache (mergeable across shards).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from a resident table.
+    pub hits: u64,
+    /// Lookups that had to materialize the table from the OMC.
+    pub misses: u64,
+    /// Tables evicted to stay under the capacity bound.
+    pub evictions: u64,
+    /// Total `(line, token)` entries materialized into cached tables.
+    pub lines_materialized: u64,
+}
+
+impl CacheStats {
+    /// Accumulates `other` into `self`.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+        self.lines_materialized += other.lines_materialized;
+    }
+
+    /// Hit fraction over all lookups (1.0 when there were none).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct CachedTable {
+    lines: FastMap<LineAddr, Token>,
+    last_used: u64,
+}
+
+/// An LRU cache of materialized per-epoch mapping tables.
+pub struct EpochTableCache {
+    cap: usize,
+    tick: u64,
+    tables: FastMap<u64, CachedTable>,
+    stats: CacheStats,
+}
+
+impl EpochTableCache {
+    /// Creates a cache holding at most `cap` epoch tables (clamped to 1).
+    pub fn new(cap: usize) -> Self {
+        EpochTableCache {
+            cap: cap.max(1),
+            tick: 0,
+            tables: FastMap::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The capacity bound.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Tables currently resident.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Whether no table is resident.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// The counters so far.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Returns `epoch`'s table, materializing it with `fill` on a miss
+    /// and evicting the least-recently-used table when over capacity.
+    pub fn table<F>(&mut self, epoch: u64, fill: F) -> &FastMap<LineAddr, Token>
+    where
+        F: FnOnce() -> FastMap<LineAddr, Token>,
+    {
+        self.tick += 1;
+        if self.tables.contains_key(&epoch) {
+            self.stats.hits += 1;
+        } else {
+            self.stats.misses += 1;
+            if self.tables.len() >= self.cap {
+                self.evict_lru();
+            }
+            let lines = fill();
+            self.stats.lines_materialized += lines.len() as u64;
+            self.tables.insert(
+                epoch,
+                CachedTable {
+                    lines,
+                    last_used: 0,
+                },
+            );
+        }
+        let t = self.tables.get_mut(&epoch).expect("just ensured resident");
+        t.last_used = self.tick;
+        &t.lines
+    }
+
+    /// Evicts the table with the smallest `last_used` tick (ties — which
+    /// cannot occur, as ticks are unique — would break toward the lower
+    /// epoch for determinism's sake).
+    fn evict_lru(&mut self) {
+        let victim = self
+            .tables
+            .iter()
+            .map(|(e, t)| (t.last_used, *e))
+            .min()
+            .map(|(_, e)| e);
+        if let Some(e) = victim {
+            self.tables.remove(&e);
+            self.stats.evictions += 1;
+        }
+    }
+}
+
+impl std::fmt::Debug for EpochTableCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EpochTableCache")
+            .field("cap", &self.cap)
+            .field("resident", &self.tables.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table_of(n: u64) -> FastMap<LineAddr, Token> {
+        let mut t = FastMap::new();
+        t.insert(LineAddr::new(n), n);
+        t
+    }
+
+    #[test]
+    fn hits_and_misses_are_counted() {
+        let mut c = EpochTableCache::new(4);
+        c.table(1, || table_of(1));
+        c.table(1, || unreachable!("resident"));
+        c.table(2, || table_of(2));
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 2);
+        assert_eq!(c.stats().lines_materialized, 2);
+        assert_eq!(c.stats().evictions, 0);
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_epoch() {
+        let mut c = EpochTableCache::new(2);
+        c.table(1, || table_of(1));
+        c.table(2, || table_of(2));
+        c.table(1, || unreachable!("keeps 1 warm"));
+        // Inserting 3 must evict 2 (coldest), not 1.
+        c.table(3, || table_of(3));
+        assert_eq!(c.stats().evictions, 1);
+        c.table(1, || unreachable!("1 survived"));
+        c.table(2, || table_of(2)); // 2 was evicted: refill runs
+        assert_eq!(c.stats().misses, 4);
+    }
+
+    #[test]
+    fn capacity_is_clamped_to_one() {
+        let mut c = EpochTableCache::new(0);
+        assert_eq!(c.cap(), 1);
+        c.table(1, || table_of(1));
+        c.table(2, || table_of(2));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn eviction_sequence_is_deterministic() {
+        let run = || {
+            let mut c = EpochTableCache::new(3);
+            let mut log = Vec::new();
+            for &e in &[1u64, 2, 3, 1, 4, 5, 2, 1, 6, 3] {
+                c.table(e, || table_of(e));
+                log.push((c.stats().hits, c.stats().misses, c.stats().evictions));
+            }
+            log
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn hit_rate_handles_empty_and_mixed() {
+        let c = EpochTableCache::new(2);
+        assert_eq!(c.stats().hit_rate(), 1.0);
+        let mut c = EpochTableCache::new(2);
+        c.table(1, || table_of(1));
+        c.table(1, || unreachable!());
+        c.table(1, || unreachable!());
+        c.table(2, || table_of(2));
+        assert_eq!(c.stats().hit_rate(), 0.5);
+    }
+}

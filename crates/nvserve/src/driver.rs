@@ -1,0 +1,249 @@
+//! Deterministic multi-session load generation.
+//!
+//! The driver turns a seed into a full [`LoadPlan`] *before* any worker
+//! thread starts: every session's batches, every batch's target epoch,
+//! and every query's key are fixed up front. Execution order can then
+//! vary freely with the worker count while answers and statistics stay
+//! byte-identical — the same discipline `nvsim::shard` uses for sharded
+//! replay.
+//!
+//! Keys are drawn zipfian (default θ = 0.99, the YCSB constant) over the
+//! recovered image's key universe, with ranks shuffled once so the hot
+//! keys land on different pages (and therefore different serving shards)
+//! rather than clustering at the low addresses. Epochs are drawn
+//! newest-biased from the servable set — half the batches target the
+//! recoverable head, the rest time-travel uniformly — and a fixed cadence
+//! of *error probes* requests unservable epochs (0 and `rec+1`) to
+//! exercise the typed rejection path end to end.
+
+use crate::server::ServeConfig;
+use crate::view::Mount;
+use nvsim::rng::Rng64;
+use nvsim::LineAddr;
+
+/// Which epochs a load plan may target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EpochSelect {
+    /// Every servable epoch (newest-biased mixture).
+    All,
+    /// Only the recoverable head.
+    Latest,
+    /// Servable epochs in `[lo, hi]` (still newest-biased within it).
+    Range(u64, u64),
+}
+
+impl std::fmt::Display for EpochSelect {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EpochSelect::All => write!(f, "all"),
+            EpochSelect::Latest => write!(f, "latest"),
+            EpochSelect::Range(lo, hi) => write!(f, "{lo}..{hi}"),
+        }
+    }
+}
+
+/// A zipfian sampler over ranks `0..n` (rank 0 hottest).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cum: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the cumulative distribution for `n` ranks with skew
+    /// `theta` (0 = uniform; 0.99 = YCSB default).
+    ///
+    /// # Panics
+    /// Panics if `n` is zero.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "zipf over an empty universe");
+        let mut cum = Vec::with_capacity(n);
+        let mut total = 0.0f64;
+        for k in 1..=n {
+            total += 1.0 / (k as f64).powf(theta);
+            cum.push(total);
+        }
+        for c in &mut cum {
+            *c /= total;
+        }
+        Zipf { cum }
+    }
+
+    /// Draws a rank.
+    pub fn sample(&self, rng: &mut Rng64) -> usize {
+        // 53 uniform mantissa bits → u in [0, 1).
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.cum
+            .partition_point(|&c| c <= u)
+            .min(self.cum.len() - 1)
+    }
+}
+
+/// One batch of point-in-time reads a session will submit.
+#[derive(Debug, Clone)]
+pub struct BatchPlan {
+    /// The epoch every key in the batch is read as of (may be an
+    /// intentionally unservable probe).
+    pub epoch: u64,
+    /// The keys, in submission order.
+    pub keys: Vec<LineAddr>,
+}
+
+/// One client session's scripted batches.
+#[derive(Debug, Clone)]
+pub struct SessionPlan {
+    /// Session ordinal (0-based).
+    pub id: usize,
+    /// Batches in submission order.
+    pub batches: Vec<BatchPlan>,
+}
+
+/// The full scripted load: a pure function of `(mount, config)`.
+#[derive(Debug, Clone)]
+pub struct LoadPlan {
+    /// Per-session scripts.
+    pub sessions: Vec<SessionPlan>,
+    /// Batches that intentionally target unservable epochs.
+    pub probes: usize,
+}
+
+impl LoadPlan {
+    /// Total queries across all batches (including probe batches).
+    pub fn queries(&self) -> usize {
+        self.sessions
+            .iter()
+            .flat_map(|s| s.batches.iter())
+            .map(|b| b.keys.len())
+            .sum()
+    }
+}
+
+/// Salt for the one-time key-rank shuffle.
+const SHUFFLE_SALT: u64 = 0x5348_5546_464C_4531; // "SHUFFLE1"
+/// Per-session seed spacing (golden-ratio stride).
+const SESSION_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
+/// Every `PROBE_CADENCE`-th batch (by `session + batch` ordinal) is an
+/// error probe when probes are enabled.
+const PROBE_CADENCE: usize = 13;
+
+/// Scripts the full load for `mount` under `cfg`.
+///
+/// Returns `None` when the mount has no keys or no servable epoch
+/// matches `cfg.epochs` — there is nothing to serve.
+pub fn plan(mount: &Mount<'_>, cfg: &ServeConfig) -> Option<LoadPlan> {
+    let keys = mount.keys();
+    if keys.is_empty() {
+        return None;
+    }
+    let servable: Vec<u64> = match cfg.epochs {
+        EpochSelect::All => mount.dir().servable(),
+        EpochSelect::Latest => {
+            let rec = mount.dir().recoverable();
+            mount
+                .dir()
+                .servable()
+                .into_iter()
+                .filter(|&e| e == rec)
+                .collect()
+        }
+        EpochSelect::Range(lo, hi) => mount
+            .dir()
+            .servable()
+            .into_iter()
+            .filter(|&e| lo <= e && e <= hi)
+            .collect(),
+    };
+    let newest = *servable.last()?;
+
+    // Shuffle ranks once so hot keys spread across pages/shards.
+    let mut ranks: Vec<usize> = (0..keys.len()).collect();
+    let mut shuffle_rng = Rng64::seed_from_u64(cfg.seed ^ SHUFFLE_SALT);
+    for i in (1..ranks.len()).rev() {
+        let j = shuffle_rng.gen_range(0u64..(i as u64 + 1)) as usize;
+        ranks.swap(i, j);
+    }
+
+    let zipf = Zipf::new(keys.len(), cfg.theta);
+    let rec = mount.dir().recoverable();
+    let mut probes = 0usize;
+    let sessions = (0..cfg.sessions.max(1))
+        .map(|s| {
+            let mut rng =
+                Rng64::seed_from_u64(cfg.seed ^ (s as u64 + 1).wrapping_mul(SESSION_STRIDE));
+            let batches = (0..cfg.batches.max(1))
+                .map(|b| {
+                    // Epoch first, then keys, so the rng stream shape is
+                    // identical for probe and normal batches.
+                    let ordinal = s + b;
+                    let uniform_pick = rng.gen_range(0u64..servable.len() as u64) as usize;
+                    let go_latest = rng.gen_bool(0.5);
+                    let epoch = if cfg.error_probes && ordinal % PROBE_CADENCE == PROBE_CADENCE - 1
+                    {
+                        probes += 1;
+                        if ordinal % (2 * PROBE_CADENCE) == PROBE_CADENCE - 1 {
+                            0
+                        } else {
+                            rec + 1 + (ordinal as u64 % 3)
+                        }
+                    } else if go_latest {
+                        newest
+                    } else {
+                        servable[uniform_pick]
+                    };
+                    let keys_drawn = (0..cfg.batch.max(1))
+                        .map(|_| keys[ranks[zipf.sample(&mut rng)]])
+                        .collect();
+                    BatchPlan {
+                        epoch,
+                        keys: keys_drawn,
+                    }
+                })
+                .collect();
+            SessionPlan { id: s, batches }
+        })
+        .collect();
+    Some(LoadPlan { sessions, probes })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_is_skewed_and_deterministic() {
+        let z = Zipf::new(100, 0.99);
+        let mut rng = Rng64::seed_from_u64(7);
+        let mut counts = [0u64; 100];
+        for _ in 0..10_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        // Rank 0 must dominate the tail decisively under θ=0.99.
+        assert!(counts[0] > counts[50] * 5, "{counts:?}");
+        assert!(counts[0] > 500);
+        // Same seed, same stream.
+        let mut a = Rng64::seed_from_u64(9);
+        let mut b = Rng64::seed_from_u64(9);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut a), z.sample(&mut b));
+        }
+    }
+
+    #[test]
+    fn zipf_theta_zero_is_roughly_uniform() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = Rng64::seed_from_u64(3);
+        let mut counts = [0u64; 10];
+        for _ in 0..10_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((700..1300).contains(&c), "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn epoch_select_displays_stably() {
+        assert_eq!(EpochSelect::All.to_string(), "all");
+        assert_eq!(EpochSelect::Latest.to_string(), "latest");
+        assert_eq!(EpochSelect::Range(2, 9).to_string(), "2..9");
+    }
+}
