@@ -96,6 +96,18 @@ impl BaselineCore {
         self.hier.import_line(line, token)
     }
 
+    /// Batched variant of [`BaselineCore::import_line`] (delegates to
+    /// [`Hierarchy::import_lines`]): one pass over the sorted exchange
+    /// run, applied deposits mirrored into `golden`.
+    pub fn import_lines(
+        &mut self,
+        entries: &[nvsim::shard::ExchangeEntry],
+        island: u16,
+        golden: &mut nvsim::fastmap::FastMap<nvsim::addr::LineAddr, nvsim::addr::Token>,
+    ) -> u64 {
+        self.hier.import_lines(entries, island, golden)
+    }
+
     /// Copies device counters into the stats block.
     pub fn sync_stats(&mut self) {
         self.stats.nvm = self.nvm.stats().clone();

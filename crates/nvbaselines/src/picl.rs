@@ -303,6 +303,15 @@ impl MemorySystem for Picl {
         self.core.import_line(line, token)
     }
 
+    fn import_lines(
+        &mut self,
+        entries: &[nvsim::shard::ExchangeEntry],
+        island: u16,
+        golden: &mut nvsim::fastmap::FastMap<LineAddr, Token>,
+    ) -> u64 {
+        self.core.import_lines(entries, island, golden)
+    }
+
     fn finish(&mut self, now: Cycle) -> Cycle {
         self.commit_epoch(now);
         // Drain any remaining dirty data (from the epoch just opened).

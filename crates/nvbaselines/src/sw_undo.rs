@@ -210,6 +210,15 @@ impl MemorySystem for SwUndoLogging {
         self.core.import_line(line, token)
     }
 
+    fn import_lines(
+        &mut self,
+        entries: &[nvsim::shard::ExchangeEntry],
+        island: u16,
+        golden: &mut nvsim::fastmap::FastMap<LineAddr, Token>,
+    ) -> u64 {
+        self.core.import_lines(entries, island, golden)
+    }
+
     fn finish(&mut self, now: Cycle) -> Cycle {
         let end = self.commit_epoch(now);
         let _ = self.core.hier.drain_dirty();

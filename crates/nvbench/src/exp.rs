@@ -107,6 +107,14 @@ impl Scheme {
     pub fn build_nvoverlay(cfg: &Arc<SimConfig>, opts: NvOverlayOptions) -> Box<dyn MemorySystem> {
         Box::new(NvOverlaySystem::with_options_shared(Arc::clone(cfg), opts))
     }
+
+    /// Whether the scheme's memory system replays island-sharded —
+    /// [`MemorySystem::shardable`] as a static property, so dispatchers
+    /// can route without constructing a throwaway system just to ask.
+    /// Must agree with every instance's answer; a test pins that.
+    pub fn shardable(&self) -> bool {
+        !matches!(self, Scheme::HwShadow)
+    }
 }
 
 impl fmt::Display for Scheme {
@@ -231,8 +239,11 @@ pub struct ShardedSchemeRun {
     pub sharded: bool,
     /// Islands in the plan (0 when serial).
     pub islands: usize,
-    /// Barrier windows rendezvoused (0 when serial).
+    /// Barrier windows in the plan (0 when serial).
     pub windows: u64,
+    /// Windows at which islands actually rendezvoused — the plan's
+    /// coalesced cadence (0 when serial).
+    pub rendezvous_windows: u64,
     /// Cross-island exchange entries applied (0 when serial).
     pub imported_lines: u64,
     /// Stall-attribution profile (`Some` only when profiling was
@@ -270,7 +281,23 @@ pub fn run_scheme_sharded_prof(
     shards: usize,
     profiled: bool,
 ) -> ShardedSchemeRun {
-    if !scheme.build(cfg).shardable() {
+    run_scheme_sharded_exec(scheme, cfg, trace, shards, profiled, true)
+}
+
+/// [`run_scheme_sharded_prof`] with explicit control of window
+/// coalescing. `coalesce: false` keeps the plan's rendezvous cadence
+/// (and therefore every result byte) but physically parks workers at
+/// silent windows' barriers too — the pre-coalescing pacing, used by the
+/// coalescing differential tests and `nvo run --no-coalesce`.
+pub fn run_scheme_sharded_exec(
+    scheme: Scheme,
+    cfg: &Arc<SimConfig>,
+    trace: &PackedTrace,
+    shards: usize,
+    profiled: bool,
+    coalesce: bool,
+) -> ShardedSchemeRun {
+    if !scheme.shardable() {
         let (result, stats, metrics) = run_scheme_stats(scheme, cfg, trace);
         return ShardedSchemeRun {
             result,
@@ -279,81 +306,75 @@ pub fn run_scheme_sharded_prof(
             sharded: false,
             islands: 0,
             windows: 0,
+            rendezvous_windows: 0,
             imported_lines: 0,
             profile: None,
         };
     }
-    let plan = nvsim::ShardPlan::new(trace, cfg);
+    // The memoized plan: the 6-scheme matrix (and every shard count of a
+    // sweep) builds each workload's plan once. Fetch time is charged to
+    // the profiler's plan-build bucket — near zero on a cache hit.
+    let plan_t0 = std::time::Instant::now();
+    let plan = nvsim::ShardPlan::cached(trace, cfg);
+    let plan_build_ns = plan_t0.elapsed().as_nanos() as u64;
     let icfg = Arc::new(cfg.island_config());
     let c = &icfg;
+    let exec = ShardExec {
+        plan: &plan,
+        shards,
+        profiled,
+        coalesce,
+        plan_build_ns,
+    };
     match scheme {
-        Scheme::Ideal => drive_sharded(
-            |_| IdealSystem::new_shared(Arc::clone(c)),
-            trace,
-            &plan,
-            shards,
-            profiled,
-        ),
-        Scheme::SwLogging => drive_sharded(
-            |_| SwUndoLogging::new_shared(Arc::clone(c)),
-            trace,
-            &plan,
-            shards,
-            profiled,
-        ),
-        Scheme::SwShadow => drive_sharded(
-            |_| SwShadow::new_shared(Arc::clone(c)),
-            trace,
-            &plan,
-            shards,
-            profiled,
-        ),
+        Scheme::Ideal => drive_sharded(|_| IdealSystem::new_shared(Arc::clone(c)), trace, &exec),
+        Scheme::SwLogging => {
+            drive_sharded(|_| SwUndoLogging::new_shared(Arc::clone(c)), trace, &exec)
+        }
+        Scheme::SwShadow => drive_sharded(|_| SwShadow::new_shared(Arc::clone(c)), trace, &exec),
         Scheme::HwShadow => unreachable!("HW Shadow declares itself serial-only"),
         Scheme::Picl => drive_sharded(
             |_| Picl::new_shared(Arc::clone(c), PiclLevel::Llc),
             trace,
-            &plan,
-            shards,
-            profiled,
+            &exec,
         ),
         Scheme::PiclL2 => drive_sharded(
             |_| Picl::new_shared(Arc::clone(c), PiclLevel::L2),
             trace,
-            &plan,
-            shards,
-            profiled,
+            &exec,
         ),
-        Scheme::NvOverlay => drive_sharded(
-            |_| NvOverlaySystem::new_shared(Arc::clone(c)),
-            trace,
-            &plan,
-            shards,
-            profiled,
-        ),
+        Scheme::NvOverlay => {
+            drive_sharded(|_| NvOverlaySystem::new_shared(Arc::clone(c)), trace, &exec)
+        }
         Scheme::NvOverlayBuffered => drive_sharded(
             |_| NvOverlaySystem::with_omc_buffer_shared(Arc::clone(c)),
             trace,
-            &plan,
-            shards,
-            profiled,
+            &exec,
         ),
     }
 }
 
-/// Monomorphized sharded driver (see [`drive`] for why).
-fn drive_sharded<S, F>(
-    factory: F,
-    trace: &PackedTrace,
-    plan: &nvsim::ShardPlan,
+/// Execution knobs shared by every scheme arm of the sharded dispatch.
+struct ShardExec<'p> {
+    plan: &'p nvsim::ShardPlan,
     shards: usize,
     profiled: bool,
-) -> ShardedSchemeRun
+    coalesce: bool,
+    plan_build_ns: u64,
+}
+
+/// Monomorphized sharded driver (see [`drive`] for why).
+fn drive_sharded<S, F>(factory: F, trace: &PackedTrace, exec: &ShardExec<'_>) -> ShardedSchemeRun
 where
     S: MemorySystem,
     F: Fn(usize) -> S + Sync,
 {
-    let (report, profile) =
-        Runner::new().run_packed_sharded_prof(factory, trace, plan, shards, profiled);
+    let (report, mut profile) = Runner::new()
+        .coalesce(exec.coalesce)
+        .run_packed_sharded_prof(factory, trace, exec.plan, exec.shards, exec.profiled);
+    if let Some(p) = profile.as_mut() {
+        p.plan_build_ns = exec.plan_build_ns;
+    }
     let result = ExpResult::from_stats(&report.stats, report.cycles, report.stall_cycles);
     ShardedSchemeRun {
         result,
@@ -362,6 +383,7 @@ where
         sharded: true,
         islands: report.islands,
         windows: report.windows,
+        rendezvous_windows: report.rendezvous_windows,
         imported_lines: report.imported_lines,
         profile,
     }
@@ -509,6 +531,21 @@ mod tests {
         for s in [Scheme::Ideal, Scheme::NvOverlay, Scheme::Picl] {
             let r = run_scheme(s, &cfg, &trace);
             assert!(r.cycles > 0, "{s}");
+        }
+    }
+
+    #[test]
+    fn static_shardable_agrees_with_every_instance() {
+        // `Scheme::shardable` answers without constructing a system;
+        // this pins it to what each constructed instance reports so the
+        // two can never drift apart.
+        let cfg = Arc::new(small_cfg());
+        for s in Scheme::ALL {
+            assert_eq!(
+                s.shardable(),
+                s.build(&cfg).shardable(),
+                "{s}: static shardable diverged from the instance"
+            );
         }
     }
 

@@ -125,6 +125,7 @@ pub fn profile_structural_json(p: &ShardProfile) -> String {
     let _ = writeln!(out, "  \"schema\": \"nvo-profile-structural-v1\",");
     let _ = writeln!(out, "  \"islands\": {},", p.islands);
     let _ = writeln!(out, "  \"windows\": {},", p.windows);
+    let _ = writeln!(out, "  \"rendezvous_windows\": {},", p.rendezvous_windows);
     let _ = writeln!(out, "  \"window_stores\": {},", p.window_stores);
     let _ = writeln!(out, "  \"exchange_entries\": {:?},", p.exchange_entries);
     let _ = writeln!(out, "  \"stragglers\": {:?},", p.stragglers());
@@ -194,6 +195,10 @@ fn profile_wall_json(p: &ShardProfile) -> String {
         p.attributed_fraction()
     );
     let _ = writeln!(out, "  \"serial_fraction\": {:.6},", p.serial_fraction());
+    // The Amdahl model clamps at the island count; the cap and the
+    // clamped worker counts are explicit so two equal predictions are
+    // read as "clamped", not as a measured plateau.
+    let _ = writeln!(out, "  \"island_cap\": {},", p.island_cap());
     out.push_str("  \"predicted_speedup\": {");
     for (i, k) in [2usize, 4, 8, 16].iter().enumerate() {
         if i > 0 {
@@ -202,6 +207,19 @@ fn profile_wall_json(p: &ShardProfile) -> String {
         let _ = write!(out, "\"{}\": {:.4}", k, p.predicted_speedup(*k));
     }
     out.push_str("},\n");
+    out.push_str("  \"predicted_speedup_clamped\": [");
+    let mut first = true;
+    for k in [2usize, 4, 8, 16] {
+        if p.speedup_clamped(k) {
+            if !first {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{k}");
+            first = false;
+        }
+    }
+    out.push_str("],\n");
+    let _ = writeln!(out, "  \"plan_build_us\": {},", us(p.plan_build_ns));
     let _ = writeln!(out, "  \"merge_us\": {},", us(p.merge_ns));
     let _ = writeln!(out, "  \"total_us\": {},", us(p.total_ns));
     out.push_str("  \"workers_detail\": [");
@@ -272,15 +290,15 @@ pub fn profile_json(p: &ShardProfile, meta: &[(&str, &str)]) -> String {
     out
 }
 
-/// Renders the human-readable bottleneck table: the five-bucket
+/// Renders the human-readable bottleneck table: the six-bucket
 /// wall-time decomposition, the attribution coverage, the Amdahl-style
 /// scaling forecast, and the straggler diagnosis.
 pub fn bottleneck_table(p: &ShardProfile) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "stall attribution · {} islands × {} windows · {} workers",
-        p.islands, p.windows, p.workers
+        "stall attribution · {} islands × {} windows ({} rendezvous) · {} workers",
+        p.islands, p.windows, p.rendezvous_windows, p.workers
     );
     let b = p.bucket_ns();
     let acc = p.accountable_ns().max(1);
@@ -301,17 +319,22 @@ pub fn bottleneck_table(p: &ShardProfile) -> String {
         us(p.accountable_ns()),
         p.workers
     );
+    let mut forecast = String::new();
+    for k in [2usize, 4, 8, 16] {
+        let _ = write!(
+            forecast,
+            " {k}→{:.2}x{}",
+            p.predicted_speedup(k),
+            if p.speedup_clamped(k) { "*" } else { "" }
+        );
+    }
     let _ = writeln!(
         out,
-        "scaling model: serial fraction {:.2}% · window imbalance {}‰ · predicted speedup \
-         2→{:.2}x 4→{:.2}x 8→{:.2}x 16→{:.2}x (capped at {} islands)",
+        "scaling model: serial fraction {:.2}% · window imbalance {}‰ · predicted \
+         speedup{forecast} (* clamped at the {}-island cap)",
         100.0 * p.serial_fraction(),
         p.imbalance_permille(),
-        p.predicted_speedup(2),
-        p.predicted_speedup(4),
-        p.predicted_speedup(8),
-        p.predicted_speedup(16),
-        p.islands
+        p.island_cap()
     );
     let counts = p.straggler_counts();
     let blame = p.wait_blame_cycles();
@@ -404,6 +427,7 @@ mod tests {
             windows: 2,
             workers: 2,
             window_stores: 64,
+            rendezvous_windows: 2,
             exchange_entries: vec![3, 3],
             island_profiles: vec![
                 IslandProfile {
@@ -442,6 +466,7 @@ mod tests {
                 },
             ],
             merge_ns: 1_500,
+            plan_build_ns: 400,
             total_ns: 16_000,
         }
     }
@@ -465,10 +490,25 @@ mod tests {
                 .collect::<Vec<_>>(),
             [1, 1]
         );
+        assert_eq!(s.get("rendezvous_windows").unwrap().as_u64(), Some(2));
         let w = doc.get("wall").unwrap();
         assert_eq!(w.get("workers").unwrap().as_u64(), Some(2));
         assert!(w.get("buckets_us").unwrap().get("compute").is_some());
+        assert!(w.get("buckets_us").unwrap().get("plan-build").is_some());
         assert!(w.get("attributed_fraction").unwrap().as_f64().unwrap() > 0.9);
+        // The Amdahl clamp is explicit: a 2-island profile caps at 2 and
+        // marks 4/8/16 as clamped rather than repeating one number
+        // without comment.
+        assert_eq!(w.get("island_cap").unwrap().as_u64(), Some(2));
+        let clamped: Vec<u64> = w
+            .get("predicted_speedup_clamped")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|v| v.as_u64().unwrap())
+            .collect();
+        assert_eq!(clamped, [4, 8, 16]);
     }
 
     #[test]

@@ -1445,6 +1445,33 @@ impl VersionedHierarchy {
         self.dram.write(line, token);
         true
     }
+
+    /// Batched [`VersionedHierarchy::import_line`] over one window's
+    /// sorted exchange run (see `nvsim::shard`): one pass, own-island
+    /// entries skipped inline, applied deposits mirrored into `golden`.
+    pub fn import_lines(
+        &mut self,
+        entries: &[nvsim::shard::ExchangeEntry],
+        island: u16,
+        golden: &mut nvsim::fastmap::FastMap<LineAddr, Token>,
+    ) -> u64 {
+        let mut applied = 0;
+        for e in entries {
+            if e.src == island {
+                continue;
+            }
+            if self.l1s.iter().any(|c| c.peek(e.line).is_some())
+                || self.l2s.iter().any(|c| c.peek(e.line).is_some())
+                || self.llc[self.slice_of(e.line)].peek(e.line).is_some()
+            {
+                continue;
+            }
+            self.dram.write(e.line, e.token);
+            golden.insert(e.line, e.token);
+            applied += 1;
+        }
+        applied
+    }
 }
 
 impl VersionedHierarchy {

@@ -328,6 +328,15 @@ impl MemorySystem for NvOverlaySystem {
         self.hier.import_line(line, token)
     }
 
+    fn import_lines(
+        &mut self,
+        entries: &[nvsim::shard::ExchangeEntry],
+        island: u16,
+        golden: &mut nvsim::fastmap::FastMap<LineAddr, Token>,
+    ) -> u64 {
+        self.hier.import_lines(entries, island, golden)
+    }
+
     fn epoch_floor(&self) -> u64 {
         (0..self.hier.config().vd_count())
             .map(|v| self.hier.epoch_abs(VdId(v)))

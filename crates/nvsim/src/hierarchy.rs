@@ -1226,6 +1226,34 @@ impl Hierarchy {
         self.dram.write(line, token);
         true
     }
+
+    /// Batched [`Hierarchy::import_line`] over one window's sorted
+    /// exchange run: one pass, own-island entries skipped inline,
+    /// applied deposits mirrored into `golden`. Amortizes the per-line
+    /// call dispatch of the sharded barrier's import phase.
+    pub fn import_lines(
+        &mut self,
+        entries: &[crate::shard::ExchangeEntry],
+        island: u16,
+        golden: &mut crate::fastmap::FastMap<LineAddr, Token>,
+    ) -> u64 {
+        let mut applied = 0;
+        for e in entries {
+            if e.src == island {
+                continue;
+            }
+            if self.l1s.iter().any(|c| c.peek(e.line).is_some())
+                || self.l2s.iter().any(|c| c.peek(e.line).is_some())
+                || self.llc[self.slice_of(e.line)].peek(e.line).is_some()
+            {
+                continue;
+            }
+            self.dram.write(e.line, e.token);
+            golden.insert(e.line, e.token);
+            applied += 1;
+        }
+        applied
+    }
 }
 
 impl std::fmt::Debug for Hierarchy {

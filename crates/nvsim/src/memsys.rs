@@ -90,6 +90,29 @@ pub trait MemorySystem {
         false
     }
 
+    /// Applies one window's canonical exchange run in a single batch:
+    /// every entry not written by `island` itself is offered to
+    /// [`MemorySystem::import_line`] semantics, applied deposits are
+    /// mirrored into `golden`, and the applied count is returned. The
+    /// default loops `import_line`; schemes with a home memory override
+    /// this to hoist the per-line dispatch (cache peeks + DRAM write)
+    /// into one pass over the sorted run.
+    fn import_lines(
+        &mut self,
+        entries: &[crate::shard::ExchangeEntry],
+        island: u16,
+        golden: &mut FastMap<LineAddr, Token>,
+    ) -> u64 {
+        let mut applied = 0;
+        for e in entries {
+            if e.src != island && self.import_line(e.line, e.token) {
+                golden.insert(e.line, e.token);
+                applied += 1;
+            }
+        }
+        applied
+    }
+
     /// The scheme's most advanced epoch, published at shard barriers so
     /// islands can Lamport-sync. Schemes without epoch state report 0.
     fn epoch_floor(&self) -> u64 {
@@ -140,11 +163,15 @@ pub struct RunReport {
 #[derive(Clone, Debug)]
 pub struct Runner {
     gap_cycles: Cycle,
+    coalesce: bool,
 }
 
 impl Default for Runner {
     fn default() -> Self {
-        Self { gap_cycles: 20 }
+        Self {
+            gap_cycles: 20,
+            coalesce: true,
+        }
     }
 }
 
@@ -156,7 +183,21 @@ impl Runner {
 
     /// Sets the inter-access gap in cycles.
     pub fn with_gap(gap_cycles: Cycle) -> Self {
-        Self { gap_cycles }
+        Self {
+            gap_cycles,
+            ..Self::default()
+        }
+    }
+
+    /// Sets whether sharded replay physically coalesces silent windows
+    /// (default `true`). Barrier *effects* follow the plan's rendezvous
+    /// cadence either way — this knob only decides whether workers still
+    /// park at the two `Barrier` waits of silent windows, so turning it
+    /// off reproduces the pre-coalescing pacing for differential tests
+    /// without changing a single byte of the results.
+    pub fn coalesce(mut self, on: bool) -> Self {
+        self.coalesce = on;
+        self
     }
 
     /// Replays `trace` against `system`. Thread *i* runs on core *i*.
@@ -282,6 +323,9 @@ impl Runner {
     /// plan, barriers are max-reductions over all islands, and imports
     /// are trace-derived, so the report is **byte-identical for every
     /// worker count** (the differential tests pin 1 vs 2 vs 4 vs 8).
+    /// The physical thread count is capped at the host's available
+    /// parallelism — oversubscription cannot help, and the invariance
+    /// makes the cap unobservable.
     /// Per-island stats, metrics and golden images are merged on the
     /// calling thread in ascending island order; worker-thread trace
     /// recorders are absorbed into the caller's recorder (per-kind
@@ -350,8 +394,25 @@ impl Runner {
         let run_t0 = profiled.then(Instant::now);
         let islands = plan.island_count();
         let windows = plan.window_count();
-        let nworkers = workers.clamp(1, islands.max(1));
+        // Physical threads are additionally capped at the host's
+        // parallelism: on an oversubscribed host, extra workers only add
+        // context switches and barrier parks. The report is
+        // worker-count-invariant by construction — the count only picks
+        // which thread replays which island — so the cap is unobservable
+        // in the results; the differential tests pin exactly that.
+        let host = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let nworkers = workers.clamp(1, islands.max(1)).min(host.max(1));
         let gap = self.gap_cycles;
+        let coalesce = self.coalesce;
+        debug_assert_eq!(
+            (0..islands)
+                .map(|i| plan.island(i).threads.len())
+                .sum::<usize>(),
+            trace.thread_count(),
+            "plan was derived from a different trace"
+        );
 
         let clock_pub: Vec<AtomicU64> = (0..islands).map(|_| AtomicU64::new(0)).collect();
         let epoch_pub: Vec<AtomicU64> = (0..islands).map(|_| AtomicU64::new(0)).collect();
@@ -395,7 +456,7 @@ impl Runner {
                         .iter()
                         .map(|&i| {
                             let t0 = profiled.then(Instant::now);
-                            let mut run = IslandRun::new(factory(i), trace, plan, i, profiled);
+                            let mut run = IslandRun::new(factory(i), plan, i, profiled);
                             if let (Some(t0), Some(p)) = (t0, run.prof.as_mut()) {
                                 p.setup_ns = t0.elapsed().as_nanos() as u64;
                             }
@@ -407,27 +468,53 @@ impl Runner {
                         for run in &mut runs {
                             crate::nvtrace::set_shard(run.island as u16 + 1);
                             run.run_window(plan, w, gap);
-                            clock_pub[run.island].store(run.max_clock(), Ordering::Relaxed);
-                            epoch_pub[run.island].store(run.sys.epoch_floor(), Ordering::Relaxed);
                         }
-                        wp.compute_ns += lap(&mut last);
-                        // Rendezvous 1: every island's clock and epoch
-                        // floor is published. The max-reductions below
-                        // are order-independent, so every worker
-                        // computes identical barrier targets.
-                        barrier.wait();
-                        let t_max = clock_pub.iter().map(|c| c.load(Ordering::Relaxed)).max();
-                        let e_max = epoch_pub.iter().map(|c| c.load(Ordering::Relaxed)).max();
-                        let (t_max, e_max) = (t_max.unwrap_or(0), e_max.unwrap_or(0));
-                        // Rendezvous 2: nobody republishes for window
-                        // w+1 until everyone has read window w's maxima.
-                        barrier.wait();
-                        wp.barrier_ns += lap(&mut last);
-                        for run in &mut runs {
-                            crate::nvtrace::set_shard(run.island as u16 + 1);
-                            run.barrier_sync(plan, w, t_max, e_max);
+                        if plan.is_rendezvous(w) {
+                            for run in &mut runs {
+                                clock_pub[run.island].store(run.max_clock(), Ordering::Relaxed);
+                                epoch_pub[run.island]
+                                    .store(run.sys.epoch_floor(), Ordering::Relaxed);
+                            }
+                            wp.compute_ns += lap(&mut last);
+                            // Rendezvous 1: every island's clock and epoch
+                            // floor is published. The max-reductions below
+                            // are order-independent, so every worker
+                            // computes identical barrier targets.
+                            barrier.wait();
+                            let t_max = clock_pub.iter().map(|c| c.load(Ordering::Relaxed)).max();
+                            let e_max = epoch_pub.iter().map(|c| c.load(Ordering::Relaxed)).max();
+                            let (t_max, e_max) = (t_max.unwrap_or(0), e_max.unwrap_or(0));
+                            // Rendezvous 2: nobody republishes for window
+                            // w+1 until everyone has read window w's maxima.
+                            barrier.wait();
+                            wp.barrier_ns += lap(&mut last);
+                            for run in &mut runs {
+                                crate::nvtrace::set_shard(run.island as u16 + 1);
+                                run.barrier_sync(plan, w, t_max, e_max);
+                            }
+                            wp.exchange_ns += lap(&mut last);
+                        } else {
+                            // Silent window: the plan proves this barrier
+                            // would move nothing — empty exchange run,
+                            // no epoch marks, and lockstep whole-epoch
+                            // floor advances — so there are no effects to
+                            // apply in *either* mode. Coalescing lets the
+                            // worker free-run into the next window;
+                            // `--no-coalesce` still parks at the physical
+                            // waits (same published values as a rendezvous
+                            // would see, same worker pacing as the old
+                            // every-window cadence) purely so the
+                            // differential suite can exercise both paths.
+                            for run in &mut runs {
+                                run.mark_silent(w);
+                            }
+                            wp.compute_ns += lap(&mut last);
+                            if !coalesce {
+                                barrier.wait();
+                                barrier.wait();
+                                wp.barrier_ns += lap(&mut last);
+                            }
                         }
-                        wp.exchange_ns += lap(&mut last);
                         if let Some(wd) = watchdog {
                             for run in &runs {
                                 wd.board.windows_done[run.island]
@@ -487,6 +574,7 @@ impl Runner {
             islands,
             workers: nworkers,
             windows: windows as u64,
+            rendezvous_windows: plan.rendezvous_count() as u64,
             stats: SystemStats::default(),
             metrics: crate::metrics::Registry::new(),
             golden_image: FastMap::default(),
@@ -527,6 +615,7 @@ impl Runner {
                 windows,
                 workers: nworkers,
                 window_stores: plan.window_stores(),
+                rendezvous_windows: plan.rendezvous_count() as u64,
                 exchange_entries: (0..windows)
                     .map(|w| plan.exchange(w).len() as u64)
                     .collect(),
@@ -536,6 +625,7 @@ impl Runner {
                     .map(|s| s.into_inner().expect("prof slot").expect("worker profiled"))
                     .collect(),
                 merge_ns,
+                plan_build_ns: 0,
                 total_ns: run_t0.expect("profiled").elapsed().as_nanos() as u64,
             }
         });
@@ -681,8 +771,11 @@ pub struct ShardedRunReport {
     pub islands: usize,
     /// Worker threads actually used.
     pub workers: usize,
-    /// Barrier windows rendezvoused.
+    /// Barrier windows in the plan.
     pub windows: u64,
+    /// Windows at which islands actually rendezvoused (the plan's
+    /// coalesced cadence; ≤ `windows`).
+    pub rendezvous_windows: u64,
     /// All islands' stats merged in ascending island order.
     pub stats: SystemStats,
     /// All islands' metrics merged in ascending island order.
@@ -723,15 +816,14 @@ struct IslandRun<'t, S> {
 }
 
 impl<'t, S: MemorySystem> IslandRun<'t, S> {
-    fn new(
-        sys: S,
-        trace: &'t PackedTrace,
-        plan: &crate::shard::ShardPlan,
-        island: usize,
-        profiled: bool,
-    ) -> Self {
-        let ip = plan.island(island);
-        let streams: Vec<&[PackedEvent]> = ip.threads.iter().map(|&t| trace.thread(t)).collect();
+    fn new(sys: S, plan: &'t crate::shard::ShardPlan, island: usize, profiled: bool) -> Self {
+        // Stream the plan's pre-split island segment (local thread `l`
+        // is the island's core `l`) — contiguous in memory, instead of
+        // strided slices of the global trace.
+        let seg = plan.island_trace(island);
+        let streams: Vec<&[PackedEvent]> = (0..seg.thread_count())
+            .map(|l| seg.thread(crate::addr::ThreadId(l as u16)))
+            .collect();
         let n = streams.len();
         Self {
             sys,
@@ -864,15 +956,11 @@ impl<'t, S: MemorySystem> IslandRun<'t, S> {
             }
         }
         let exch_t0 = sync_t0.map(|t0| (t0.elapsed().as_nanos() as u64, std::time::Instant::now()));
-        let imported_before = self.imported;
-        for entry in plan.exchange(w) {
-            if entry.src as usize != self.island && self.sys.import_line(entry.line, entry.token) {
-                self.golden.insert(entry.line, entry.token);
-                self.imported += 1;
-            }
-        }
+        let applied = self
+            .sys
+            .import_lines(plan.exchange(w), self.island as u16, &mut self.golden);
+        self.imported += applied;
         if let Some((sync_ns, exch_t0)) = exch_t0 {
-            let applied = self.imported - imported_before;
             let cell = self.prof.as_mut().expect("profiled").cells[w];
             // Every window's cell is pushed by run_window before its
             // barrier_sync, so index w is always present.
@@ -887,6 +975,24 @@ impl<'t, S: MemorySystem> IslandRun<'t, S> {
                 ..cell
             };
             self.prof.as_mut().expect("profiled").cells[w] = cell;
+        }
+    }
+
+    /// Completes the profile cell of a silent (coalesced) window: no
+    /// alignment happened, so the aligned clock is the island's own
+    /// arrival, and the epoch floor simply carries over from the
+    /// previous cell. Pure structural bookkeeping — identical in both
+    /// cadence modes and for every worker count.
+    fn mark_silent(&mut self, w: usize) {
+        if let Some(p) = self.prof.as_mut() {
+            let prev_floor = if w == 0 {
+                0
+            } else {
+                p.cells[w - 1].epoch_floor
+            };
+            let cell = &mut p.cells[w];
+            cell.aligned_clock = cell.arrive_clock;
+            cell.epoch_floor = prev_floor;
         }
     }
 

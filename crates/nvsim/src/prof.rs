@@ -8,7 +8,8 @@
 //! rendezvous wait, and the caller accounts the final merge. The profile
 //! answers the question the scaling curve alone cannot: where did a
 //! sharded run's wall-time go — compute, barrier waits, exchange
-//! application, epoch (Lamport) sync, or the island merge?
+//! application, epoch (Lamport) sync, shard-plan construction, or the
+//! island merge?
 //!
 //! ## Two strictly separated kinds of data
 //!
@@ -39,6 +40,11 @@ pub enum ProfBucket {
     ExchangeApply,
     /// Lamport epoch sync (`raise_epoch_floor`) at the barrier.
     EpochSync,
+    /// Deriving (or fetching from the memo) the shard plan: stream
+    /// cutting, island trace pre-splitting, exchange-arena construction,
+    /// and the rendezvous cadence. Serial, caller-side work — near zero
+    /// on a plan-cache hit.
+    PlanBuild,
     /// Packaging island outcomes (including sub-machine teardown) and
     /// folding them into the merged report (stats/metrics/golden
     /// merges, ascending island order).
@@ -47,11 +53,12 @@ pub enum ProfBucket {
 
 impl ProfBucket {
     /// All buckets, display order.
-    pub const ALL: [ProfBucket; 5] = [
+    pub const ALL: [ProfBucket; 6] = [
         ProfBucket::Compute,
         ProfBucket::BarrierWait,
         ProfBucket::ExchangeApply,
         ProfBucket::EpochSync,
+        ProfBucket::PlanBuild,
         ProfBucket::Merge,
     ];
 
@@ -62,6 +69,7 @@ impl ProfBucket {
             ProfBucket::BarrierWait => "barrier-wait",
             ProfBucket::ExchangeApply => "exchange-apply",
             ProfBucket::EpochSync => "epoch-sync",
+            ProfBucket::PlanBuild => "plan-build",
             ProfBucket::Merge => "merge",
         }
     }
@@ -163,7 +171,10 @@ pub struct ShardProfile {
     pub workers: usize,
     /// The plan's per-thread window store budget.
     pub window_stores: u64,
-    /// Exchange-map size per window (structural, from the plan).
+    /// Rendezvous windows in the plan's coalesced cadence (structural;
+    /// ≤ `windows`, and the final window always rendezvouses).
+    pub rendezvous_windows: u64,
+    /// Exchange-run size per window (structural, from the plan).
     pub exchange_entries: Vec<u64>,
     /// Per-island profiles, ascending island order.
     pub island_profiles: Vec<IslandProfile>,
@@ -171,6 +182,10 @@ pub struct ShardProfile {
     pub worker_profiles: Vec<WorkerProfile>,
     /// Host nanoseconds merging island outcomes on the calling thread.
     pub merge_ns: u64,
+    /// Host nanoseconds deriving (or memo-fetching) the shard plan on
+    /// the calling thread; zero when the caller timed plan construction
+    /// separately or reused a pre-built plan.
+    pub plan_build_ns: u64,
     /// Host nanoseconds for the whole sharded replay call.
     pub total_ns: u64,
 }
@@ -236,13 +251,13 @@ impl ShardProfile {
     /// cells refine the workers' exchange laps into their epoch-sync
     /// share. The island cells' other wall fields are per-island detail
     /// and deliberately not double-counted here.
-    pub fn bucket_ns(&self) -> [u64; 5] {
-        let mut b = [0u64; 5];
+    pub fn bucket_ns(&self) -> [u64; 6] {
+        let mut b = [0u64; 6];
         for wp in &self.worker_profiles {
             b[0] += wp.compute_ns;
             b[1] += wp.barrier_ns;
             b[2] += wp.exchange_ns;
-            b[4] += wp.package_ns;
+            b[5] += wp.package_ns;
         }
         let sync: u64 = self
             .island_profiles
@@ -252,21 +267,23 @@ impl ShardProfile {
         let sync = sync.min(b[2]);
         b[2] -= sync;
         b[3] += sync;
-        b[4] += self.merge_ns;
+        b[4] += self.plan_build_ns;
+        b[5] += self.merge_ns;
         b
     }
 
     /// The wall-time the buckets are attributed against: the sum of all
-    /// worker-thread lifetimes plus the caller-side merge.
+    /// worker-thread lifetimes plus the caller-side plan build and merge.
     pub fn accountable_ns(&self) -> u64 {
         self.worker_profiles
             .iter()
             .map(|w| w.elapsed_ns)
             .sum::<u64>()
+            + self.plan_build_ns
             + self.merge_ns
     }
 
-    /// Fraction of accountable wall-time the five buckets explain
+    /// Fraction of accountable wall-time the six buckets explain
     /// (the acceptance gate asks for ≥ 0.95).
     pub fn attributed_fraction(&self) -> f64 {
         let acc = self.accountable_ns();
@@ -277,18 +294,18 @@ impl ShardProfile {
     }
 
     /// The measured serial fraction of the *work* (Amdahl's `s`): the
-    /// caller-side merge over all work buckets. Per-island packaging
-    /// runs concurrently on the workers and so counts as parallel work
-    /// in the denominator only. Barrier wait is excluded on both sides
-    /// — it is idleness caused by imbalance, not work, and the
-    /// imbalance is reported separately.
+    /// caller-side plan build and merge over all work buckets.
+    /// Per-island packaging runs concurrently on the workers and so
+    /// counts as parallel work in the denominator only. Barrier wait is
+    /// excluded on both sides — it is idleness caused by imbalance, not
+    /// work, and the imbalance is reported separately.
     pub fn serial_fraction(&self) -> f64 {
         let b = self.bucket_ns();
-        let work = b[0] + b[2] + b[3] + b[4];
+        let work = b[0] + b[2] + b[3] + b[4] + b[5];
         if work == 0 {
             0.0
         } else {
-            self.merge_ns as f64 / work as f64
+            (self.plan_build_ns + self.merge_ns) as f64 / work as f64
         }
     }
 
@@ -332,8 +349,21 @@ impl ShardProfile {
     /// is reported alongside rather than folded in (DESIGN.md §8f).
     pub fn predicted_speedup(&self, k: usize) -> f64 {
         let s = self.serial_fraction();
-        let keff = k.clamp(1, self.islands.max(1)) as f64;
+        let keff = k.clamp(1, self.island_cap()) as f64;
         1.0 / (s + (1.0 - s) / keff)
+    }
+
+    /// The worker count past which the Amdahl model clamps: islands are
+    /// the unit of parallelism, so `predicted_speedup(k)` is flat for
+    /// every `k` above this. Exporters report the cap explicitly so two
+    /// clamped predictions are not mistaken for a measured plateau.
+    pub fn island_cap(&self) -> usize {
+        self.islands.max(1)
+    }
+
+    /// Whether `predicted_speedup(k)` was clamped at the island cap.
+    pub fn speedup_clamped(&self, k: usize) -> bool {
+        k > self.island_cap()
     }
 
     /// Structural totals per island, ascending: `(events,
@@ -370,6 +400,7 @@ mod tests {
             windows: 2,
             workers: 2,
             window_stores: 4,
+            rendezvous_windows: 2,
             exchange_entries: vec![3, 1],
             island_profiles: vec![
                 IslandProfile {
@@ -385,6 +416,7 @@ mod tests {
             ],
             worker_profiles: vec![WorkerProfile::default(); 2],
             merge_ns: 0,
+            plan_build_ns: 0,
             total_ns: 0,
         }
     }
@@ -441,9 +473,33 @@ mod tests {
         p.island_profiles[0].cells[0].sync_ns = 5;
         p.merge_ns = 20;
         let b = p.bucket_ns();
-        assert_eq!(b, [110, 50, 10, 5, 22]);
+        assert_eq!(b, [110, 50, 10, 5, 0, 22]);
         p.worker_profiles[0].elapsed_ns = 177;
         assert_eq!(p.accountable_ns(), 197);
         assert!((p.attributed_fraction() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn plan_build_is_a_serial_bucket() {
+        let mut p = sample();
+        p.worker_profiles[0].compute_ns = 90;
+        p.plan_build_ns = 30;
+        p.merge_ns = 30;
+        let b = p.bucket_ns();
+        assert_eq!(b[4], 30, "plan build gets its own bucket");
+        // Serial fraction counts plan build alongside merge: 60 / 150.
+        assert!((p.serial_fraction() - 0.4).abs() < 1e-12);
+        p.worker_profiles[0].elapsed_ns = 90;
+        assert_eq!(p.accountable_ns(), 150);
+        assert!((p.attributed_fraction() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn island_cap_marks_clamped_predictions() {
+        let p = sample();
+        assert_eq!(p.island_cap(), 2);
+        assert!(!p.speedup_clamped(2));
+        assert!(p.speedup_clamped(4));
+        assert_eq!(p.predicted_speedup(4), p.predicted_speedup(16));
     }
 }

@@ -5,25 +5,50 @@
 //! L1s, the VD's L2, and a proportional slice of LLC/DRAM/NVM capacity,
 //! see [`crate::config::SimConfig::island_config`]) — and cuts every
 //! thread's event stream into **windows** of a fixed store budget.
-//! Islands replay their windows independently; at the window boundary
-//! they rendezvous at an epoch barrier, align clocks, raise their epoch
-//! floor (Lamport sync across domains), and exchange the lines written
-//! during the window in a canonical order.
+//! Islands replay their windows independently; at a **rendezvous**
+//! window boundary they meet at an epoch barrier, align clocks, raise
+//! their epoch floor (Lamport sync across domains), and exchange the
+//! lines written during the window in a canonical order.
 //!
-//! Everything in the plan — island membership, window cuts, and the
-//! per-window exchange maps — is derived from the trace and the machine
-//! configuration alone, **never** from runtime state. That is what makes
-//! sharded replay invariant to the worker count: a plan replayed by 1
-//! worker and by 8 workers performs the same island steps against the
-//! same imported data at the same barrier points, so every statistic,
-//! metric, and trace-event count comes out byte-identical (enforced by
-//! `nvbench/tests/shard_determinism.rs`).
+//! The plan carries three fast-path structures on top of the island/
+//! window skeleton:
+//!
+//! - **Pre-split island traces**: each island's thread streams are
+//!   copied once into a contiguous per-island [`PackedTrace`]
+//!   ([`ShardPlan::island_trace`]), so a replay worker streams its own
+//!   cache-friendly segment instead of indexing into the global trace.
+//! - **Flat exchange arena**: all windows' exchange entries live in one
+//!   vector of line-sorted runs with an offset index
+//!   ([`ShardPlan::exchange`] returns the window's slice). Entries are
+//!   filtered to *actual cross-island traffic*: a written line is
+//!   exchanged only if some other island touches it in a later window.
+//! - **Rendezvous cadence**: consecutive windows whose exchange runs are
+//!   empty and whose epoch floors advance in lockstep are coalesced into
+//!   a single rendezvous ([`ShardPlan::is_rendezvous`]). The cadence is
+//!   a pure function of the plan — barrier *effects* happen only at
+//!   rendezvous windows, whether or not workers physically wait at the
+//!   silent ones.
+//!
+//! Everything in the plan — island membership, window cuts, exchange
+//! runs, and the rendezvous cadence — is derived from the trace and the
+//! machine configuration alone, **never** from runtime state. That is
+//! what makes sharded replay invariant to the worker count: a plan
+//! replayed by 1 worker and by 8 workers performs the same island steps
+//! against the same imported data at the same rendezvous points, so
+//! every statistic, metric, and trace-event count comes out
+//! byte-identical (enforced by `nvbench/tests/shard_determinism.rs`).
+//!
+//! Plans are cheap to share and expensive to build, so
+//! [`ShardPlan::cached`] memoizes them behind an `Arc` keyed by trace
+//! identity and the config fields the plan depends on — a 6-scheme
+//! matrix builds each workload's plan once instead of once per scheme.
 
 use crate::addr::{LineAddr, ThreadId, Token};
 use crate::config::SimConfig;
+use crate::fastmap::FastMap;
 use crate::memsys::MemOp;
-use crate::trace::PackedTrace;
-use std::collections::BTreeMap;
+use crate::trace::{PackedEvent, PackedTrace};
+use std::sync::{Arc, Mutex};
 
 /// One island: a VD's worth of threads plus their window cuts.
 #[derive(Clone, Debug)]
@@ -40,7 +65,7 @@ pub struct IslandPlan {
     pub cuts: Vec<Vec<usize>>,
 }
 
-/// One entry of a window's exchange map: the canonical last writer of a
+/// One entry of a window's exchange run: the canonical last writer of a
 /// line during that window.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ExchangeEntry {
@@ -59,10 +84,39 @@ pub struct ShardPlan {
     islands: Vec<IslandPlan>,
     windows: usize,
     window_stores: u64,
-    /// Per window, the merged cross-island exchange map, ascending by
-    /// line address (canonical import order).
-    exchanges: Vec<Vec<ExchangeEntry>>,
+    epoch_size_stores: u64,
+    /// All windows' exchange entries, one line-sorted run per window.
+    arena: Vec<ExchangeEntry>,
+    /// `arena[offsets[w]..offsets[w + 1]]` is window `w`'s run.
+    offsets: Vec<usize>,
+    /// Per island, that island's thread streams copied into a contiguous
+    /// trace segment (local thread `l` is `island_traces[i].thread(l)`).
+    island_traces: Vec<PackedTrace>,
+    /// Per window, whether islands rendezvous at its boundary. Windows
+    /// with `false` are **silent**: no exchange, no epoch-floor motion,
+    /// no clock alignment — replay free-runs through them.
+    rendezvous: Vec<bool>,
+    rendezvous_count: usize,
 }
+
+/// Cache key for [`ShardPlan::cached`]: trace identity (content
+/// fingerprint plus the cheap counts) and the config fields the plan
+/// reads.
+#[derive(Clone, Copy, PartialEq, Eq)]
+struct PlanKey {
+    fingerprint: u64,
+    accesses: u64,
+    stores: u64,
+    threads: usize,
+    cores: u16,
+    cores_per_vd: u16,
+    epoch_size_stores: u64,
+}
+
+/// Bounded MRU memo of recently built plans (a perf sweep touches a
+/// handful of workloads; 8 slots covers the whole matrix).
+static PLAN_CACHE: Mutex<Vec<(PlanKey, Arc<ShardPlan>)>> = Mutex::new(Vec::new());
+const PLAN_CACHE_CAP: usize = 8;
 
 impl ShardPlan {
     /// Derives the plan for `trace` on the machine `cfg` describes.
@@ -131,43 +185,170 @@ impl ShardPlan {
             }
         }
 
-        // Per-window exchange maps: the canonical last writer of every
-        // line written in the window. Canonical order: islands ascending,
-        // island threads ascending, events in stream order — later
-        // writers overwrite, so the winner is the highest-ranked writer
-        // in that fixed order regardless of how replay interleaves.
-        let mut exchanges: Vec<Vec<ExchangeEntry>> = Vec::with_capacity(windows);
+        // Pre-split: copy each island's thread streams into a contiguous
+        // per-island trace segment (built once, shared with the plan).
+        let island_traces: Vec<PackedTrace> = islands
+            .iter()
+            .map(|isl| {
+                let streams: Vec<&[PackedEvent]> =
+                    isl.threads.iter().map(|&t| trace.thread(t)).collect();
+                PackedTrace::from_thread_streams(&streams)
+            })
+            .collect();
+
+        // Last-access index: for every line, the window (plus one, so 0
+        // means "never") of each island's final access to it. Decides
+        // which written lines are *actual* cross-island traffic.
+        let nislands = islands.len();
+        let mut last_access: FastMap<u64, Vec<u32>> = FastMap::new();
+        for (ii, isl) in islands.iter().enumerate() {
+            for (l, &tid) in isl.threads.iter().enumerate() {
+                let stream = trace.thread(tid);
+                for w in 0..windows {
+                    let lo = if w == 0 { 0 } else { isl.cuts[l][w - 1] };
+                    let hi = isl.cuts[l][w];
+                    for e in &stream[lo..hi] {
+                        if !e.is_mark() {
+                            let la = last_access
+                                .or_insert_with(e.addr().line().raw(), || vec![0u32; nislands]);
+                            la[ii] = (w + 1) as u32;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Per-window structural tallies feeding the rendezvous cadence.
+        let mut island_window_stores = vec![vec![0u64; windows]; nislands];
+        let mut window_marks = vec![0u64; windows];
+
+        // Per-window exchange runs, appended to one flat arena. Writers
+        // are gathered in the canonical order (islands ascending, island
+        // threads ascending, events in stream order); a stable sort by
+        // line keeps that order within each line's group, so the *last*
+        // entry of a group is the canonical winner regardless of how
+        // replay interleaves. Winners are kept only if some **other**
+        // island accesses the line in a later window — an import nobody
+        // ever reads is pure overhead, and dropping it is deterministic
+        // because the last-access index is plan-derived.
+        let mut arena: Vec<ExchangeEntry> = Vec::new();
+        let mut offsets: Vec<usize> = Vec::with_capacity(windows + 1);
+        offsets.push(0);
+        let mut run: Vec<ExchangeEntry> = Vec::new();
         for w in 0..windows {
-            let mut map: BTreeMap<u64, (Token, u16)> = BTreeMap::new();
+            run.clear();
             for (ii, isl) in islands.iter().enumerate() {
                 for (l, &tid) in isl.threads.iter().enumerate() {
                     let stream = trace.thread(tid);
                     let lo = if w == 0 { 0 } else { isl.cuts[l][w - 1] };
                     let hi = isl.cuts[l][w];
                     for e in &stream[lo..hi] {
-                        if !e.is_mark() && e.op() == MemOp::Store {
-                            map.insert(e.addr().line().raw(), (e.token(), ii as u16));
+                        if e.is_mark() {
+                            window_marks[w] += 1;
+                        } else if e.op() == MemOp::Store {
+                            island_window_stores[ii][w] += 1;
+                            run.push(ExchangeEntry {
+                                line: e.addr().line(),
+                                token: e.token(),
+                                src: ii as u16,
+                            });
                         }
                     }
                 }
             }
-            exchanges.push(
-                map.into_iter()
-                    .map(|(line, (token, src))| ExchangeEntry {
-                        line: LineAddr::new(line),
-                        token,
-                        src,
-                    })
-                    .collect(),
-            );
+            run.sort_by_key(|e| e.line.raw());
+            let mut i = 0;
+            while i < run.len() {
+                let mut j = i + 1;
+                while j < run.len() && run[j].line == run[i].line {
+                    j += 1;
+                }
+                let winner = run[j - 1];
+                let la = &last_access[&winner.line.raw()];
+                let needed = la
+                    .iter()
+                    .enumerate()
+                    .any(|(k, &lw)| k as u16 != winner.src && lw as usize > w + 1);
+                if needed {
+                    arena.push(winner);
+                }
+                i = j;
+            }
+            offsets.push(arena.len());
         }
+
+        // Rendezvous cadence: window `w` is silent when the barrier
+        // would move nothing — its exchange run is empty, no island
+        // executes an explicit epoch mark, and every island retires the
+        // same store count which is a whole number of epochs (so all
+        // epoch floors advance by exactly that number of epochs and stay
+        // in lockstep without a sync). The final window always
+        // rendezvouses so runs end aligned and merged.
+        let mut rendezvous = vec![false; windows];
+        for w in 0..windows {
+            if w + 1 == windows {
+                rendezvous[w] = true;
+                continue;
+            }
+            let empty_exchange = offsets[w] == offsets[w + 1];
+            let s0 = island_window_stores.first().map_or(0, |v| v[w]);
+            let uniform = island_window_stores.iter().all(|v| v[w] == s0);
+            let whole_epochs =
+                cfg.epoch_size_stores > 0 && s0.is_multiple_of(cfg.epoch_size_stores);
+            rendezvous[w] = !(empty_exchange && window_marks[w] == 0 && uniform && whole_epochs);
+        }
+        let rendezvous_count = rendezvous.iter().filter(|&&r| r).count();
 
         Self {
             islands,
             windows,
             window_stores,
-            exchanges,
+            epoch_size_stores: cfg.epoch_size_stores,
+            arena,
+            offsets,
+            island_traces,
+            rendezvous,
+            rendezvous_count,
         }
+    }
+
+    /// Returns the memoized plan for `trace` on `cfg`, building it on a
+    /// miss. Keyed by the trace's content fingerprint (plus its cheap
+    /// counts) and the config fields the plan reads, so a matrix sweep
+    /// that replays one workload under six schemes builds the plan once.
+    /// The memo holds the [`PLAN_CACHE_CAP`] most recently used plans.
+    pub fn cached(trace: &PackedTrace, cfg: &SimConfig) -> Arc<ShardPlan> {
+        let key = PlanKey {
+            fingerprint: trace.fingerprint(),
+            accesses: trace.access_count(),
+            stores: trace.store_count(),
+            threads: trace.thread_count(),
+            cores: cfg.cores,
+            cores_per_vd: cfg.cores_per_vd,
+            epoch_size_stores: cfg.epoch_size_stores,
+        };
+        {
+            let mut cache = PLAN_CACHE.lock().expect("plan cache poisoned");
+            if let Some(pos) = cache.iter().position(|(k, _)| *k == key) {
+                let hit = cache.remove(pos);
+                let plan = Arc::clone(&hit.1);
+                cache.insert(0, hit);
+                return plan;
+            }
+        }
+        // Build outside the lock: plans take milliseconds, and parallel
+        // builders of the same key just race to insert identical plans.
+        let plan = Arc::new(ShardPlan::new(trace, cfg));
+        let mut cache = PLAN_CACHE.lock().expect("plan cache poisoned");
+        if let Some(pos) = cache.iter().position(|(k, _)| *k == key) {
+            let hit = cache.remove(pos);
+            let cached = Arc::clone(&hit.1);
+            cache.insert(0, hit);
+            return cached;
+        }
+        cache.insert(0, (key, Arc::clone(&plan)));
+        cache.truncate(PLAN_CACHE_CAP);
+        plan
     }
 
     /// Number of islands (= populated VDs).
@@ -185,6 +366,11 @@ impl ShardPlan {
         self.window_stores
     }
 
+    /// The epoch store budget the cadence was derived against.
+    pub fn epoch_size_stores(&self) -> u64 {
+        self.epoch_size_stores
+    }
+
     /// One island's schedule.
     ///
     /// # Panics
@@ -193,12 +379,42 @@ impl ShardPlan {
         &self.islands[i]
     }
 
-    /// The canonical exchange map of window `w`, ascending by line.
+    /// Island `i`'s pre-split contiguous trace segment: local thread `l`
+    /// of the island machine streams `island_trace(i).thread(ThreadId(l))`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn island_trace(&self, i: usize) -> &PackedTrace {
+        &self.island_traces[i]
+    }
+
+    /// The canonical exchange run of window `w`, ascending by line.
     ///
     /// # Panics
     /// Panics if `w` is out of range.
     pub fn exchange(&self, w: usize) -> &[ExchangeEntry] {
-        &self.exchanges[w]
+        &self.arena[self.offsets[w]..self.offsets[w + 1]]
+    }
+
+    /// Total exchange entries across all windows.
+    pub fn exchange_total(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// Whether islands rendezvous at the end of window `w`. Silent
+    /// windows (`false`) carry no barrier effects: replay free-runs
+    /// through them and the next rendezvous covers the whole span.
+    ///
+    /// # Panics
+    /// Panics if `w` is out of range.
+    pub fn is_rendezvous(&self, w: usize) -> bool {
+        self.rendezvous[w]
+    }
+
+    /// Number of rendezvous windows (≤ [`Self::window_count`]; the final
+    /// window always rendezvouses).
+    pub fn rendezvous_count(&self) -> usize {
+        self.rendezvous_count
     }
 }
 
@@ -206,7 +422,9 @@ impl ShardPlan {
 mod tests {
     use super::*;
     use crate::addr::Addr;
+    use crate::rng::Rng64;
     use crate::trace::TraceBuilder;
+    use std::collections::BTreeMap;
 
     fn cfg() -> SimConfig {
         SimConfig::builder()
@@ -261,18 +479,180 @@ mod tests {
     }
 
     #[test]
+    fn island_traces_mirror_member_streams() {
+        let mut b = TraceBuilder::new(4);
+        for i in 0..50u64 {
+            let t = ThreadId((i % 4) as u16);
+            if i % 3 == 0 {
+                b.load(t, Addr::new(i * 64));
+            } else {
+                b.store(t, Addr::new((i % 7) * 64));
+            }
+        }
+        let trace = b.build().to_packed();
+        let plan = ShardPlan::new(&trace, &cfg());
+        for ii in 0..plan.island_count() {
+            let isl = plan.island(ii);
+            let seg = plan.island_trace(ii);
+            assert_eq!(seg.thread_count(), isl.threads.len());
+            for (l, &tid) in isl.threads.iter().enumerate() {
+                assert_eq!(
+                    seg.thread(ThreadId(l as u16)),
+                    trace.thread(tid),
+                    "island {ii} local thread {l} copies global thread {tid:?} verbatim"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn exchange_picks_canonical_last_writer() {
         let mut b = TraceBuilder::new(4);
         // Same line written by threads 0 (island 0) and 2 (island 1)
         // within window 0: the higher island wins the exchange slot.
+        // Thread 0 reads the line back in window 1, making it live
+        // cross-island traffic (without a later foreign access the
+        // filtered run would drop it — see the test below).
         let _t0 = b.store(ThreadId(0), Addr::new(0));
         let t2 = b.store(ThreadId(2), Addr::new(0));
+        b.store(ThreadId(0), Addr::new(64)); // closes t0's window 0
+        b.load(ThreadId(0), Addr::new(0)); // window-1 reader of line 0
         let plan = ShardPlan::new(&b.build().to_packed(), &cfg());
+        assert!(plan.window_count() >= 2);
         let ex = plan.exchange(0);
-        assert_eq!(ex.len(), 1);
+        assert_eq!(ex.len(), 1, "line 64 has no later foreign reader");
         assert_eq!(ex[0].line, LineAddr::new(0));
         assert_eq!(ex[0].token, t2);
         assert_eq!(ex[0].src, 1);
+    }
+
+    #[test]
+    fn exchange_drops_lines_nobody_reads_later() {
+        let mut b = TraceBuilder::new(4);
+        // Disjoint island-private write sets: nothing is ever accessed
+        // by the other island, so every window's exchange run is empty.
+        for i in 0..16u64 {
+            b.store(ThreadId((i % 4) as u16), Addr::new((1 + i % 4) * 4096));
+        }
+        let plan = ShardPlan::new(&b.build().to_packed(), &cfg());
+        for w in 0..plan.window_count() {
+            assert!(plan.exchange(w).is_empty(), "window {w} run not empty");
+        }
+        assert_eq!(plan.exchange_total(), 0);
+    }
+
+    #[test]
+    fn arena_round_trips_against_nested_reference() {
+        // A seeded pseudo-random trace with real cross-island sharing;
+        // the flat arena must reproduce, window for window, exactly what
+        // the straightforward nested BTreeMap construction yields.
+        let mut rng = Rng64::seed_from_u64(0x5EED_CAFE);
+        let mut b = TraceBuilder::new(4);
+        for _ in 0..600 {
+            let t = ThreadId((rng.next_u64() % 4) as u16);
+            let line = rng.next_u64() % 31;
+            if rng.next_u64().is_multiple_of(3) {
+                b.load(t, Addr::new(line * 64));
+            } else {
+                b.store(t, Addr::new(line * 64));
+            }
+        }
+        let trace = b.build().to_packed();
+        let c = cfg();
+        let plan = ShardPlan::new(&trace, &c);
+
+        // Reference: per-window BTreeMap with canonical-order overwrite,
+        // then the same needed-by-a-later-foreign-access filter.
+        let windows = plan.window_count();
+        let nislands = plan.island_count();
+        let mut last_access: BTreeMap<u64, Vec<u32>> = BTreeMap::new();
+        for ii in 0..nislands {
+            let isl = plan.island(ii);
+            for (l, &tid) in isl.threads.iter().enumerate() {
+                let stream = trace.thread(tid);
+                for w in 0..windows {
+                    let lo = if w == 0 { 0 } else { isl.cuts[l][w - 1] };
+                    for e in &stream[lo..isl.cuts[l][w]] {
+                        if !e.is_mark() {
+                            last_access
+                                .entry(e.addr().line().raw())
+                                .or_insert_with(|| vec![0; nislands])[ii] = (w + 1) as u32;
+                        }
+                    }
+                }
+            }
+        }
+        for w in 0..windows {
+            let mut map: BTreeMap<u64, (Token, u16)> = BTreeMap::new();
+            for ii in 0..nislands {
+                let isl = plan.island(ii);
+                for (l, &tid) in isl.threads.iter().enumerate() {
+                    let stream = trace.thread(tid);
+                    let lo = if w == 0 { 0 } else { isl.cuts[l][w - 1] };
+                    for e in &stream[lo..isl.cuts[l][w]] {
+                        if !e.is_mark() && e.op() == MemOp::Store {
+                            map.insert(e.addr().line().raw(), (e.token(), ii as u16));
+                        }
+                    }
+                }
+            }
+            let expect: Vec<ExchangeEntry> = map
+                .into_iter()
+                .filter(|&(line, (_, src))| {
+                    last_access[&line]
+                        .iter()
+                        .enumerate()
+                        .any(|(k, &lw)| k as u16 != src && lw as usize > w + 1)
+                })
+                .map(|(line, (token, src))| ExchangeEntry {
+                    line: LineAddr::new(line),
+                    token,
+                    src,
+                })
+                .collect();
+            assert_eq!(plan.exchange(w), &expect[..], "window {w} run diverges");
+        }
+    }
+
+    #[test]
+    fn cadence_coalesces_silent_windows() {
+        // Island-disjoint full windows: every window retires the same
+        // whole-epoch store count per island, has no marks, and
+        // exchanges nothing — only the final window rendezvouses.
+        let mut b = TraceBuilder::new(4);
+        for round in 0..12u64 {
+            for t in 0..4u64 {
+                b.store(ThreadId(t as u16), Addr::new((t * 100 + round % 4) * 64));
+            }
+        }
+        let plan = ShardPlan::new(&b.build().to_packed(), &cfg());
+        assert!(plan.window_count() > 2);
+        assert_eq!(plan.rendezvous_count(), 1, "only the final rendezvous");
+        for w in 0..plan.window_count() - 1 {
+            assert!(!plan.is_rendezvous(w));
+        }
+        assert!(plan.is_rendezvous(plan.window_count() - 1));
+    }
+
+    #[test]
+    fn epoch_marks_force_rendezvous() {
+        let mut b = TraceBuilder::new(4);
+        for round in 0..6u64 {
+            for t in 0..4u64 {
+                b.store(ThreadId(t as u16), Addr::new((t * 100 + round % 4) * 64));
+            }
+            if round == 1 {
+                // An explicit mark advances island 0's epoch outside the
+                // store budget, so its floor can move: rendezvous.
+                b.epoch_mark(ThreadId(0));
+            }
+        }
+        let plan = ShardPlan::new(&b.build().to_packed(), &cfg());
+        let marked: Vec<usize> = (0..plan.window_count())
+            .filter(|&w| plan.is_rendezvous(w))
+            .collect();
+        assert!(marked.len() >= 2, "mark window plus the final window");
+        assert!(plan.rendezvous_count() < plan.window_count());
     }
 
     #[test]
@@ -286,8 +666,31 @@ mod tests {
         let p1 = ShardPlan::new(&trace, &c);
         let p2 = ShardPlan::new(&trace, &c);
         assert_eq!(p1.window_count(), p2.window_count());
+        assert_eq!(p1.rendezvous_count(), p2.rendezvous_count());
         for w in 0..p1.window_count() {
             assert_eq!(p1.exchange(w), p2.exchange(w));
+            assert_eq!(p1.is_rendezvous(w), p2.is_rendezvous(w));
         }
+    }
+
+    #[test]
+    fn cached_plans_are_shared_and_key_sensitive() {
+        let mut b = TraceBuilder::new(4);
+        for i in 0..120u64 {
+            b.store(ThreadId((i % 4) as u16), Addr::new((i % 13) * 64));
+        }
+        let trace = b.build().to_packed();
+        let c = cfg();
+        let p1 = ShardPlan::cached(&trace, &c);
+        let p2 = ShardPlan::cached(&trace, &c);
+        assert!(Arc::ptr_eq(&p1, &p2), "same trace+config hits the memo");
+
+        let mut b2 = TraceBuilder::new(4);
+        for i in 0..120u64 {
+            b2.store(ThreadId((i % 4) as u16), Addr::new((i % 17) * 64));
+        }
+        let other = ShardPlan::cached(&b2.build().to_packed(), &c);
+        assert!(!Arc::ptr_eq(&p1, &other), "different trace misses");
+        assert_eq!(p1.window_count(), ShardPlan::new(&trace, &c).window_count());
     }
 }

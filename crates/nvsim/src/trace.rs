@@ -374,6 +374,62 @@ impl PackedTrace {
         &self.events[off..off + len]
     }
 
+    /// Builds a packed trace directly from borrowed per-thread packed
+    /// streams, copying each stream verbatim. Used by the sharded-replay
+    /// planner to materialize one contiguous trace segment per island
+    /// (the island's threads only, in island-local order).
+    pub fn from_thread_streams(streams: &[&[PackedEvent]]) -> Self {
+        let total: usize = streams.iter().map(|s| s.len()).sum();
+        let mut events = Vec::with_capacity(total);
+        let mut ranges = Vec::with_capacity(streams.len());
+        let (mut accesses, mut stores) = (0u64, 0u64);
+        for stream in streams {
+            let offset = events.len();
+            for e in *stream {
+                if !e.is_mark() {
+                    accesses += 1;
+                    if e.op() == MemOp::Store {
+                        stores += 1;
+                    }
+                }
+            }
+            events.extend_from_slice(stream);
+            ranges.push((offset, stream.len()));
+        }
+        Self {
+            events,
+            ranges,
+            accesses,
+            stores,
+        }
+    }
+
+    /// A cheap content fingerprint (FNV-1a over every event word and the
+    /// thread-range table). Two traces with the same fingerprint, event
+    /// count, and store count are treated as identical by the sharded
+    /// plan cache; the fold is order-sensitive, so any reordering or
+    /// edit of the stream changes it.
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut fold = |w: u64| {
+            for shift in [0, 32] {
+                h ^= (w >> shift) & 0xffff_ffff;
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        for &(off, len) in &self.ranges {
+            fold(off as u64);
+            fold(len as u64);
+        }
+        for e in &self.events {
+            fold(e.w0);
+            fold(e.w1);
+        }
+        h
+    }
+
     /// Total accesses (loads + stores) across all threads.
     pub fn access_count(&self) -> u64 {
         self.accesses
