@@ -11,12 +11,28 @@
 //! nvo profile B+Tree --scheme NVOverlay --shards 4 [--scale quick] [--out p.json] [--structural-out s.json] [--chrome c.json]
 //! nvo serve B+Tree --sessions 8 --batch 32 --epochs all --workers 4 [--seed S] [--out serve.json] [--stats-out s.json]
 //! nvo query B+Tree --key 0x1f40 --epoch 7
+//! nvo backup B+Tree --store ./snaps --name nightly [--upto E] [--scale quick]
+//! nvo restore --store ./snaps --name nightly [--verify]
+//! nvo store ls|rm|gc|validate --store ./snaps [--name N] [--purge]
+//! nvo chaos B+Tree --store --sites 200 --seed 7 [--jobs N] [--out report.json]
 //! nvo perf [--jobs N] [--shards N] [--profile] [--serve] [--scale quick|standard|full] [--out BENCH_perf.json] [--baseline <file>]
 //! ```
 //!
 //! `nvo trace` needs the `trace` cargo feature
 //! (`cargo build --release -p nvbench --features trace`); the stock
 //! build compiles the tracer out entirely.
+//!
+//! ## Exit codes
+//!
+//! `0` success, `1` generic failure, `2` usage. Typed error classes map
+//! to stable documented codes (the variant name is printed to stderr as
+//! `error[<Variant>]: <message>` so scripts can grep it):
+//!
+//! | range | class | codes |
+//! |---|---|---|
+//! | 10–13 | `QueryError` | EpochZero 10, NotYetRecoverable 11, NotRetained 12, Wrapped 13 |
+//! | 20–22 | `MountError` | Recovery 20, BufferNotDrained 21, nothing-to-serve 22 |
+//! | 30–39 | `StoreError` | Io 30, Checksum 31, TornManifest 32, MissingLayer 33, RefcountUnderflow 34, SchemaVersion 35, BackupNotFound 36, BackupExists 37, UnreadableEpoch 38, BufferNotDrained 39 |
 
 use nvbench::{
     bottleneck_table, chrome_profile_json, chrome_trace_json, default_jobs, gen_traces,
@@ -24,11 +40,15 @@ use nvbench::{
     run_scheme_sharded_exec, run_scheme_sharded_prof, run_scheme_stats, ChromeMeta, EnvScale,
     ExpResult, Scheme, Spans,
 };
+use nvoverlay::store::QueryError;
 use nvoverlay::system::NvOverlaySystem;
-use nvserve::{driver as serve_driver, server as serve_engine, EpochSelect, Mount, ServeConfig};
+use nvserve::{
+    driver as serve_driver, server as serve_engine, EpochSelect, Mount, MountError, ServeConfig,
+};
 use nvsim::memsys::Runner;
 use nvsim::stats::{NvmWriteKind, SystemStats};
 use nvsim::trace::Trace;
+use nvstore::{DiskIo, SnapshotExport, Store, StoreError};
 use nvworkloads::{generate, Workload};
 use std::collections::HashMap;
 use std::process::exit;
@@ -37,9 +57,49 @@ use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  nvo list\n  nvo run --workload <name> --scheme <name> [--scale quick|standard|full] [--shards N] [--no-coalesce] [--json] [--stats-out <file>]\n  nvo run --trace <file.nvtr> --scheme <name>\n  nvo trace-gen --workload <name> --out <file.nvtr> [--scale ...]\n  nvo trace <workload> --scheme <name> [--scale ...] [--trace-out <file>] [--stats-out <file>] [--buffer-cap N] [--sample N]\n  nvo snapshots --workload <name> [--scale ...]\n  nvo diff --workload <name> --from <epoch> --to <epoch> [--scale ...]\n  nvo chaos <workload> --scheme nvoverlay|sw-undo [--sites N] [--seed S] [--scale ...] [--jobs N] [--torn-p P] [--flip-p P] [--stress-backpressure] [--broken-recovery] [--out <file>] [--json]\n  nvo profile <workload> [--scheme <name>] [--shards N] [--scale ...] [--out <file>] [--structural-out <file>] [--chrome <file>] [--json]\n  nvo serve <workload> [--sessions N] [--batches K] [--batch B] [--epochs all|latest|A..B] [--workers W] [--cache-cap C] [--subshards S] [--seed S] [--theta T] [--no-probes] [--scale ...] [--out <file>] [--stats-out <file>] [--json]\n  nvo query <workload> --key <byte-addr> [--epoch E|latest] [--scale ...]\n  nvo perf [--jobs N] [--shards N] [--profile] [--serve] [--scale ...] [--out BENCH_perf.json] [--serve-out BENCH_serve.json] [--baseline <file>]"
+        "usage:\n  nvo list\n  nvo run --workload <name> --scheme <name> [--scale quick|standard|full] [--shards N] [--no-coalesce] [--json] [--stats-out <file>]\n  nvo run --trace <file.nvtr> --scheme <name>\n  nvo trace-gen --workload <name> --out <file.nvtr> [--scale ...]\n  nvo trace <workload> --scheme <name> [--scale ...] [--trace-out <file>] [--stats-out <file>] [--buffer-cap N] [--sample N]\n  nvo snapshots --workload <name> [--scale ...]\n  nvo diff --workload <name> --from <epoch> --to <epoch> [--scale ...]\n  nvo chaos <workload> --scheme nvoverlay|sw-undo [--sites N] [--seed S] [--scale ...] [--jobs N] [--torn-p P] [--flip-p P] [--stress-backpressure] [--broken-recovery] [--out <file>] [--json]\n  nvo chaos <workload> --store [--sites N] [--seed S] [--scale ...] [--jobs N] [--torn-p P] [--flip-p P] [--out <file>] [--json]\n  nvo profile <workload> [--scheme <name>] [--shards N] [--scale ...] [--out <file>] [--structural-out <file>] [--chrome <file>] [--json]\n  nvo serve <workload> [--sessions N] [--batches K] [--batch B] [--epochs all|latest|A..B] [--workers W] [--cache-cap C] [--subshards S] [--seed S] [--theta T] [--no-probes] [--scale ...] [--out <file>] [--stats-out <file>] [--json]\n  nvo query <workload> --key <byte-addr> [--epoch E|latest] [--scale ...]\n  nvo backup <workload> --store <dir> [--name <backup>] [--upto E] [--scale ...]\n  nvo restore --store <dir> [--name <backup>] [--verify]\n  nvo store <ls|rm|gc|validate> --store <dir> [--name <backup>] [--purge]\n  nvo perf [--jobs N] [--shards N] [--profile] [--serve] [--scale ...] [--out BENCH_perf.json] [--serve-out BENCH_serve.json] [--baseline <file>]"
     );
     exit(2)
+}
+
+/// Typed-error exits: print `error[<Variant>]: <message>` and exit with
+/// the class's documented code (see the module docs).
+fn exit_query(e: &QueryError) -> ! {
+    eprintln!("error[{}]: {e}", e.name());
+    exit(match e {
+        QueryError::EpochZero => 10,
+        QueryError::NotYetRecoverable { .. } => 11,
+        QueryError::NotRetained { .. } => 12,
+        QueryError::Wrapped { .. } => 13,
+    })
+}
+
+fn exit_mount(e: &MountError) -> ! {
+    eprintln!("error[{}]: {e}", e.name());
+    exit(match e {
+        MountError::Recovery(_) => 20,
+        MountError::BufferNotDrained { .. } => 21,
+    })
+}
+
+/// `nvo serve` found a mountable image but nothing matching the load
+/// plan — distinct from a mount rejection.
+const EXIT_SERVE_EMPTY: i32 = 22;
+
+fn exit_store(e: &StoreError) -> ! {
+    eprintln!("error[{}]: {e}", e.name());
+    exit(match e {
+        StoreError::Io { .. } => 30,
+        StoreError::Checksum { .. } => 31,
+        StoreError::TornManifest { .. } => 32,
+        StoreError::MissingLayer { .. } => 33,
+        StoreError::RefcountUnderflow { .. } => 34,
+        StoreError::SchemaVersion { .. } => 35,
+        StoreError::BackupNotFound { .. } => 36,
+        StoreError::BackupExists { .. } => 37,
+        StoreError::UnreadableEpoch { .. } => 38,
+        StoreError::BufferNotDrained { .. } => 39,
+    })
 }
 
 fn parse_flags(args: &[String]) -> HashMap<String, String> {
@@ -55,7 +115,14 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
                 || key == "serve"
                 || key == "no-probes"
                 || key == "no-coalesce"
+                || key == "verify"
+                || key == "purge"
             {
+                out.insert(key.to_string(), "1".into());
+                i += 1;
+            } else if key == "store" && args.get(i + 1).is_none_or(|v| v.starts_with("--")) {
+                // `--store` is a mode toggle for `nvo chaos` (no value)
+                // but takes a directory everywhere else.
                 out.insert(key.to_string(), "1".into());
                 i += 1;
             } else if i + 1 < args.len() {
@@ -387,6 +454,9 @@ fn cmd_diff(flags: HashMap<String, String>) {
 /// crash/recovery checks out across `--jobs` workers. Exits nonzero if
 /// any site violates a consistency-cut invariant.
 fn cmd_chaos(flags: HashMap<String, String>) {
+    if flags.contains_key("store") {
+        return cmd_chaos_store(flags);
+    }
     let scale = scale_of(&flags);
     let trace = load_workload(&flags, scale);
     let sname = flags
@@ -742,13 +812,10 @@ fn cmd_serve(flags: HashMap<String, String>) {
     let scale = scale_of(&flags);
     let scfg = serve_config_of(&flags);
     let sys = mounted_system(&flags, scale);
-    let mount = Mount::new(sys.mnm(), scfg.subshards).unwrap_or_else(|e| {
-        eprintln!("cannot mount: {e}");
-        exit(1);
-    });
+    let mount = Mount::new(sys.mnm(), scfg.subshards).unwrap_or_else(|e| exit_mount(&e));
     let Some(plan) = serve_driver::plan(&mount, &scfg) else {
         eprintln!("nothing to serve: the image is empty or no epoch matches --epochs");
-        exit(1);
+        exit(EXIT_SERVE_EMPTY);
     };
     let out = serve_engine::serve(&mount, &plan, &scfg);
     let wname = flags.get("workload").map(String::as_str).unwrap_or("-");
@@ -805,7 +872,8 @@ fn cmd_serve(flags: HashMap<String, String>) {
 }
 
 /// `nvo query` — a one-shot point-in-time read: `GET key AS OF epoch`.
-/// Typed epoch rejections (`QueryError`) print to stderr and exit 1.
+/// Typed epoch rejections (`QueryError`) print `error[<Variant>]` to
+/// stderr and exit with the class's documented code (10–13).
 fn cmd_query(flags: HashMap<String, String>) {
     let scale = scale_of(&flags);
     let Some(keystr) = flags.get("key") else {
@@ -822,10 +890,7 @@ fn cmd_query(flags: HashMap<String, String>) {
     });
     let line = nvsim::addr::Addr::new(byte).line();
     let sys = mounted_system(&flags, scale);
-    let mount = Mount::new(sys.mnm(), 1).unwrap_or_else(|e| {
-        eprintln!("cannot mount: {e}");
-        exit(1);
-    });
+    let mount = Mount::new(sys.mnm(), 1).unwrap_or_else(|e| exit_mount(&e));
     let epoch = match flags.get("epoch").map(String::as_str) {
         None | Some("latest") => mount.dir().recoverable(),
         Some(v) => v.parse::<u64>().unwrap_or_else(|_| {
@@ -834,10 +899,7 @@ fn cmd_query(flags: HashMap<String, String>) {
         }),
     };
     match mount.dir().resolve(epoch) {
-        Err(e) => {
-            eprintln!("query rejected: {e}");
-            exit(1);
-        }
+        Err(e) => exit_query(&e),
         Ok(view) => match mount.mnm().time_travel(line, view.epoch()) {
             Some(token) => {
                 println!("{byte:#012x} @ epoch {}: {token}", view.epoch());
@@ -849,6 +911,315 @@ fn cmd_query(flags: HashMap<String, String>) {
                 );
             }
         },
+    }
+}
+
+fn store_dir_of(flags: &HashMap<String, String>) -> &str {
+    match flags.get("store").map(String::as_str) {
+        Some(dir) if dir != "1" => dir,
+        _ => {
+            eprintln!("--store <dir> is required");
+            usage();
+        }
+    }
+}
+
+fn open_store(dir: &str) -> Store<DiskIo> {
+    let io = DiskIo::create(dir).unwrap_or_else(|e| {
+        eprintln!("cannot open store at {dir}: {e}");
+        exit(1);
+    });
+    Store::open(io).unwrap_or_else(|e| exit_store(&e))
+}
+
+/// `nvo backup` — replays the workload, exports the exact snapshot
+/// image, and writes it into the on-disk layer store. Incremental by
+/// content addressing: a second backup of the same (or a prefix) image
+/// reports `0 new layers`.
+fn cmd_backup(flags: HashMap<String, String>) {
+    let scale = scale_of(&flags);
+    let dir = store_dir_of(&flags).to_string();
+    let name = flags.get("name").map(String::as_str).unwrap_or("snapshot");
+    let sys = mounted_system(&flags, scale);
+    let mut export = SnapshotExport::from_mnm(sys.mnm()).unwrap_or_else(|e| exit_store(&e));
+    if let Some(v) = flags.get("upto") {
+        match v.parse::<u64>() {
+            Ok(e) => export = export.truncated(e),
+            _ => {
+                eprintln!("--upto must be an epoch number, got {v:?}");
+                exit(2);
+            }
+        }
+    }
+    let mut store = open_store(&dir);
+    let stats = store
+        .backup(name, &export)
+        .unwrap_or_else(|e| exit_store(&e));
+    println!(
+        "backed up {name} into {dir}: {} new layers ({} bytes), {} shared; \
+         rec-epoch {}, {} epochs captured; manifest v{}",
+        stats.new_layers,
+        stats.new_bytes,
+        stats.shared_layers,
+        export.rec_epoch,
+        export.deltas.len(),
+        store.manifest().version
+    );
+}
+
+/// `nvo restore` — reads a backup out of the store (full checksum,
+/// chain, and anti-hybrid verification) and rebuilds a live backend
+/// from it. `--verify` additionally mounts the result under the query
+/// service and sweeps point-in-time reads against the stored master.
+fn cmd_restore(flags: HashMap<String, String>) {
+    let dir = store_dir_of(&flags);
+    let name = flags.get("name").map(String::as_str).unwrap_or("snapshot");
+    let store = open_store(dir);
+    let export = store.restore(name).unwrap_or_else(|e| exit_store(&e));
+    let (mnm, _nvm) = export.rebuild().unwrap_or_else(|e| exit_store(&e));
+    println!(
+        "restored {name} from {dir}: rec-epoch {} (max seen {}), {} epochs captured, \
+         {} master lines, {} contexts",
+        export.rec_epoch,
+        export.max_epoch_seen,
+        export.deltas.len(),
+        export.master.len(),
+        export.contexts.len()
+    );
+    if flags.contains_key("verify") {
+        let mount = Mount::new(&mnm, 1).unwrap_or_else(|e| exit_mount(&e));
+        let mut checked = 0usize;
+        if export.rec_epoch > 0 {
+            let view = mount
+                .dir()
+                .resolve(export.rec_epoch)
+                .unwrap_or_else(|e| exit_query(&e));
+            let stride = (export.master.len() / 64).max(1);
+            for &(l, t) in export.master.iter().step_by(stride) {
+                let got = mount
+                    .mnm()
+                    .time_travel(nvsim::addr::LineAddr::new(l), view.epoch());
+                if got != Some(t) {
+                    eprintln!(
+                        "error[Checksum]: mounted read of line {l:#x} at epoch {} returned \
+                         {got:?}, stored master says {t}",
+                        view.epoch()
+                    );
+                    exit(31);
+                }
+                checked += 1;
+            }
+        }
+        println!(
+            "verified: recovery passed, mounted under the query service, \
+             {checked} point-in-time reads match the stored master"
+        );
+    }
+}
+
+/// `nvo store <ls|rm|gc|validate>` — maintenance of an on-disk layer
+/// store: list contents, drop a backup, sweep unreferenced layers into
+/// quarantine (`--purge` deletes the quarantine for good), or fully
+/// re-verify every backup.
+fn cmd_store(args: &[String]) {
+    let Some(sub) = args.first().filter(|a| !a.starts_with("--")) else {
+        eprintln!("nvo store needs a subcommand: ls, rm, gc, or validate");
+        usage();
+    };
+    let flags = parse_flags(&args[1..]);
+    let dir = store_dir_of(&flags);
+    match sub.as_str() {
+        "ls" => {
+            let store = open_store(dir);
+            let m = store.manifest();
+            let layer_bytes: u64 = m.layers.iter().map(|(_, meta)| meta.bytes).sum();
+            println!(
+                "store {dir}: manifest v{}, {} backups, {} layers ({} bytes), {} quarantined",
+                m.version,
+                m.backups.len(),
+                m.layers.len(),
+                layer_bytes,
+                m.quarantine.len()
+            );
+            for b in &m.backups {
+                println!(
+                    "  {}: rec-epoch {} (max seen {}), {} delta layers, {} OMCs x {} VDs",
+                    b.name,
+                    b.rec_epoch,
+                    b.max_epoch_seen,
+                    b.deltas.len(),
+                    b.omcs,
+                    b.vds
+                );
+            }
+        }
+        "rm" => {
+            let Some(name) = flags.get("name") else {
+                eprintln!("--name <backup> is required");
+                usage();
+            };
+            let mut store = open_store(dir);
+            store.remove(name).unwrap_or_else(|e| exit_store(&e));
+            println!("removed {name} from {dir}; run `nvo store gc` to quarantine its layers");
+        }
+        "gc" => {
+            let mut store = open_store(dir);
+            let stats = store.gc().unwrap_or_else(|e| exit_store(&e));
+            println!(
+                "gc {dir}: {} layers quarantined, {} live",
+                stats.quarantined, stats.live
+            );
+            if flags.contains_key("purge") {
+                let purged = store.purge_quarantine().unwrap_or_else(|e| exit_store(&e));
+                println!("purged {purged} quarantined layer files");
+            }
+        }
+        "validate" => {
+            let store = open_store(dir);
+            let n = store.validate().unwrap_or_else(|e| exit_store(&e));
+            println!("store {dir} is consistent: {n} backups fully verified");
+        }
+        other => {
+            eprintln!("unknown store subcommand {other:?} (expected ls, rm, gc, or validate)");
+            usage();
+        }
+    }
+}
+
+/// `nvo chaos --store` — crashes the backup machinery instead of the
+/// simulated NVM: replays seeded prefix cuts (with torn tail writes and
+/// bit flips) of a recorded backup → backup → remove → gc session and
+/// requires a clean prior-manifest restore or a typed `StoreError` at
+/// every site. Every exact restore is additionally mounted under the
+/// query service and spot-checked against `time_travel`.
+fn cmd_chaos_store(flags: HashMap<String, String>) {
+    let scale = scale_of(&flags);
+    let trace = load_workload(&flags, scale);
+    let mut cfg = nvchaos::StoreChaosConfig::default();
+    if let Some(v) = flags.get("sites") {
+        match v.parse::<usize>() {
+            Ok(n) if n >= 1 => cfg.sites = n,
+            _ => {
+                eprintln!("--sites must be a positive integer, got {v:?}");
+                exit(2);
+            }
+        }
+    }
+    if let Some(v) = flags.get("seed") {
+        match v.parse::<u64>() {
+            Ok(n) => cfg.seed = n,
+            _ => {
+                eprintln!("--seed must be an integer, got {v:?}");
+                exit(2);
+            }
+        }
+    }
+    for (flag, slot) in [("torn-p", &mut cfg.torn_p), ("flip-p", &mut cfg.flip_p)] {
+        if let Some(v) = flags.get(flag) {
+            match v.parse::<f64>() {
+                Ok(p) if (0.0..=1.0).contains(&p) => *slot = p,
+                _ => {
+                    eprintln!("--{flag} must be a probability in [0, 1], got {v:?}");
+                    exit(2);
+                }
+            }
+        }
+    }
+    let jobs = jobs_of(&flags);
+
+    let run =
+        nvchaos::prepare_store(&trace, &scale.sim_config(), cfg).unwrap_or_else(|e| exit_store(&e));
+    // The mount probe nvchaos cannot name itself (it would cycle on
+    // nvserve): every exact restore must also mount and answer like
+    // `time_travel` does.
+    let mount_check = |mnm: &nvoverlay::mnm::Mnm, export: &SnapshotExport| -> Result<(), String> {
+        let mount =
+            Mount::new(mnm, 1).map_err(|e| format!("mount rejected the restored image: {e}"))?;
+        if export.rec_epoch == 0 {
+            return Ok(());
+        }
+        let view = mount
+            .dir()
+            .resolve(export.rec_epoch)
+            .map_err(|e| format!("resolve({}) failed: {e}", export.rec_epoch))?;
+        let stride = (export.master.len() / 8).max(1);
+        for &(l, t) in export.master.iter().step_by(stride) {
+            if mount
+                .mnm()
+                .time_travel(nvsim::addr::LineAddr::new(l), view.epoch())
+                != Some(t)
+            {
+                return Err(format!(
+                    "mounted read of line {l:#x} diverges from the stored master"
+                ));
+            }
+        }
+        Ok(())
+    };
+    let results = nvbench::run_ordered(run.site_count(), jobs, |i| {
+        run.check_site(i, Some(&mount_check))
+    });
+    let report = run.summarize(&results);
+    let json = report.to_json();
+
+    if let Some(path) = flags.get("out") {
+        std::fs::write(path, &json).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            exit(1);
+        });
+    }
+    if flags.contains_key("json") {
+        print!("{json}");
+    } else {
+        println!(
+            "store chaos: {} fault sites over a {}-op journal ({} writes, {} renames, {} removes; seed {})",
+            report.sites_explored,
+            report.journal_writes + report.journal_renames + report.journal_removes,
+            report.journal_writes,
+            report.journal_renames,
+            report.journal_removes,
+            report.seed
+        );
+        let by_cat: Vec<String> = report
+            .category_counts
+            .iter()
+            .filter(|(_, n)| *n > 0)
+            .map(|(c, n)| format!("{c} {n}"))
+            .collect();
+        println!("  sites: {}", by_cat.join(", "));
+        let typed: Vec<String> = report
+            .typed_errors
+            .iter()
+            .map(|(n, c)| format!("{n} {c}"))
+            .collect();
+        println!(
+            "  faults: {} torn writes, {} bit flips; typed errors: {}",
+            report.torn_sites,
+            report.flips_injected,
+            if typed.is_empty() {
+                "none".to_string()
+            } else {
+                typed.join(", ")
+            }
+        );
+        println!(
+            "  checked: {} exact restores, {} mounts; max manifest version {}",
+            report.restores_checked, report.mounts_checked, report.max_manifest_version
+        );
+        if report.ok() {
+            println!("  contract: every site restored a committed state or failed typed");
+        } else {
+            println!("  CONTRACT VIOLATIONS: {}", report.violations.len());
+            for v in report.violations.iter().take(10) {
+                println!("    site {} [{}]: {}", v.site, v.category, v.message);
+            }
+            if report.violations.len() > 10 {
+                println!("    ... ({} more)", report.violations.len() - 10);
+            }
+        }
+    }
+    if !report.ok() {
+        exit(1);
     }
 }
 
@@ -1587,6 +1958,9 @@ fn main() {
         Some("profile") => cmd_profile(flags_with_positional_workload(&args[1..])),
         Some("serve") => cmd_serve(flags_with_positional_workload(&args[1..])),
         Some("query") => cmd_query(flags_with_positional_workload(&args[1..])),
+        Some("backup") => cmd_backup(flags_with_positional_workload(&args[1..])),
+        Some("restore") => cmd_restore(parse_flags(&args[1..])),
+        Some("store") => cmd_store(&args[1..]),
         Some("perf") => cmd_perf(parse_flags(&args[1..])),
         _ => usage(),
     }

@@ -11,7 +11,6 @@
 pub mod chrome;
 pub mod exp;
 pub mod export;
-pub mod json;
 pub mod par;
 pub mod prof;
 
@@ -22,5 +21,9 @@ pub use exp::{
     ShardedSchemeRun,
 };
 pub use export::{registry_json, registry_tsv};
+/// Re-export of the shared JSON helper (moved to `nvsim::json` so the
+/// store and chaos crates can parse documents without a dependency on
+/// the bench harness). Existing `nvbench::json::...` paths keep working.
+pub use nvsim::json;
 pub use par::{default_jobs, gen_traces, run_matrix, run_matrix_stats, run_ordered};
 pub use prof::{bottleneck_table, profile_json, profile_structural_json, Spans};

@@ -35,7 +35,7 @@ use nvsim::trace::Trace;
 
 /// Per-site seed mixer (splitmix64 increment): keeps site seeds
 /// independent of the order sites were selected in.
-const SEED_GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+pub(crate) const SEED_GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
 
 /// The scheme whose crash behavior is explored.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -426,54 +426,14 @@ impl ChaosRun {
         self.check_prefix_cut(&recovered, res);
     }
 
-    /// Invariant 1: every recovered token was actually written to that
-    /// line by the workload.
+    /// Invariant 1 (see [`crate::invariants::check_token_validity`]).
     fn check_token_validity(&self, img: &FastHashMap<LineAddr, Token>, res: &mut SiteResult) {
-        for (l, t) in img {
-            if !self.oracle.written_to(*l, *t) {
-                res.violations.push(format!(
-                    "line {:#x} recovered with token {t} never written there",
-                    l.raw()
-                ));
-            }
-        }
+        crate::invariants::check_token_validity(&self.oracle, img, &mut res.violations);
     }
 
-    /// Invariant 2: per-thread prefix cut on private (single-writer)
-    /// lines — if the image reflects thread `t`'s write number `s`, it
-    /// cannot miss an earlier final write by the same thread.
+    /// Invariant 2 (see [`crate::invariants::check_prefix_cut`]).
     fn check_prefix_cut(&self, img: &FastHashMap<LineAddr, Token>, res: &mut SiteResult) {
-        let threads = self.oracle.thread_count();
-        let mut cut_seq: Vec<Option<u64>> = vec![None; threads];
-        for (line, owner) in self.oracle.private_lines() {
-            let Some(&tok) = img.get(line) else { continue };
-            let Some((t, s)) = self.oracle.order_of(tok) else {
-                continue; // already reported by invariant 1
-            };
-            if t != *owner {
-                res.violations.push(format!(
-                    "private line {:#x} of thread {owner} recovered with thread {t}'s token",
-                    line.raw()
-                ));
-                continue;
-            }
-            let c = &mut cut_seq[t as usize];
-            *c = Some(c.map_or(s, |p| p.max(s)));
-        }
-        for (line, owner) in self.oracle.private_lines() {
-            let Some(cut) = cut_seq[*owner as usize] else {
-                continue;
-            };
-            let last = *self.oracle.writes_to(*line).last().expect("written line");
-            let (_, s) = self.oracle.order_of(last).expect("traced token");
-            if s <= cut && img.get(line) != Some(&last) {
-                res.violations.push(format!(
-                    "thread {owner}'s cut reflects write #{cut} but private line {:#x} \
-                     is not at its final write #{s}",
-                    line.raw()
-                ));
-            }
-        }
+        crate::invariants::check_prefix_cut(&self.oracle, img, &mut res.violations);
     }
 
     /// Aggregates site results into a report (deterministic field order;

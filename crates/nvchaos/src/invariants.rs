@@ -1,0 +1,73 @@
+//! The consistency-cut invariants, as standalone checkers.
+//!
+//! Both chaos planes — the in-simulation NVM crash explorer
+//! ([`crate::explore`]) and the on-disk store explorer
+//! ([`crate::store_chaos`]) — must hold every recovered/restored image
+//! to the same two oracle-backed invariants (the third, image equality
+//! against a journal- or backup-derived expectation, is computed by
+//! each plane from its own ground truth). Extracting them here keeps
+//! the two planes literally running the same checks.
+
+use nvsim::fastmap::FastHashMap;
+use nvsim::{LineAddr, Token};
+
+use crate::oracle::TraceOracle;
+
+/// Invariant 1: every recovered token was actually written to that line
+/// by the workload. Violations are appended to `out`.
+pub fn check_token_validity(
+    oracle: &TraceOracle,
+    img: &FastHashMap<LineAddr, Token>,
+    out: &mut Vec<String>,
+) {
+    for (l, t) in img {
+        if !oracle.written_to(*l, *t) {
+            out.push(format!(
+                "line {:#x} recovered with token {t} never written there",
+                l.raw()
+            ));
+        }
+    }
+}
+
+/// Invariant 2: per-thread prefix cut on private (single-writer) lines —
+/// if the image reflects thread `t`'s write number `s`, it cannot miss
+/// an earlier final write by the same thread. Violations are appended
+/// to `out`.
+pub fn check_prefix_cut(
+    oracle: &TraceOracle,
+    img: &FastHashMap<LineAddr, Token>,
+    out: &mut Vec<String>,
+) {
+    let threads = oracle.thread_count();
+    let mut cut_seq: Vec<Option<u64>> = vec![None; threads];
+    for (line, owner) in oracle.private_lines() {
+        let Some(&tok) = img.get(line) else { continue };
+        let Some((t, s)) = oracle.order_of(tok) else {
+            continue; // already reported by invariant 1
+        };
+        if t != *owner {
+            out.push(format!(
+                "private line {:#x} of thread {owner} recovered with thread {t}'s token",
+                line.raw()
+            ));
+            continue;
+        }
+        let c = &mut cut_seq[t as usize];
+        *c = Some(c.map_or(s, |p| p.max(s)));
+    }
+    for (line, owner) in oracle.private_lines() {
+        let Some(cut) = cut_seq[*owner as usize] else {
+            continue;
+        };
+        let last = *oracle.writes_to(*line).last().expect("written line");
+        let (_, s) = oracle.order_of(last).expect("traced token");
+        if s <= cut && img.get(line) != Some(&last) {
+            out.push(format!(
+                "thread {owner}'s cut reflects write #{cut} but private line {:#x} \
+                 is not at its final write #{s}",
+                line.raw()
+            ));
+        }
+    }
+}

@@ -35,11 +35,17 @@
 //! [`explore::explore`] convenience.
 
 pub mod explore;
+pub mod invariants;
 pub mod oracle;
 pub mod rebuild;
 pub mod report;
+pub mod store_chaos;
 
 pub use explore::{explore, prepare, ChaosConfig, ChaosRun, ChaosScheme, SiteCategory, SiteResult};
 pub use oracle::TraceOracle;
 pub use rebuild::{rebuild_undo, undo_expected, RebuildFidelity, RebuiltState};
 pub use report::{ChaosReport, Violation};
+pub use store_chaos::{
+    explore_store, prepare_store, MountCheck, StoreChaosConfig, StoreChaosReport, StoreChaosRun,
+    StoreSiteResult,
+};

@@ -9,6 +9,13 @@
 
 use std::fmt::Write as _;
 
+use nvsim::json::{self, JsonValue};
+
+/// Schema version stamped into every report (`"schema"`, the first
+/// field). [`ChaosReport::from_json`] rejects reports written by a
+/// future schema instead of silently misreading them.
+pub const CHAOS_REPORT_SCHEMA: u64 = 1;
+
 /// One invariant violation, locating the crash site that produced it.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Violation {
@@ -61,6 +68,7 @@ impl ChaosReport {
     pub fn to_json(&self) -> String {
         let mut s = String::with_capacity(512);
         s.push_str("{\n");
+        let _ = writeln!(s, "  \"schema\": {},", CHAOS_REPORT_SCHEMA);
         let _ = writeln!(s, "  \"scheme\": {},", json_str(&self.scheme));
         let _ = writeln!(s, "  \"seed\": {},", self.seed);
         let _ = writeln!(s, "  \"sites_requested\": {},", self.sites_requested);
@@ -103,6 +111,85 @@ impl ChaosReport {
         }
         s.push_str("]\n}\n");
         s
+    }
+
+    /// Parses a report previously rendered by [`ChaosReport::to_json`].
+    ///
+    /// # Errors
+    /// A message naming the malformed field, or the unsupported schema
+    /// version for reports written by a future tool.
+    pub fn from_json(text: &str) -> Result<ChaosReport, String> {
+        let v = json::parse(text).map_err(|e| format!("malformed report JSON: {e}"))?;
+        let schema = v
+            .get("schema")
+            .and_then(JsonValue::as_u64)
+            .ok_or("report is missing the schema field")?;
+        if schema > CHAOS_REPORT_SCHEMA {
+            return Err(format!(
+                "report schema {schema} is newer than supported {CHAOS_REPORT_SCHEMA}"
+            ));
+        }
+        let str_field = |key: &str| -> Result<String, String> {
+            v.get(key)
+                .and_then(JsonValue::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing string field {key}"))
+        };
+        let num_field = |key: &str| -> Result<u64, String> {
+            v.get(key)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| format!("missing numeric field {key}"))
+        };
+        let mut category_counts = Vec::new();
+        match v.get("sites_by_category") {
+            Some(JsonValue::Object(pairs)) => {
+                for (name, n) in pairs {
+                    let n = n
+                        .as_u64()
+                        .ok_or_else(|| format!("non-numeric count for category {name}"))?;
+                    category_counts.push((name.clone(), n as usize));
+                }
+            }
+            _ => return Err("missing object field sites_by_category".to_string()),
+        }
+        let mut violations = Vec::new();
+        for item in v
+            .get("violations")
+            .and_then(JsonValue::as_array)
+            .ok_or("missing array field violations")?
+        {
+            violations.push(Violation {
+                site: item
+                    .get("site")
+                    .and_then(JsonValue::as_u64)
+                    .ok_or("violation missing site")? as usize,
+                category: item
+                    .get("category")
+                    .and_then(JsonValue::as_str)
+                    .ok_or("violation missing category")?
+                    .to_string(),
+                message: item
+                    .get("message")
+                    .and_then(JsonValue::as_str)
+                    .ok_or("violation missing message")?
+                    .to_string(),
+            });
+        }
+        Ok(ChaosReport {
+            scheme: str_field("scheme")?,
+            seed: num_field("seed")?,
+            sites_requested: num_field("sites_requested")? as usize,
+            sites_explored: num_field("sites_explored")? as usize,
+            journal_writes: num_field("journal_writes")? as usize,
+            run_cycles: num_field("run_cycles")?,
+            category_counts,
+            torn_sites: num_field("torn_sites")? as usize,
+            dropped_writes: num_field("dropped_writes")? as usize,
+            flips_injected: num_field("flips_injected")? as usize,
+            faults_detected: num_field("faults_detected")? as usize,
+            max_recovered_epoch: num_field("max_recovered_epoch")?,
+            violations,
+        })
     }
 }
 
@@ -152,11 +239,35 @@ mod tests {
     #[test]
     fn json_shape_is_stable() {
         let j = sample().to_json();
-        assert!(j.starts_with("{\n  \"scheme\": \"nvoverlay\",\n"));
+        assert!(j.starts_with("{\n  \"schema\": 1,\n  \"scheme\": \"nvoverlay\",\n"));
         assert!(j.contains("\"sites_by_category\": {\"data\": 100, \"master-root\": 20},"));
         assert!(j.contains("\"violation_count\": 0,"));
         assert!(j.ends_with("\"violations\": []\n}\n"));
         assert_eq!(sample().to_json(), j, "rendering is deterministic");
+    }
+
+    #[test]
+    fn json_round_trips_through_from_json() {
+        let mut r = sample();
+        r.violations.push(Violation {
+            site: 9,
+            category: "master-root".into(),
+            message: "cut \"torn\"".into(),
+        });
+        let j = r.to_json();
+        let back = ChaosReport::from_json(&j).unwrap();
+        assert_eq!(back.to_json(), j, "parse/render is a fixed point");
+    }
+
+    #[test]
+    fn future_schema_reports_are_rejected() {
+        let j = sample()
+            .to_json()
+            .replace("\"schema\": 1,", "\"schema\": 99,");
+        let err = ChaosReport::from_json(&j).unwrap_err();
+        assert!(err.contains("schema 99"), "got: {err}");
+        assert!(ChaosReport::from_json("{").is_err());
+        assert!(ChaosReport::from_json("{}").is_err());
     }
 
     #[test]

@@ -268,6 +268,33 @@ impl Mnm {
         self.contexts.get(&(vd.0, epoch)).copied()
     }
 
+    /// Every recorded context dump as `(vd, epoch, blob)`, sorted by
+    /// `(vd, epoch)`. Export hook for the persistent snapshot store: the
+    /// contexts map is otherwise private, and the store needs a
+    /// deterministic ordering to produce content-addressed layers.
+    pub fn contexts_sorted(&self) -> Vec<(u16, u64, Token)> {
+        let mut out: Vec<(u16, u64, Token)> = self
+            .contexts
+            .iter()
+            .map(|((vd, epoch), blob)| (*vd, *epoch, *blob))
+            .collect();
+        out.sort_unstable_by_key(|&(vd, epoch, _)| (vd, epoch));
+        out
+    }
+
+    /// Number of versioned domains this backend was built for.
+    pub fn vd_count(&self) -> usize {
+        self.min_vers.len()
+    }
+
+    /// Records that `abs_epoch` was observed without receiving a
+    /// version. Restore hook: a rebuilt backend replays only captured
+    /// deltas, so this preserves `max_epoch_seen` across backup/restore
+    /// even when the newest observed epochs carried no versions.
+    pub fn note_epoch_seen(&mut self, abs_epoch: u64) {
+        self.max_epoch_seen = self.max_epoch_seen.max(abs_epoch);
+    }
+
     /// Aggregate size of all master tables in bytes (Fig 13 numerator).
     pub fn master_size_bytes(&self) -> u64 {
         self.omcs

@@ -52,6 +52,20 @@ pub enum QueryError {
     },
 }
 
+impl QueryError {
+    /// The bare variant name (`"EpochZero"`, `"NotYetRecoverable"`, ...),
+    /// used by the CLI to print a stable, greppable error class next to
+    /// the human message and to pick the documented exit code.
+    pub fn name(&self) -> &'static str {
+        match self {
+            QueryError::EpochZero => "EpochZero",
+            QueryError::NotYetRecoverable { .. } => "NotYetRecoverable",
+            QueryError::NotRetained { .. } => "NotRetained",
+            QueryError::Wrapped { .. } => "Wrapped",
+        }
+    }
+}
+
 impl fmt::Display for QueryError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -38,6 +38,18 @@ pub enum MountError {
     },
 }
 
+impl MountError {
+    /// The bare variant name (`"Recovery"`, `"BufferNotDrained"`), used
+    /// by the CLI to print a stable error class and pick the documented
+    /// exit code.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MountError::Recovery(_) => "Recovery",
+            MountError::BufferNotDrained { .. } => "BufferNotDrained",
+        }
+    }
+}
+
 impl std::fmt::Display for MountError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {

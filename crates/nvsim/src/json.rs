@@ -1,12 +1,12 @@
 //! A minimal hand-rolled JSON reader/writer helper.
 //!
-//! The suite has a zero-external-dependency policy, but the exporters
-//! ([`crate::chrome`], [`crate::export`]) emit JSON that must be
-//! *parseable* — the observability tests round-trip every document
-//! through this parser before trusting it. The parser accepts the full
-//! JSON grammar (objects, arrays, strings with escapes, numbers, bools,
-//! null) and preserves object key order, which keeps determinism checks
-//! straightforward.
+//! The suite has a zero-external-dependency policy, but several crates
+//! emit JSON that must be *parseable*: the nvbench exporters round-trip
+//! every document through this parser before trusting it, and the
+//! persistent snapshot store (`nvstore`) reads its versioned manifests
+//! with it. The parser accepts the full JSON grammar (objects, arrays,
+//! strings with escapes, numbers, bools, null) and preserves object key
+//! order, which keeps determinism checks straightforward.
 
 use std::fmt;
 

@@ -36,6 +36,9 @@
 //!   trace by VD into independent sub-machines with epoch-barrier
 //!   windows and canonical cross-island exchange maps, all derived from
 //!   the trace alone so results are invariant to the worker count.
+//! * [`json`] — a minimal hand-rolled JSON parser/escaper shared by the
+//!   report exporters and the persistent snapshot store (zero external
+//!   dependencies).
 //! * [`rng`] — deterministic xoshiro256++ randomness (no external crates).
 //! * [`nvtrace`] — structured event tracing into a per-thread ring
 //!   buffer (flight recorder). Compiled out without the `trace` cargo
@@ -68,6 +71,7 @@ pub mod dram;
 pub mod fastmap;
 pub mod fault;
 pub mod hierarchy;
+pub mod json;
 pub mod memsys;
 pub mod mesi;
 pub mod metrics;

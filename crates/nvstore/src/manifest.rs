@@ -1,0 +1,464 @@
+//! The versioned store manifest.
+//!
+//! The manifest is the store's single source of truth: which backups
+//! exist, which layers each one references (in epoch order, mirroring
+//! the parent chain inside the layers themselves), and a redundant
+//! per-layer reference count that lets `open` detect a manifest whose
+//! refcounts would let GC reap a live layer
+//! ([`crate::StoreError::RefcountUnderflow`]).
+//!
+//! Manifests are immutable once published: every mutation writes a new
+//! `manifests/<version>.json` and flips the root cell to it, so any two
+//! root cells always describe two *complete* historical states. The
+//! JSON is emitted deterministically (fixed field order, sorted layer
+//! table) and parsed by the suite's own [`nvsim::json`]; a `schema`
+//! field written by a future version is rejected up front rather than
+//! misread.
+
+use std::collections::BTreeMap;
+
+use nvsim::json::{self, JsonValue};
+
+use crate::error::StoreError;
+use crate::layer::{LayerId, LayerKind};
+
+/// Manifest schema version this build reads and writes.
+pub const MANIFEST_SCHEMA: u64 = 1;
+
+/// One backup: a named, immutable snapshot of an `Mnm`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BackupEntry {
+    /// Unique backup name.
+    pub name: String,
+    /// Recoverable epoch at backup time.
+    pub rec_epoch: u64,
+    /// Newest epoch any OMC had seen at backup time.
+    pub max_epoch_seen: u64,
+    /// Number of OMCs in the source topology.
+    pub omcs: usize,
+    /// Number of versioned domains in the source topology.
+    pub vds: usize,
+    /// Overlay pool size (pages) of the source OMC config.
+    pub pool_pages: usize,
+    /// The master-mapping layer (Mmaster at `rec_epoch`).
+    pub master: LayerId,
+    /// The context-dump layer, when any contexts were recorded.
+    pub context: Option<LayerId>,
+    /// Per-epoch delta layers, ascending by epoch.
+    pub deltas: Vec<(u64, LayerId)>,
+}
+
+impl BackupEntry {
+    /// Every layer id this backup references (deltas, master, context).
+    pub fn layer_ids(&self) -> Vec<LayerId> {
+        let mut ids: Vec<LayerId> = self.deltas.iter().map(|&(_, id)| id).collect();
+        ids.push(self.master);
+        ids.extend(self.context);
+        ids
+    }
+}
+
+/// Per-layer bookkeeping in the manifest.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LayerMeta {
+    /// What the layer holds.
+    pub kind: LayerKind,
+    /// The epoch the layer describes.
+    pub epoch: u64,
+    /// Parent layer in the chain, if any.
+    pub parent: Option<LayerId>,
+    /// Encoded size in bytes.
+    pub bytes: u64,
+    /// Number of backups referencing this layer.
+    pub refs: u64,
+}
+
+/// A complete, immutable manifest state.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Manifest {
+    /// Monotonic version; each commit publishes `version + 1`.
+    pub version: u64,
+    /// Backups in creation order.
+    pub backups: Vec<BackupEntry>,
+    /// Layer table, sorted by id.
+    pub layers: Vec<(LayerId, LayerMeta)>,
+    /// Layers moved aside by GC (still restorable), sorted by id.
+    pub quarantine: Vec<LayerId>,
+}
+
+impl Manifest {
+    /// Looks up a backup by name.
+    pub fn backup(&self, name: &str) -> Option<&BackupEntry> {
+        self.backups.iter().find(|b| b.name == name)
+    }
+
+    /// Looks up a layer's bookkeeping entry.
+    pub fn layer_meta(&self, id: LayerId) -> Option<&LayerMeta> {
+        self.layers
+            .binary_search_by_key(&id, |&(lid, _)| lid)
+            .ok()
+            .map(|i| &self.layers[i].1)
+    }
+
+    /// Recomputes each layer's refcount from the backup list.
+    pub fn recount_refs(&self) -> BTreeMap<LayerId, u64> {
+        let mut counts: BTreeMap<LayerId, u64> = BTreeMap::new();
+        for b in &self.backups {
+            for id in b.layer_ids() {
+                *counts.entry(id).or_insert(0) += 1;
+            }
+        }
+        counts
+    }
+
+    /// Verifies the stored refcounts against [`Manifest::recount_refs`]
+    /// and that every referenced layer has a table entry.
+    ///
+    /// # Errors
+    /// [`StoreError::RefcountUnderflow`] on the first mismatch (by
+    /// layer id order); [`StoreError::MissingLayer`] when a backup
+    /// references an id absent from the layer table.
+    pub fn verify_refs(&self) -> Result<(), StoreError> {
+        let actual = self.recount_refs();
+        for (&id, &n) in &actual {
+            match self.layer_meta(id) {
+                None => return Err(StoreError::MissingLayer { id }),
+                Some(meta) if meta.refs != n => {
+                    return Err(StoreError::RefcountUnderflow {
+                        id,
+                        stored: meta.refs,
+                        actual: n,
+                    })
+                }
+                Some(_) => {}
+            }
+        }
+        for &(id, ref meta) in &self.layers {
+            let n = actual.get(&id).copied().unwrap_or(0);
+            if meta.refs != n {
+                return Err(StoreError::RefcountUnderflow {
+                    id,
+                    stored: meta.refs,
+                    actual: n,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Serializes deterministically: fixed field order, backups in
+    /// creation order, layer table sorted by id. Byte-identical input
+    /// states produce byte-identical manifests (the CI `cmp` gate
+    /// depends on this).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256 + self.layers.len() * 96);
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema\": {MANIFEST_SCHEMA},\n"));
+        out.push_str(&format!("  \"version\": {},\n", self.version));
+        out.push_str("  \"backups\": [");
+        for (i, b) in self.backups.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            out.push_str(&format!("\"name\": \"{}\", ", json::escape(&b.name)));
+            out.push_str(&format!("\"rec_epoch\": {}, ", b.rec_epoch));
+            out.push_str(&format!("\"max_epoch_seen\": {}, ", b.max_epoch_seen));
+            out.push_str(&format!("\"omcs\": {}, ", b.omcs));
+            out.push_str(&format!("\"vds\": {}, ", b.vds));
+            out.push_str(&format!("\"pool_pages\": {}, ", b.pool_pages));
+            out.push_str(&format!("\"master\": \"{}\", ", b.master));
+            match b.context {
+                Some(id) => out.push_str(&format!("\"context\": \"{id}\", ")),
+                None => out.push_str("\"context\": null, "),
+            }
+            out.push_str("\"deltas\": [");
+            for (j, (epoch, id)) in b.deltas.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("{{\"epoch\": {epoch}, \"layer\": \"{id}\"}}"));
+            }
+            out.push_str("]}");
+        }
+        if self.backups.is_empty() {
+            out.push_str("],\n");
+        } else {
+            out.push_str("\n  ],\n");
+        }
+        out.push_str("  \"layers\": [");
+        for (i, (id, meta)) in self.layers.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            out.push_str(&format!("\"id\": \"{id}\", "));
+            out.push_str(&format!("\"kind\": \"{}\", ", meta.kind.label()));
+            out.push_str(&format!("\"epoch\": {}, ", meta.epoch));
+            match meta.parent {
+                Some(p) => out.push_str(&format!("\"parent\": \"{p}\", ")),
+                None => out.push_str("\"parent\": null, "),
+            }
+            out.push_str(&format!("\"bytes\": {}, ", meta.bytes));
+            out.push_str(&format!("\"refs\": {}}}", meta.refs));
+        }
+        if self.layers.is_empty() {
+            out.push_str("],\n");
+        } else {
+            out.push_str("\n  ],\n");
+        }
+        out.push_str("  \"quarantine\": [");
+        for (i, id) in self.quarantine.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{id}\""));
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
+    /// Parses a manifest document.
+    ///
+    /// # Errors
+    /// [`StoreError::SchemaVersion`] for documents written by a future
+    /// schema; [`StoreError::TornManifest`] for anything malformed.
+    pub fn parse(text: &str) -> Result<Manifest, StoreError> {
+        let torn = |detail: &str| StoreError::TornManifest {
+            detail: detail.to_string(),
+        };
+        let doc = json::parse(text).map_err(|e| torn(&format!("manifest is not JSON: {e}")))?;
+        let schema = doc
+            .get("schema")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| torn("manifest lacks a schema field"))?;
+        if schema > MANIFEST_SCHEMA {
+            return Err(StoreError::SchemaVersion {
+                found: schema,
+                supported: MANIFEST_SCHEMA,
+            });
+        }
+        let version = doc
+            .get("version")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| torn("manifest lacks a version field"))?;
+
+        let id_field = |v: &JsonValue, key: &str| -> Result<LayerId, StoreError> {
+            v.get(key)
+                .and_then(JsonValue::as_str)
+                .and_then(LayerId::parse)
+                .ok_or_else(|| torn(&format!("bad layer id in field {key:?}")))
+        };
+        let opt_id_field = |v: &JsonValue, key: &str| -> Result<Option<LayerId>, StoreError> {
+            match v.get(key) {
+                Some(JsonValue::Null) => Ok(None),
+                Some(JsonValue::String(s)) => LayerId::parse(s)
+                    .map(Some)
+                    .ok_or_else(|| torn(&format!("bad layer id in field {key:?}"))),
+                _ => Err(torn(&format!("bad layer id in field {key:?}"))),
+            }
+        };
+        let u64_field = |v: &JsonValue, key: &str| -> Result<u64, StoreError> {
+            v.get(key)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| torn(&format!("bad numeric field {key:?}")))
+        };
+
+        let mut backups = Vec::new();
+        for b in doc
+            .get("backups")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| torn("manifest lacks a backups array"))?
+        {
+            let mut deltas = Vec::new();
+            for d in b
+                .get("deltas")
+                .and_then(JsonValue::as_array)
+                .ok_or_else(|| torn("backup lacks a deltas array"))?
+            {
+                deltas.push((u64_field(d, "epoch")?, id_field(d, "layer")?));
+            }
+            backups.push(BackupEntry {
+                name: b
+                    .get("name")
+                    .and_then(JsonValue::as_str)
+                    .ok_or_else(|| torn("backup lacks a name"))?
+                    .to_string(),
+                rec_epoch: u64_field(b, "rec_epoch")?,
+                max_epoch_seen: u64_field(b, "max_epoch_seen")?,
+                omcs: u64_field(b, "omcs")? as usize,
+                vds: u64_field(b, "vds")? as usize,
+                pool_pages: u64_field(b, "pool_pages")? as usize,
+                master: id_field(b, "master")?,
+                context: opt_id_field(b, "context")?,
+                deltas,
+            });
+        }
+
+        let mut layers = Vec::new();
+        for l in doc
+            .get("layers")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| torn("manifest lacks a layers array"))?
+        {
+            let kind = l
+                .get("kind")
+                .and_then(JsonValue::as_str)
+                .and_then(LayerKind::from_label)
+                .ok_or_else(|| torn("layer entry has an unknown kind"))?;
+            layers.push((
+                id_field(l, "id")?,
+                LayerMeta {
+                    kind,
+                    epoch: u64_field(l, "epoch")?,
+                    parent: opt_id_field(l, "parent")?,
+                    bytes: u64_field(l, "bytes")?,
+                    refs: u64_field(l, "refs")?,
+                },
+            ));
+        }
+        if !layers.windows(2).all(|w| w[0].0 < w[1].0) {
+            return Err(torn("layer table is not sorted by id"));
+        }
+
+        let mut quarantine = Vec::new();
+        for q in doc
+            .get("quarantine")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| torn("manifest lacks a quarantine array"))?
+        {
+            quarantine.push(
+                q.as_str()
+                    .and_then(LayerId::parse)
+                    .ok_or_else(|| torn("bad layer id in quarantine"))?,
+            );
+        }
+
+        Ok(Manifest {
+            version,
+            backups,
+            layers,
+            quarantine,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Manifest {
+        let l1 = LayerId(0x1111);
+        let l2 = LayerId(0x2222);
+        let lm = LayerId(0x3333);
+        Manifest {
+            version: 4,
+            backups: vec![BackupEntry {
+                name: "snap \"a\"".to_string(),
+                rec_epoch: 2,
+                max_epoch_seen: 3,
+                omcs: 2,
+                vds: 4,
+                pool_pages: 65536,
+                master: lm,
+                context: None,
+                deltas: vec![(1, l1), (2, l2)],
+            }],
+            layers: vec![
+                (
+                    l1,
+                    LayerMeta {
+                        kind: LayerKind::Delta,
+                        epoch: 1,
+                        parent: None,
+                        bytes: 64,
+                        refs: 1,
+                    },
+                ),
+                (
+                    l2,
+                    LayerMeta {
+                        kind: LayerKind::Delta,
+                        epoch: 2,
+                        parent: Some(l1),
+                        bytes: 64,
+                        refs: 1,
+                    },
+                ),
+                (
+                    lm,
+                    LayerMeta {
+                        kind: LayerKind::Master,
+                        epoch: 2,
+                        parent: Some(l2),
+                        bytes: 96,
+                        refs: 1,
+                    },
+                ),
+            ],
+            quarantine: vec![LayerId(0xffff)],
+        }
+    }
+
+    #[test]
+    fn json_round_trips_exactly() {
+        let m = sample();
+        let text = m.to_json();
+        let back = Manifest::parse(&text).unwrap();
+        assert_eq!(back, m);
+        // Determinism: serializing the parse result reproduces the
+        // original bytes.
+        assert_eq!(back.to_json(), text);
+    }
+
+    #[test]
+    fn empty_manifest_round_trips() {
+        let m = Manifest::default();
+        assert_eq!(Manifest::parse(&m.to_json()).unwrap(), m);
+    }
+
+    #[test]
+    fn future_schema_is_rejected() {
+        let text = sample().to_json().replace(
+            &format!("\"schema\": {MANIFEST_SCHEMA}"),
+            &format!("\"schema\": {}", MANIFEST_SCHEMA + 1),
+        );
+        assert!(matches!(
+            Manifest::parse(&text),
+            Err(StoreError::SchemaVersion { found, supported })
+                if found == MANIFEST_SCHEMA + 1 && supported == MANIFEST_SCHEMA
+        ));
+    }
+
+    #[test]
+    fn refcount_mismatch_is_detected() {
+        let mut m = sample();
+        m.layers[1].1.refs = 0; // understated: GC would reap a live layer
+        assert!(matches!(
+            m.verify_refs(),
+            Err(StoreError::RefcountUnderflow {
+                stored: 0,
+                actual: 1,
+                ..
+            })
+        ));
+        let mut m = sample();
+        m.backups[0].deltas.push((9, LayerId(0x9999)));
+        assert!(matches!(
+            m.verify_refs(),
+            Err(StoreError::MissingLayer { id }) if id == LayerId(0x9999)
+        ));
+    }
+
+    #[test]
+    fn garbage_is_a_torn_manifest() {
+        assert!(matches!(
+            Manifest::parse("{\"schema\": 1"),
+            Err(StoreError::TornManifest { .. })
+        ));
+        assert!(matches!(
+            Manifest::parse("{\"version\": 1}"),
+            Err(StoreError::TornManifest { .. })
+        ));
+    }
+}

@@ -9,6 +9,8 @@
 //! * [`baselines`] — the five comparison schemes.
 //! * [`chaos`] — deterministic fault injection and crash-site exploration.
 //! * [`workloads`] — the paper's 12-workload benchmark suite.
+//! * [`serve`] — the concurrent time-travel query service.
+//! * [`store`] — the crash-consistent on-disk snapshot store.
 //!
 //! See README.md for a quickstart and DESIGN.md for the architecture.
 
@@ -17,5 +19,7 @@
 pub use nvbaselines as baselines;
 pub use nvchaos as chaos;
 pub use nvoverlay as overlay;
+pub use nvserve as serve;
 pub use nvsim as sim;
+pub use nvstore as store;
 pub use nvworkloads as workloads;

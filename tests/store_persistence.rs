@@ -1,0 +1,185 @@
+//! Backup/restore round trips through the persistent snapshot store.
+//!
+//! The store's contract (DESIGN.md §8h) is that a restored snapshot is
+//! *indistinguishable* from the live one: `SnapshotExport::rebuild`
+//! produces a real `Mnm`, so §V-E recovery, `SnapshotStore` epoch
+//! resolution — including 16-bit wrap-around semantics — and
+//! `nvserve::Mount` all answer identically on the restored image. These
+//! tests pin that end to end through the `nvoverlay_suite` facade:
+//!
+//! * a full simulated workload is backed up, restored from the written
+//!   bytes, and compared read-for-read against the live system;
+//! * a wrap-straddling history (epochs a full sense window apart) keeps
+//!   its `Wrapped` rejection boundary after a round trip.
+
+use nvoverlay_suite::overlay::mnm::{Mnm, OmcConfig};
+use nvoverlay_suite::overlay::system::NvOverlaySystem;
+use nvoverlay_suite::overlay::{QueryError, SnapshotStore, EPOCH_SENSE_WINDOW};
+use nvoverlay_suite::serve::Mount;
+use nvoverlay_suite::sim::addr::{Addr, LineAddr, ThreadId};
+use nvoverlay_suite::sim::memsys::Runner;
+use nvoverlay_suite::sim::nvm::Nvm;
+use nvoverlay_suite::sim::trace::{Trace, TraceBuilder};
+use nvoverlay_suite::sim::SimConfig;
+use nvoverlay_suite::store::{MemIo, SnapshotExport, Store};
+
+fn cfg() -> SimConfig {
+    SimConfig::builder()
+        .cores(4, 2)
+        .l1(2 * 1024, 4, 4)
+        .l2(8 * 1024, 8, 8)
+        .llc(64 * 1024, 8, 30, 2)
+        .epoch_size_stores(80)
+        .build()
+        .unwrap()
+}
+
+fn trace() -> Trace {
+    let mut b = TraceBuilder::new(4);
+    let mut token = 1u64;
+    for round in 0..200u64 {
+        for t in 0..4u16 {
+            let line = if (round + t as u64).is_multiple_of(9) {
+                0x9000 + (round % 16)
+            } else {
+                0x1000 * (t as u64 + 1) + round % 64
+            };
+            b.store_with_token(ThreadId(t), Addr::from(LineAddr::new(line)), token);
+            token += 1;
+        }
+    }
+    b.build()
+}
+
+/// The full image a mount serves at `epoch`: every shard's incremental
+/// delta for every servable epoch up to and including it, merged in
+/// epoch order (last writer wins), i.e. exactly what `time_travel`
+/// falls through.
+fn mounted_image(mount: &Mount<'_>, epoch: u64) -> Vec<(u64, u64)> {
+    let mut img = std::collections::BTreeMap::new();
+    for &(e, readable) in mount.dir().through(epoch) {
+        if !readable {
+            continue;
+        }
+        for shard in 0..mount.shards() {
+            for (line, tok) in &mount.materialize(e, shard) {
+                img.insert(line.raw(), *tok);
+            }
+        }
+    }
+    img.into_iter().collect()
+}
+
+#[test]
+fn restored_snapshots_answer_identically_to_the_live_system() {
+    let cfg = cfg();
+    let mut sys = NvOverlaySystem::new(&cfg);
+    let _ = Runner::new().run(&mut sys, &trace());
+    let full = SnapshotExport::from_mnm(sys.mnm()).expect("drained system exports");
+    assert!(full.rec_epoch > 0, "workload must capture epochs");
+
+    // Back up, then reopen the store from its written bytes alone —
+    // restore must not depend on any in-memory state of the writer.
+    let mut store = Store::open(MemIo::new()).unwrap();
+    let stats = store.backup("head", &full).unwrap();
+    assert!(stats.new_layers > 0);
+    let store = Store::open(store.into_io()).unwrap();
+    let restored = store.restore("head").unwrap();
+    assert_eq!(restored, full, "restore must be byte-for-byte exact");
+
+    // The rebuilt backend answers every master read and every
+    // historical read identically to the live one.
+    let (mnm, _nvm) = restored.rebuild().unwrap();
+    assert_eq!(mnm.rec_epoch(), sys.mnm().rec_epoch());
+    assert_eq!(mnm.max_epoch_seen(), sys.mnm().max_epoch_seen());
+    assert_eq!(mnm.epochs(), sys.mnm().epochs());
+    let live = SnapshotStore::new(sys.mnm());
+    let back = SnapshotStore::new(&mnm);
+    assert_eq!(back.epochs(), live.epochs());
+    for &(line, _) in &full.master {
+        for epoch in 1..=full.rec_epoch {
+            assert_eq!(
+                back.read_at(LineAddr::new(line), epoch),
+                live.read_at(LineAddr::new(line), epoch),
+                "line {line:#x} diverges at epoch {epoch}"
+            );
+        }
+    }
+
+    // And it mounts under the query service: same servable epochs,
+    // same materialized image at the recoverable epoch.
+    let live_mount = Mount::new(sys.mnm(), 2).unwrap();
+    let back_mount = Mount::new(&mnm, 2).unwrap();
+    assert_eq!(back_mount.dir().servable(), live_mount.dir().servable());
+    assert_eq!(back_mount.image_epoch(), live_mount.image_epoch());
+    assert_eq!(
+        mounted_image(&back_mount, full.rec_epoch),
+        mounted_image(&live_mount, full.rec_epoch),
+    );
+    assert_eq!(mounted_image(&back_mount, full.rec_epoch), full.master);
+}
+
+#[test]
+fn wrap_around_semantics_survive_backup_and_restore() {
+    // Mirror `checked_reads_reject_wrapped_epochs` (nvoverlay::store):
+    // two writes a full 16-bit sense window apart, so the oldest epoch
+    // inside the window is addressable and the one at exactly
+    // `newest - EPOCH_SENSE_WINDOW` is rejected as wrapped.
+    let mut m = Mnm::new(
+        1,
+        1,
+        OmcConfig {
+            pool_pages: 32,
+            ..OmcConfig::default()
+        },
+    );
+    let mut n = Nvm::new(4, 400, 200, 8, 100_000);
+    let newest = EPOCH_SENSE_WINDOW + 5;
+    let line = LineAddr::new(1);
+    m.receive_version(&mut n, 0, line, 10, 4);
+    m.receive_version(&mut n, 0, line, 20, newest);
+    m.finish(&mut n, 0, newest);
+
+    let full = SnapshotExport::from_mnm(&m).unwrap();
+    let mut store = Store::open(MemIo::new()).unwrap();
+    store.backup("wrap", &full).unwrap();
+    let store = Store::open(store.into_io()).unwrap();
+    let restored = store.restore("wrap").unwrap();
+    assert_eq!(restored, full);
+
+    let (back, _nvm) = restored.rebuild().unwrap();
+    assert_eq!(back.rec_epoch(), newest);
+    let snap = SnapshotStore::new(&back);
+    // Exactly window-many epochs below rec is still wrapped...
+    assert_eq!(
+        snap.resolve_epoch(newest - EPOCH_SENSE_WINDOW),
+        Err(QueryError::Wrapped {
+            requested: 5,
+            recoverable: newest
+        })
+    );
+    // ...one epoch newer is still addressable, and the newest read
+    // still resolves to the post-wrap token.
+    assert_eq!(snap.resolve_epoch(newest - EPOCH_SENSE_WINDOW + 1), Ok(6));
+    assert_eq!(snap.read_at_checked(line, newest), Ok(Some(20)));
+
+    // The query service applies the same boundary on the restored image.
+    let mount = Mount::new(&back, 1).unwrap();
+    assert_eq!(
+        mount
+            .dir()
+            .resolve(newest - EPOCH_SENSE_WINDOW)
+            .map(|v| v.epoch()),
+        Err(QueryError::Wrapped {
+            requested: 5,
+            recoverable: newest
+        })
+    );
+    assert_eq!(
+        mount
+            .dir()
+            .resolve(newest - EPOCH_SENSE_WINDOW + 1)
+            .map(|v| v.epoch()),
+        Ok(6)
+    );
+}
